@@ -1,0 +1,204 @@
+(* oclcu — command-line front end for the translation framework.
+
+     oclcu translate file.cu          -> file.cu.cl + file.cu.cpp (Fig. 3)
+     oclcu translate kernel.cl        -> kernel.cl.cu             (Fig. 2)
+     oclcu check file.cu              -> Table-3 translatability report
+     oclcu run file.cu [--device ...] -> execute on a simulated device
+     oclcu devices                    -> list simulated devices *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+
+let ends_with ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+(* --- translate --------------------------------------------------------- *)
+
+let translate_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"CUDA (.cu) or OpenCL (.cl) source file")
+  in
+  let run input =
+    let src = read_file input in
+    if ends_with ~suffix:".cl" input then begin
+      (* OpenCL -> CUDA device translation (kernel.cl -> kernel.cl.cu) *)
+      match Xlat.Ocl_to_cuda.translate_source src with
+      | cuda_src, result ->
+        write_file (input ^ ".cu") cuda_src;
+        List.iter
+          (fun ki ->
+             let dyn =
+               List.length
+                 (List.filter
+                    (fun r -> r <> Xlat.Ocl_to_cuda.P_keep)
+                    ki.Xlat.Ocl_to_cuda.ki_roles)
+             in
+             Printf.printf "kernel %-24s %d dynamic-memory parameter(s)\n"
+               ki.Xlat.Ocl_to_cuda.ki_name dyn)
+          result.Xlat.Ocl_to_cuda.kernels;
+        `Ok ()
+      | exception Xlat.Ocl_to_cuda.Untranslatable msg ->
+        `Error (false, "untranslatable: " ^ msg)
+      | exception Minic.Parser.Error (msg, line) ->
+        `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+    end
+    else begin
+      (* CUDA -> OpenCL: feature check, then split translation *)
+      match Bridge.Framework.translate_cuda src with
+      | Failed findings ->
+        List.iter
+          (fun f ->
+             Printf.eprintf "untranslatable: %s [%s]\n"
+               f.Xlat.Feature.f_construct
+               (Xlat.Feature.category_name f.Xlat.Feature.f_category))
+          findings;
+        `Error (false, "translation rejected (see findings above)")
+      | Translated result ->
+        write_file (input ^ ".cl") (Xlat.Cuda_to_ocl.cl_source result);
+        write_file (input ^ ".cpp") (Xlat.Cuda_to_ocl.host_source result);
+        List.iter
+          (fun km ->
+             Printf.printf
+               "kernel %-24s +%d symbol / +%d texture parameter(s)%s\n"
+               km.Xlat.Cuda_to_ocl.km_name
+               (List.length km.Xlat.Cuda_to_ocl.km_symbols)
+               (List.length km.Xlat.Cuda_to_ocl.km_textures)
+               (match km.Xlat.Cuda_to_ocl.km_dynshared with
+                | Some _ -> " + dynamic __local"
+                | None -> ""))
+          result.Xlat.Cuda_to_ocl.kmetas;
+        `Ok ()
+      | exception Minic.Parser.Error (msg, line) ->
+        `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+    end
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Translate between CUDA (.cu) and OpenCL (.cl) source")
+    Term.(ret (const run $ input))
+
+(* --- check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"CUDA source to lint")
+  in
+  let tex1d =
+    Arg.(value & opt (some int) None
+         & info [ "tex1d-texels" ]
+             ~doc:"Runtime width of 1D linear textures, for the §5 limit check")
+  in
+  let run input tex1d =
+    let src = read_file input in
+    let prog =
+      match Minic.Parser.program ~dialect:Minic.Parser.Cuda src with
+      | p -> Some p
+      | exception _ -> None
+    in
+    match Xlat.Feature.check_cuda_app ~tex1d_texels:tex1d ~src prog with
+    | [] ->
+      print_endline "translatable: no model-specific features found";
+      `Ok ()
+    | findings ->
+      List.iter
+        (fun f ->
+           Printf.printf "%-44s [%s]\n" f.Xlat.Feature.f_construct
+             (Xlat.Feature.category_name f.Xlat.Feature.f_category))
+        findings;
+      `Error (false, Printf.sprintf "%d blocking feature(s)" (List.length findings))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Report model-specific features (Table 3 categories)")
+    Term.(ret (const run $ input $ tex1d))
+
+(* --- run ---------------------------------------------------------------- *)
+
+let device_conv =
+  Arg.enum
+    [ ("titan-cuda", Bridge.Framework.Titan_cuda);
+      ("titan-opencl", Bridge.Framework.Titan_opencl);
+      ("amd-opencl", Bridge.Framework.Amd_opencl) ]
+
+let run_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"CUDA program (.cu) to execute")
+  in
+  let device =
+    Arg.(value & opt device_conv Bridge.Framework.Titan_cuda
+         & info [ "device"; "d" ]
+             ~doc:"Target: $(b,titan-cuda) (native), $(b,titan-opencl) or \
+                   $(b,amd-opencl) (via translation)")
+  in
+  let run input device =
+    let src = read_file input in
+    match device with
+    | Bridge.Framework.Titan_cuda ->
+      let r = Bridge.Framework.run_cuda_native src in
+      print_string r.r_output;
+      Printf.printf "[%s: %.1f us simulated]\n"
+        (Bridge.Framework.target_name device)
+        (r.r_time_ns /. 1e3);
+      `Ok ()
+    | target ->
+      (match Bridge.Framework.translate_cuda src with
+       | Failed findings ->
+         List.iter
+           (fun f ->
+              Printf.eprintf "untranslatable: %s [%s]\n"
+                f.Xlat.Feature.f_construct
+                (Xlat.Feature.category_name f.Xlat.Feature.f_category))
+           findings;
+         `Error (false, "cannot run on an OpenCL device: translation rejected")
+       | Translated result ->
+         let r =
+           Bridge.Framework.run_translated_cuda
+             ~dev:(Bridge.Framework.device_of target) result
+         in
+         print_string r.r_output;
+         Printf.printf "[%s: %.1f us simulated]\n"
+           (Bridge.Framework.target_name target)
+           (r.r_time_ns /. 1e3);
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a CUDA program on a simulated device")
+    Term.(ret (const run $ input $ device))
+
+(* --- devices ------------------------------------------------------------ *)
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun (name, hw, fw) ->
+         let hw : Gpusim.Device.hw = hw in
+         let fw : Gpusim.Device.framework = fw in
+         Printf.printf "%-14s %-28s %s (smem word %d bytes)\n" name
+           hw.hw_name fw.fw_name fw.smem_word)
+      [ ("titan-cuda", Gpusim.Device.titan, Gpusim.Device.cuda_on_nvidia);
+        ("titan-opencl", Gpusim.Device.titan, Gpusim.Device.opencl_on_nvidia);
+        ("amd-opencl", Gpusim.Device.hd7970, Gpusim.Device.opencl_on_amd) ]
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List the simulated devices") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "oclcu" ~version:"1.0.0"
+      ~doc:"Bidirectional OpenCL/CUDA translation framework (SC '15 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ translate_cmd; check_cmd; run_cmd; devices_cmd ]))

@@ -1,0 +1,1 @@
+examples/comparison.ml: List Minic Printf String Xlat

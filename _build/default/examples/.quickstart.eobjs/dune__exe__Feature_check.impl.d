@@ -1,0 +1,1 @@
+examples/feature_check.ml: List Minic Printf Sys Xlat

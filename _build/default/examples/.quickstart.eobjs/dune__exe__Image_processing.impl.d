@@ -1,0 +1,1 @@
+examples/image_processing.ml: Bridge List Minic Printf Xlat

@@ -1,0 +1,1 @@
+examples/portability.ml: Bridge List Printf String Suite

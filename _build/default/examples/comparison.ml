@@ -1,0 +1,127 @@
+(* Comparative analysis (paper §3): demonstrate, construct by construct,
+   how the two programming models express the same thing and what the
+   translator does with each difference.
+
+     dune exec examples/comparison.exe
+
+   Each entry shows an OpenCL device-code snippet next to its CUDA
+   translation produced by the real translator (not hand-written
+   expected output), covering the §3.5-§5 feature matrix. *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let show title ocl_snippet =
+  Printf.printf "%s\n%s\n" title (String.make (String.length title) '-');
+  print_endline "OpenCL:";
+  print_string ocl_snippet;
+  let ocl = Minic.Parser.program ~dialect:Minic.Parser.OpenCL ocl_snippet in
+  let result = Xlat.Ocl_to_cuda.translate ocl in
+  (* elide the index-function prelude: it is identical for every program *)
+  let display =
+    List.filter
+      (function
+        | Minic.Ast.TFunc f ->
+          not (starts_with ~prefix:"__oc2cu_get" f.Minic.Ast.fn_name)
+        | _ -> true)
+      result.Xlat.Ocl_to_cuda.cuda_prog
+  in
+  print_endline "translated CUDA (index-helper prelude elided):";
+  print_string (Minic.Pretty.program_str Minic.Pretty.Cuda display);
+  print_newline ()
+
+let show_c2o title cuda_snippet =
+  Printf.printf "%s\n%s\n" title (String.make (String.length title) '-');
+  print_endline "CUDA:";
+  print_string cuda_snippet;
+  let r = Xlat.Cuda_to_ocl.translate_source cuda_snippet in
+  print_endline "translated OpenCL device code:";
+  print_string (Xlat.Cuda_to_ocl.cl_source r);
+  let host = Xlat.Cuda_to_ocl.host_source r in
+  if String.length (String.trim host) > 0 then begin
+    print_endline "translated host code:";
+    print_string host
+  end;
+  print_newline ()
+
+let () =
+  show "1. Kernel qualifiers and work-item indexing (§3.5, §3.6)"
+    {|
+__kernel void add(__global float* a, __global float* b, int n) {
+  int i = get_global_id(0);
+  if (i < n) a[i] += b[i];
+}
+|};
+
+  show "2. Dynamic local memory: many __local args become one extern __shared__ pool (§4.1, Fig. 5)"
+    {|
+__kernel void two_tiles(__local float* t1, __local int* t2, __global float* g) {
+  t1[get_local_id(0)] = g[get_global_id(0)];
+  t2[get_local_id(0)] = get_local_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  g[get_global_id(0)] = t1[0] + (float)t2[0];
+}
+|};
+
+  show "3. Dynamic constant memory has no CUDA equivalent: sizes over a fixed pool (§4.2)"
+    {|
+__kernel void taps(__constant float* c, __global float* g) {
+  g[get_global_id(0)] = c[get_global_id(0) % 4];
+}
+|};
+
+  show "4. Vector component selection beyond CUDA's x/y/z/w (§3.6)"
+    {|
+__kernel void swiz(__global float4* v) {
+  float4 a = v[0];
+  a.lo = a.hi;
+  v[1] = a;
+}
+|};
+
+  show_c2o "5. CUDA kernel call and cudaMemcpyToSymbol: the three source-translated constructs (§3.2)"
+    {|
+__constant__ float k_coeff[2];
+__global__ void scale(float* p, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) p[i] *= k_coeff[0];
+}
+int main(void) {
+  float c[2] = {2.0f, 0.0f};
+  cudaMemcpyToSymbol(k_coeff, c, 2 * sizeof(float));
+  float* d;
+  cudaMalloc((void**)&d, 256);
+  scale<<<1, 64>>>(d, 64);
+  return 0;
+}
+|};
+
+  show_c2o "6. CUDA textures become image + sampler parameters (§5)"
+    {|
+texture<float, 2, cudaReadModeElementType> img;
+__global__ void sample(float* out, int w) {
+  int x = threadIdx.x;
+  out[x] = tex2D(img, (float)x, 0.0f);
+}
+int main(void) { return 0; }
+|};
+
+  show_c2o "7. C++ in device code: references and templates are lowered (§3.6)"
+    {|
+__device__ void note(float& acc, float v) { acc += v; }
+template <typename T>
+__global__ void fill(T* p, T v) { p[threadIdx.x] = v; }
+int main(void) {
+  float* d;
+  cudaMalloc((void**)&d, 256);
+  fill<float><<<1, 64>>>(d, 1.5f);
+  return 0;
+}
+|};
+
+  show_c2o "8. atomicInc's wrap-around semantics survive translation (§3.7)"
+    {|
+__global__ void tally(unsigned int* c) { atomicInc(c, 100u); }
+int main(void) { return 0; }
+|}

@@ -1,0 +1,1 @@
+lib/core/cl_api.ml: Gpusim Opencl Vm

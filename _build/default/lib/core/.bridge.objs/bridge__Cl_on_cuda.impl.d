@@ -1,0 +1,1 @@
+lib/core/cl_on_cuda.ml: Array Cl_api Cuda Gpusim Hashtbl Int64 List Minic Printf String Vm Xlat

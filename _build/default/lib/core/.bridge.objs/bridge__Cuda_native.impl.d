@@ -1,0 +1,1 @@
+lib/core/cuda_native.ml: Cuda Gpusim Hashtbl Hostrun Int64 Layout List Memory Minic Printf Value Vm

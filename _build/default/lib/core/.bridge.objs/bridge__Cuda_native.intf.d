@@ -1,0 +1,1 @@
+lib/core/cuda_native.mli: Gpusim Minic Vm

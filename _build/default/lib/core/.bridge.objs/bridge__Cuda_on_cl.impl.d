@@ -1,0 +1,1 @@
+lib/core/cuda_on_cl.ml: Array Bytes Char Cuda_native Gpusim Hashtbl Hostrun Int64 Layout Lazy List Memory Minic Opencl Printf Value Vm Xlat

@@ -1,0 +1,1 @@
+lib/core/cuda_on_cl.mli: Cuda_native Gpusim Xlat

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Cl_api Cl_on_cuda Cuda_native Cuda_on_cl Float Gpusim List Minic String Xlat

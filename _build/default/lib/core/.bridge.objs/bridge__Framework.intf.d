@@ -1,0 +1,1 @@
+lib/core/framework.mli: Cl_api Gpusim Xlat

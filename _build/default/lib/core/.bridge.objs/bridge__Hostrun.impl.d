@@ -1,0 +1,1 @@
+lib/core/hostrun.ml: Buffer Bytes Char Float Int64 Minic Printf Scanf String Value Vm

@@ -1,0 +1,1 @@
+lib/core/hostrun.mli: Buffer Hashtbl Minic Vm

@@ -1,0 +1,44 @@
+(** Host-program execution harness.
+
+    Original and translated CUDA host code is ordinary C (Mini-C); this
+    module supplies the libc-level externals every host program needs —
+    printf with output capture, malloc over the host arena, memcpy,
+    memset, a deterministic rand — plus the glue to run [main()].  The
+    CUDA- or OpenCL-specific externals come from {!Cuda_native}
+    (original programs) or {!Cuda_on_cl} (translated ones). *)
+
+exception Host_error of string
+
+type session = {
+  arena : Vm.Memory.arena;   (** the program's host memory *)
+  out : Buffer.t;            (** captured printf output *)
+  mutable rng : int64;       (** deterministic rand() state *)
+}
+
+val make_session : unit -> session
+
+(** Format the printf subset benchmark code uses (flags/width/precision,
+    d i u x X c s f e g p, l/ll/h length modifiers). *)
+val format_printf : Vm.Interp.ctx -> string -> Vm.Interp.tval list -> string
+
+(** The libc externals bound into every host program. *)
+val libc_externals :
+  session -> (string * (Vm.Interp.ctx -> Vm.Interp.tval list -> Vm.Interp.tval)) list
+
+(** Build an interpreter context over [session] with the given runtime
+    externals, initialise host globals, execute [main()], and return the
+    captured output.  [globals] seeds device-symbol bindings (textures,
+    __device__ variables) so host identifiers resolve;
+    [launch_handler] services CUDA [<<<...>>>] expressions. *)
+val run_main :
+  session:session -> prog:Minic.Ast.program ->
+  arena_of:(Minic.Ast.addr_space -> Vm.Memory.arena) ->
+  externals:(string * (Vm.Interp.ctx -> Vm.Interp.tval list -> Vm.Interp.tval)) list ->
+  special_ident:(string -> Vm.Interp.tval option) ->
+  ?globals:(string, Vm.Interp.binding) Hashtbl.t ->
+  ?launch_handler:(Vm.Interp.ctx -> Minic.Ast.launch -> Vm.Interp.tval) ->
+  unit -> string
+
+(** Named constants host code expects (NULL, cudaMemcpy kinds, CL_TRUE,
+    RAND_MAX, ...). *)
+val host_constants : string -> Vm.Interp.tval option

@@ -1,0 +1,1 @@
+lib/cuda/cudart.ml: Array Bytes Char Float Gpusim Hashtbl Int64 List Minic Printf Vm

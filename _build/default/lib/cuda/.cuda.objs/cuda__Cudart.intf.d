@@ -1,0 +1,1 @@
+lib/cuda/cudart.mli: Gpusim Hashtbl Minic Vm

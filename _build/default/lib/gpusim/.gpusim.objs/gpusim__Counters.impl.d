@@ -1,0 +1,1 @@
+lib/gpusim/counters.ml: Array Int List Minic Set Vm

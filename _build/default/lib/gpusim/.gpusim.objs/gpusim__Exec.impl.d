@@ -1,0 +1,1 @@
+lib/gpusim/exec.ml: Array Counters Device Effect Hashtbl Int64 List Minic Occupancy Printf Queue Vm

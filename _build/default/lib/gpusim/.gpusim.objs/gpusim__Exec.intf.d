@@ -1,0 +1,1 @@
+lib/gpusim/exec.mli: Counters Device Hashtbl Minic Occupancy Vm

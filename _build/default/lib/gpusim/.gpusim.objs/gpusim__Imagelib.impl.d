@@ -1,0 +1,1 @@
+lib/gpusim/imagelib.ml: Array Float Int64 Minic Vm

@@ -1,0 +1,1 @@
+lib/gpusim/imagelib.mli: Vm

@@ -1,0 +1,1 @@
+lib/gpusim/occupancy.ml: Device Float List Minic Option Vm

@@ -1,0 +1,1 @@
+lib/gpusim/timing.ml: Counters Device Exec Float Occupancy Printf

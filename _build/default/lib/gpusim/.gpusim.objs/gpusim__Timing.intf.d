@@ -1,0 +1,1 @@
+lib/gpusim/timing.mli: Counters Device Exec

@@ -1,0 +1,157 @@
+(* Event counters for one kernel launch, with warp-level grouping of
+   memory accesses.
+
+   Work-items of a group run sequentially; each item appends its memory
+   accesses to a stream.  After the group finishes, streams of the items
+   in each warp are aligned position-by-position (exact under uniform
+   control flow, an approximation under divergence) and each aligned row
+   is costed as one warp access:
+
+   - global/constant: number of distinct 128-byte segments touched
+     (memory coalescing);
+   - local/shared: bank conflicts under the framework's addressing mode
+     (the 32-bit vs 64-bit distinction of paper §6.2): an access covering
+     k bank words replays until every word is served, so the cost is the
+     maximum, over banks, of distinct words wanted from that bank. *)
+
+open Minic.Ast
+
+type access = {
+  a_kind : Vm.Memory.access_kind;
+  a_space : addr_space;
+  a_addr : int;
+  a_size : int;
+}
+
+type stream = {
+  mutable items : access array;
+  mutable len : int;
+}
+
+let stream_create () = { items = Array.make 64 { a_kind = Load; a_space = AS_none; a_addr = 0; a_size = 0 }; len = 0 }
+
+let stream_push s a =
+  if s.len = Array.length s.items then begin
+    let bigger = Array.make (2 * s.len) a in
+    Array.blit s.items 0 bigger 0 s.len;
+    s.items <- bigger
+  end;
+  s.items.(s.len) <- a;
+  s.len <- s.len + 1
+
+type t = {
+  mutable n_items : int;
+  mutable n_groups : int;
+  mutable ops_int : int;
+  mutable ops_float : int;
+  mutable ops_double : int;
+  mutable ops_special : int;
+  mutable ops_branch : int;
+  mutable barriers : int;            (* barrier rounds x groups *)
+  mutable gmem_transactions : int;
+  mutable gmem_accesses : int;
+  mutable gmem_bytes : int;
+  mutable smem_transactions : int;
+  mutable smem_accesses : int;
+  mutable smem_bank_conflict_extra : int;  (* replays beyond 1 per access *)
+  mutable private_accesses : int;
+}
+
+let create () = {
+  n_items = 0; n_groups = 0;
+  ops_int = 0; ops_float = 0; ops_double = 0; ops_special = 0; ops_branch = 0;
+  barriers = 0;
+  gmem_transactions = 0; gmem_accesses = 0; gmem_bytes = 0;
+  smem_transactions = 0; smem_accesses = 0; smem_bank_conflict_extra = 0;
+  private_accesses = 0;
+}
+
+let record_op c (cls : Vm.Interp.op_class) =
+  match cls with
+  | Op_int -> c.ops_int <- c.ops_int + 1
+  | Op_float -> c.ops_float <- c.ops_float + 1
+  | Op_double -> c.ops_double <- c.ops_double + 1
+  | Op_special -> c.ops_special <- c.ops_special + 1
+  | Op_branch -> c.ops_branch <- c.ops_branch + 1
+
+let total_ops c =
+  c.ops_int + c.ops_float + c.ops_double + c.ops_special + c.ops_branch
+
+(* --- warp-access costing ------------------------------------------- *)
+
+let segment_size = 128
+
+module Iset = Set.Make (Int)
+
+(* Cost one aligned row of accesses from the items of a warp. *)
+let cost_row c ~smem_word ~banks ~model_conflicts (row : access list) =
+  match row with
+  | [] -> ()
+  | first :: _ ->
+    (match first.a_space with
+     | AS_global | AS_constant ->
+       let segments =
+         List.fold_left
+           (fun acc a ->
+              let s0 = a.a_addr / segment_size in
+              let s1 = (a.a_addr + a.a_size - 1) / segment_size in
+              let rec add acc s = if s > s1 then acc else add (Iset.add s acc) (s + 1) in
+              add acc s0)
+           Iset.empty row
+       in
+       c.gmem_transactions <- c.gmem_transactions + Iset.cardinal segments;
+       c.gmem_accesses <- c.gmem_accesses + List.length row;
+       c.gmem_bytes <- c.gmem_bytes + List.fold_left (fun n a -> n + a.a_size) 0 row
+     | AS_local ->
+       c.smem_accesses <- c.smem_accesses + List.length row;
+       if not model_conflicts then
+         c.smem_transactions <- c.smem_transactions + 1
+       else begin
+         (* words wanted per bank *)
+         let per_bank = Array.make banks Iset.empty in
+         List.iter
+           (fun a ->
+              let w0 = a.a_addr / smem_word in
+              let w1 = (a.a_addr + a.a_size - 1) / smem_word in
+              for w = w0 to w1 do
+                let b = w mod banks in
+                per_bank.(b) <- Iset.add w per_bank.(b)
+              done)
+           row;
+         let ways = Array.fold_left (fun m s -> max m (Iset.cardinal s)) 1 per_bank in
+         c.smem_transactions <- c.smem_transactions + ways;
+         c.smem_bank_conflict_extra <- c.smem_bank_conflict_extra + (ways - 1)
+       end
+     | AS_private | AS_none ->
+       c.private_accesses <- c.private_accesses + List.length row)
+
+(* After a group completes: fold the per-item streams warp by warp. *)
+let finish_group c ~warp_size ~smem_word ~banks ~model_conflicts
+    (streams : stream array) =
+  c.n_groups <- c.n_groups + 1;
+  let n = Array.length streams in
+  c.n_items <- c.n_items + n;
+  let nwarps = (n + warp_size - 1) / warp_size in
+  for w = 0 to nwarps - 1 do
+    let lo = w * warp_size in
+    let hi = min n (lo + warp_size) - 1 in
+    let max_len = ref 0 in
+    for i = lo to hi do
+      max_len := max !max_len streams.(i).len
+    done;
+    for pos = 0 to !max_len - 1 do
+      let row = ref [] in
+      for i = hi downto lo do
+        if pos < streams.(i).len then row := streams.(i).items.(pos) :: !row
+      done;
+      (* split the row by address space: under divergence streams of
+         different items can interleave spaces at the same position *)
+      let by_space sp = List.filter (fun a -> a.a_space = sp) !row in
+      List.iter
+        (fun sp ->
+           match by_space sp with
+           | [] -> ()
+           | r -> cost_row c ~smem_word ~banks ~model_conflicts r)
+        [ AS_global; AS_constant; AS_local; AS_private; AS_none ]
+    done
+  done

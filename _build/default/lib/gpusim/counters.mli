@@ -1,0 +1,64 @@
+(** Event counters for one kernel launch, with warp-level grouping of
+    memory accesses.
+
+    Work-items of a group run sequentially; each appends its memory
+    accesses to a {!stream}.  When the group finishes, streams of the
+    items in each warp are aligned position by position (exact under
+    uniform control flow, an approximation under divergence) and each
+    aligned row is costed as one warp access: distinct 128-byte segments
+    for global/constant memory (coalescing), bank-conflict replays for
+    local memory under the framework's addressing mode (§6.2). *)
+
+type access = {
+  a_kind : Vm.Memory.access_kind;
+  a_space : Minic.Ast.addr_space;
+  a_addr : int;
+  a_size : int;
+}
+
+type stream = {
+  mutable items : access array;
+  mutable len : int;
+}
+
+val stream_create : unit -> stream
+val stream_push : stream -> access -> unit
+
+type t = {
+  mutable n_items : int;
+  mutable n_groups : int;
+  mutable ops_int : int;
+  mutable ops_float : int;
+  mutable ops_double : int;
+  mutable ops_special : int;
+  mutable ops_branch : int;
+  mutable barriers : int;          (** barrier rounds summed over groups *)
+  mutable gmem_transactions : int; (** 128-byte segments touched *)
+  mutable gmem_accesses : int;
+  mutable gmem_bytes : int;
+  mutable smem_transactions : int; (** includes conflict replays *)
+  mutable smem_accesses : int;
+  mutable smem_bank_conflict_extra : int; (** replays beyond 1 per access *)
+  mutable private_accesses : int;
+}
+
+val create : unit -> t
+
+val record_op : t -> Vm.Interp.op_class -> unit
+
+val total_ops : t -> int
+
+(** Global-memory coalescing granularity in bytes. *)
+val segment_size : int
+
+(** Cost one aligned row of same-space accesses from one warp; exposed
+    for the oracle-based property tests. *)
+val cost_row :
+  t -> smem_word:int -> banks:int -> model_conflicts:bool -> access list ->
+  unit
+
+(** Fold a finished group's per-item streams into the counters, warp by
+    warp. *)
+val finish_group :
+  t -> warp_size:int -> smem_word:int -> banks:int -> model_conflicts:bool ->
+  stream array -> unit

@@ -1,0 +1,423 @@
+(* NDRange / grid execution engine.
+
+   Work-groups run one after another; the work-items of a group are
+   coroutines multiplexed on one OCaml fibre each: an item runs until it
+   finishes or performs the [Barrier] effect, at which point the
+   scheduler parks its continuation and runs the next item.  When every
+   live item of the group has reached the barrier, all are resumed --
+   faithful bulk-synchronous semantics including values communicated
+   through __local/__shared__ memory. *)
+
+open Minic.Ast
+open Vm.Value
+
+exception Launch_error of string
+
+type karg =
+  | Arg_val of Vm.Interp.tval          (* scalar / pointer argument *)
+  | Arg_local of int                   (* OpenCL dynamic __local, bytes *)
+
+type config = {
+  global_size : int array;             (* 3 entries; OpenCL convention *)
+  local_size : int array;              (* 3 entries *)
+  dyn_shared : int;                    (* CUDA <<< , , n >>> bytes *)
+}
+
+let dim3_of arr i = if i < Array.length arr then max 1 arr.(i) else 1
+
+(* indices must NOT be clamped like sizes: dimension 0 has index 0 *)
+let idx_of arr i = if i >= 0 && i < Array.length arr then arr.(i) else 0
+
+(* Result of one launch: raw event counters plus launch geometry. *)
+type launch_stats = {
+  counters : Counters.t;
+  block_threads : int;
+  n_blocks : int;
+  occupancy : Occupancy.result;
+}
+
+(* Atomic read-modify-write helpers; items are sequentialised so plain
+   load/store is atomic. *)
+let atomic_rmw ctx (p : Vm.Interp.tval) f =
+  let ptr = Vm.Value.to_int p.Vm.Interp.v in
+  let space = Vm.Value.ptr_space ptr in
+  let addr = Vm.Value.ptr_offset ptr in
+  let elt =
+    match Vm.Layout.resolve ctx.Vm.Interp.layout p.Vm.Interp.ty with
+    | TPtr t | TArr (t, _) -> t
+    | _ -> TScalar Int
+  in
+  let old = Vm.Interp.load ctx space addr elt in
+  let nv = f (Vm.Interp.tv old elt) in
+  Vm.Interp.store ctx space addr elt nv.Vm.Interp.v;
+  Vm.Interp.tv old elt
+
+let barrier_ext _ctx _args =
+  Effect.perform (Vm.Interp.Barrier Vm.Interp.Barrier_local);
+  Vm.Interp.tunit
+
+(* Built-ins available in every kernel, both dialects.  Index functions
+   read the mutable [cur] cell owned by the scheduler. *)
+let kernel_externals ~(cur : (int array * int array * int array * int array) ref) () =
+  let open Vm.Interp in
+  let getdim sel d =
+    let gid, lid, grp, _ = !cur in
+    ignore (gid, lid, grp);
+    sel d
+  in
+  let int_of_arg args =
+    match args with
+    | a :: _ -> Int64.to_int (Vm.Value.to_int a.v)
+    | [] -> 0
+  in
+  let idx_fn sel = fun _ctx args -> tint (getdim sel (int_of_arg args)) in
+  [ (* OpenCL work-item functions *)
+    ("get_global_id", idx_fn (fun d -> let g, _, _, _ = !cur in idx_of g d));
+    ("get_local_id", idx_fn (fun d -> let _, l, _, _ = !cur in idx_of l d));
+    ("get_group_id", idx_fn (fun d -> let _, _, g, _ = !cur in idx_of g d));
+    ("get_work_dim", (fun _ _ -> tint 3));
+    (* barriers and fences *)
+    ("barrier", barrier_ext);
+    ("__syncthreads", barrier_ext);
+    ("mem_fence", (fun _ _ -> tunit));
+    ("read_mem_fence", (fun _ _ -> tunit));
+    ("write_mem_fence", (fun _ _ -> tunit));
+    ("__threadfence", (fun _ _ -> tunit));
+    ("__threadfence_block", (fun _ _ -> tunit));
+    ("__syncwarp", (fun _ _ -> tunit));
+    (* OpenCL atomics: atomic_inc/dec take only the pointer (§3.7) *)
+    ("atomic_add",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Add old v)
+        | _ -> raise (Launch_error "atomic_add arity")));
+    ("atomic_sub",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Sub old v)
+        | _ -> raise (Launch_error "atomic_sub arity")));
+    ("atomic_inc",
+     (fun ctx args ->
+        match args with
+        | [ p ] ->
+          atomic_rmw ctx p (fun old ->
+              Vm.Interp.binop ctx Add old (tint 1))
+        | _ -> raise (Launch_error "atomic_inc arity")));
+    ("atomic_dec",
+     (fun ctx args ->
+        match args with
+        | [ p ] ->
+          atomic_rmw ctx p (fun old ->
+              Vm.Interp.binop ctx Sub old (tint 1))
+        | _ -> raise (Launch_error "atomic_dec arity")));
+    ("atomic_min",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] ->
+          atomic_rmw ctx p (fun old ->
+              if Vm.Value.to_bool (Vm.Interp.binop ctx Lt old v).v then old else v)
+        | _ -> raise (Launch_error "atomic_min arity")));
+    ("atomic_max",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] ->
+          atomic_rmw ctx p (fun old ->
+              if Vm.Value.to_bool (Vm.Interp.binop ctx Gt old v).v then old else v)
+        | _ -> raise (Launch_error "atomic_max arity")));
+    ("atomic_xchg",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] -> atomic_rmw ctx p (fun _ -> v)
+        | _ -> raise (Launch_error "atomic_xchg arity")));
+    ("atomic_cmpxchg",
+     (fun ctx args ->
+        match args with
+        | [ p; cmp; v ] ->
+          atomic_rmw ctx p (fun old ->
+              if Vm.Value.to_int old.v = Vm.Value.to_int cmp.v then v else old)
+        | _ -> raise (Launch_error "atomic_cmpxchg arity")));
+    (* CUDA atomics; atomicInc wraps at the bound (§3.7) *)
+    ("atomicAdd",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Add old v)
+        | _ -> raise (Launch_error "atomicAdd arity")));
+    ("atomicSub",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Sub old v)
+        | _ -> raise (Launch_error "atomicSub arity")));
+    ("atomicMin",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] ->
+          atomic_rmw ctx p (fun old ->
+              if Vm.Value.to_bool (Vm.Interp.binop ctx Lt old v).v then old else v)
+        | _ -> raise (Launch_error "atomicMin arity")));
+    ("atomicMax",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] ->
+          atomic_rmw ctx p (fun old ->
+              if Vm.Value.to_bool (Vm.Interp.binop ctx Gt old v).v then old else v)
+        | _ -> raise (Launch_error "atomicMax arity")));
+    ("atomicExch",
+     (fun ctx args ->
+        match args with
+        | [ p; v ] -> atomic_rmw ctx p (fun _ -> v)
+        | _ -> raise (Launch_error "atomicExch arity")));
+    ("atomicCAS",
+     (fun ctx args ->
+        match args with
+        | [ p; cmp; v ] ->
+          atomic_rmw ctx p (fun old ->
+              if Vm.Value.to_int old.v = Vm.Value.to_int cmp.v then v else old)
+        | _ -> raise (Launch_error "atomicCAS arity")));
+    ("atomicInc",
+     (fun ctx args ->
+        match args with
+        | [ p; bound ] ->
+          atomic_rmw ctx p (fun old ->
+              let o = Vm.Value.to_int old.v in
+              let b = Vm.Value.to_int bound.v in
+              if Int64.unsigned_compare o b >= 0 then tint 0
+              else tv (VInt (Int64.add o 1L)) old.ty)
+        | _ -> raise (Launch_error "atomicInc arity")));
+    ("atomicDec",
+     (fun ctx args ->
+        match args with
+        | [ p; bound ] ->
+          atomic_rmw ctx p (fun old ->
+              let o = Vm.Value.to_int old.v in
+              let b = Vm.Value.to_int bound.v in
+              if o = 0L || Int64.unsigned_compare o b > 0 then
+                tv (VInt b) old.ty
+              else tv (VInt (Int64.sub o 1L)) old.ty)
+        | _ -> raise (Launch_error "atomicDec arity")));
+    (* misc *)
+    ("printf", (fun _ _ -> tint 0));
+  ]
+
+let uint3 a =
+  Vm.Interp.tv
+    (VVec [| VInt (Int64.of_int a.(0)); VInt (Int64.of_int a.(1));
+             VInt (Int64.of_int a.(2)) |])
+    (TVec (UInt, 3))
+
+(* Launch a kernel on a device.
+
+   [prog] is the loaded device module (kernels + helpers + globals);
+   device globals must already be materialised in [globals].
+   [host_arena] backs AS_none so kernels can read host constants if a
+   runtime chooses to pass them (not used by well-formed code). *)
+let launch ~(dev : Device.t) ~prog ~globals ~host_arena
+    ?(extra_externals = []) ~(kernel : func) ~(cfg : config)
+    ~(args : karg list) () : launch_stats =
+  let counters = Counters.create () in
+  let warp = dev.hw.warp_size in
+  let lx = dim3_of cfg.local_size 0
+  and ly = dim3_of cfg.local_size 1
+  and lz = dim3_of cfg.local_size 2 in
+  let gx = dim3_of cfg.global_size 0
+  and gy = dim3_of cfg.global_size 1
+  and gz = dim3_of cfg.global_size 2 in
+  if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
+    raise
+      (Launch_error
+         (Printf.sprintf "%s: global size (%d,%d,%d) not divisible by local (%d,%d,%d)"
+            kernel.fn_name gx gy gz lx ly lz));
+  let nx = gx / lx and ny = gy / ly and nz = gz / lz in
+  let group_threads = lx * ly * lz in
+  let num_groups = [| nx; ny; nz |] in
+  let global_size = [| gx; gy; gz |] in
+  let local_size = [| lx; ly; lz |] in
+
+  (* mutable per-item view: (global_id, local_id, group_id, _) *)
+  let cur = ref ([| 0; 0; 0 |], [| 0; 0; 0 |], [| 0; 0; 0 |], [| 0 |]) in
+  let cur_item = ref 0 in
+
+  (* arenas *)
+  let local_arena = Vm.Memory.create ~initial:8192 "local" in
+  let private_pool =
+    Array.init group_threads (fun i ->
+        Vm.Memory.create ~initial:2048 (Printf.sprintf "private.%d" i))
+  in
+  let arena_of : addr_space -> Vm.Memory.arena = function
+    | AS_global -> dev.Device.global
+    | AS_constant -> dev.Device.constant
+    | AS_local -> local_arena
+    | AS_private -> private_pool.(!cur_item)
+    | AS_none -> host_arena
+  in
+
+  (* access streams for warp grouping *)
+  let streams = Array.init group_threads (fun _ -> Counters.stream_create ()) in
+  let on_access kind space addr size =
+    match space with
+    | AS_global | AS_constant | AS_local ->
+      Counters.stream_push streams.(!cur_item)
+        { Counters.a_kind = kind; a_space = space; a_addr = addr; a_size = size }
+    | AS_private | AS_none ->
+      counters.Counters.private_accesses <- counters.Counters.private_accesses + 1
+  in
+  let on_op cls = Counters.record_op counters cls in
+
+  let special_ident name =
+    let _, lid, grp, _ = !cur in
+    match name with
+    | "threadIdx" -> Some (uint3 lid)
+    | "blockIdx" -> Some (uint3 grp)
+    | "blockDim" -> Some (uint3 local_size)
+    | "gridDim" -> Some (uint3 num_groups)
+    | "warpSize" -> Some (Vm.Interp.tint warp)
+    | "CLK_LOCAL_MEM_FENCE" -> Some (Vm.Interp.tint 1)
+    | "CLK_GLOBAL_MEM_FENCE" -> Some (Vm.Interp.tint 2)
+    | _ -> None
+  in
+
+  (* extras are appended last so they override defaults on name clash *)
+  let externals =
+    kernel_externals ~cur ()
+    @ [ ("get_global_size",
+         (fun _ args ->
+            let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
+            Vm.Interp.tint (dim3_of global_size d)));
+        ("get_local_size",
+         (fun _ args ->
+            let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
+            Vm.Interp.tint (dim3_of local_size d)));
+        ("get_num_groups",
+         (fun _ args ->
+            let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
+            Vm.Interp.tint (dim3_of num_groups d))) ]
+    @ extra_externals
+  in
+
+  let base_ctx =
+    Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access ~on_op
+      ~stack_space:AS_private ~globals ()
+  in
+
+  (* file-scope [extern __shared__ char pool[]] declarations (the
+     OpenCL-to-CUDA translator emits one, Fig. 5) alias the per-group
+     dynamic shared block, like in-kernel extern __shared__ variables *)
+  let extern_shared_names =
+    List.filter_map
+      (function
+        | TVar d when d.d_storage.s_extern && type_space d.d_ty = AS_local ->
+          Some d.d_name
+        | _ -> None)
+      prog
+  in
+
+  (* iterate over work-groups *)
+  for bz = 0 to nz - 1 do
+    for by = 0 to ny - 1 do
+      for bx = 0 to nx - 1 do
+        Vm.Memory.reset local_arena;
+        let group_locals = Hashtbl.create 8 in
+        (* dynamic shared memory (CUDA extern __shared__) *)
+        let dynshared_addr =
+          if cfg.dyn_shared > 0 then
+            Some (Vm.Memory.alloc local_arena ~align:16 cfg.dyn_shared)
+          else None
+        in
+        (* OpenCL dynamic __local arguments: one allocation per group *)
+        let resolved_args =
+          List.map
+            (function
+              | Arg_val v -> v
+              | Arg_local bytes ->
+                let addr = Vm.Memory.alloc local_arena ~align:16 (max 1 bytes) in
+                Vm.Interp.tv
+                  (VInt (Vm.Value.make_ptr AS_local addr))
+                  (TPtr (TQual (AS_local, TScalar Char))))
+            args
+        in
+        let make_item lid_lin =
+          let tz = lid_lin / (lx * ly) in
+          let ty_ = lid_lin mod (lx * ly) / lx in
+          let tx = lid_lin mod lx in
+          fun () ->
+            cur_item := lid_lin;
+            Vm.Memory.reset private_pool.(lid_lin);
+            cur :=
+              ( [| (bx * lx) + tx; (by * ly) + ty_; (bz * lz) + tz |],
+                [| tx; ty_; tz |],
+                [| bx; by; bz |],
+                [| 0 |] );
+            let ctx =
+              { base_ctx with
+                Vm.Interp.scopes = [];
+                group_locals = Some group_locals }
+            in
+            Vm.Interp.push_scope ctx;
+            (match dynshared_addr with
+             | Some addr ->
+               let b =
+                 { Vm.Interp.b_space = AS_local; b_addr = addr;
+                   b_ty = TArr (TScalar Char, None) }
+               in
+               Vm.Interp.bind_raw ctx "$dynshared" b;
+               List.iter (fun n -> Vm.Interp.bind_raw ctx n b) extern_shared_names
+             | None -> ());
+            ignore (Vm.Interp.call_function ctx kernel resolved_args)
+        in
+        (* cooperative scheduling: run items, parking at barriers *)
+        let waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t =
+          Queue.create ()
+        in
+        let run_root lid f =
+          Effect.Deep.match_with f ()
+            { retc = (fun () -> ());
+              exnc = (fun e -> raise e);
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                   match eff with
+                   | Vm.Interp.Barrier _ ->
+                     (* the GADT match refines a = unit *)
+                     Some
+                       (fun (k : (a, unit) Effect.Deep.continuation) ->
+                          Queue.add (lid, k) waiting)
+                   | _ -> None) }
+        in
+        for lid = 0 to group_threads - 1 do
+          run_root lid (make_item lid)
+        done;
+        (* barrier rounds *)
+        while not (Queue.is_empty waiting) do
+          counters.Counters.barriers <- counters.Counters.barriers + 1;
+          let n = Queue.length waiting in
+          for _ = 1 to n do
+            let lid, k = Queue.pop waiting in
+            cur_item := lid;
+            (* restore this item's index view *)
+            let tz = lid / (lx * ly) in
+            let ty_ = lid mod (lx * ly) / lx in
+            let tx = lid mod lx in
+            cur :=
+              ( [| (bx * lx) + tx; (by * ly) + ty_; (bz * lz) + tz |],
+                [| tx; ty_; tz |],
+                [| bx; by; bz |],
+                [| 0 |] );
+            Effect.Deep.continue k ()
+          done
+        done;
+        (* cost the group's memory traffic *)
+        Counters.finish_group counters ~warp_size:warp
+          ~smem_word:dev.Device.fw.smem_word ~banks:dev.Device.hw.smem_banks
+          ~model_conflicts:dev.Device.model_bank_conflicts streams;
+        Array.iter (fun s -> s.Counters.len <- 0) streams
+      done
+    done
+  done;
+
+  let layout = base_ctx.Vm.Interp.layout in
+  let occupancy =
+    Occupancy.of_kernel dev layout kernel ~block_threads:group_threads
+      ~dyn_shared:cfg.dyn_shared
+  in
+  { counters;
+    block_threads = group_threads;
+    n_blocks = nx * ny * nz;
+    occupancy }

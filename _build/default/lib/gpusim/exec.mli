@@ -1,0 +1,48 @@
+(** NDRange / grid execution engine.
+
+    Work-groups run one after another; the work-items of a group are
+    coroutines multiplexed on OCaml fibres: an item runs until it
+    finishes or performs the {!Vm.Interp.Barrier} effect, at which point
+    the scheduler parks its continuation and runs the next item.  When
+    every live item of the group has reached the barrier, all are
+    resumed — faithful bulk-synchronous semantics including values
+    communicated through [__local]/[__shared__] memory. *)
+
+exception Launch_error of string
+
+(** One kernel argument as the launcher receives it. *)
+type karg =
+  | Arg_val of Vm.Interp.tval  (** scalar, pointer or handle *)
+  | Arg_local of int           (** OpenCL dynamic [__local] size in bytes:
+                                   allocated fresh per work-group *)
+
+type config = {
+  global_size : int array;  (** 3 entries; OpenCL convention: work-items *)
+  local_size : int array;
+  dyn_shared : int;         (** CUDA [<<< , , n >>>] extra shared bytes *)
+}
+
+val dim3_of : int array -> int -> int
+
+type launch_stats = {
+  counters : Counters.t;
+  block_threads : int;
+  n_blocks : int;
+  occupancy : Occupancy.result;
+}
+
+(** Launch [kernel] from the loaded [prog] on [dev].
+
+    [globals] must already hold the module's device-global bindings;
+    [host_arena] backs host-space pointers a runtime may pass through;
+    [extra_externals] append (and may override) the built-in kernel
+    externals — the runtimes use this for image and texture fetches.
+    The global size must be divisible by the local size.
+    @raise Launch_error on bad geometry or argument mismatch. *)
+val launch :
+  dev:Device.t -> prog:Minic.Ast.program ->
+  globals:(string, Vm.Interp.binding) Hashtbl.t ->
+  host_arena:Vm.Memory.arena ->
+  ?extra_externals:(string * (Vm.Interp.ctx -> Vm.Interp.tval list -> Vm.Interp.tval)) list ->
+  kernel:Minic.Ast.func -> cfg:config -> args:karg list -> unit ->
+  launch_stats

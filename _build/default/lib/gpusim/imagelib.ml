@@ -1,0 +1,187 @@
+(* Image objects and texel access shared by the native OpenCL runtime and
+   the OpenCL-on-CUDA wrapper layer (the paper's CLImage class, Fig. 6).
+
+   An image is a dense array of texels in the device's global arena; the
+   built-ins read_image{f,i,ui} / write_image{f,i,ui} operate on it
+   through a handle passed as a kernel argument. *)
+
+open Minic.Ast
+
+exception Image_error of string
+
+type channel_order = CO_r | CO_rg | CO_rgba
+type channel_type = CT_float | CT_unorm_int8 | CT_sint32 | CT_uint8 | CT_uint32
+
+type address_mode = AM_clamp | AM_repeat | AM_clamp_to_edge
+type filter_mode = FM_nearest | FM_linear
+
+type sampler = {
+  s_id : int;
+  s_normalized : bool;
+  s_address : address_mode;
+  s_filter : filter_mode;
+}
+
+type image = {
+  i_id : int;
+  i_addr : int;                   (* offset in the device global arena *)
+  i_dim : int;
+  i_width : int;
+  i_height : int;
+  i_depth : int;
+  i_order : channel_order;
+  i_chtype : channel_type;
+}
+
+let channels_of_order = function CO_r -> 1 | CO_rg -> 2 | CO_rgba -> 4
+
+let channel_bytes = function
+  | CT_float | CT_sint32 | CT_uint32 -> 4
+  | CT_unorm_int8 | CT_uint8 -> 1
+
+let elem_size img = channels_of_order img.i_order * channel_bytes img.i_chtype
+
+let byte_size img = img.i_width * img.i_height * img.i_depth * elem_size img
+
+let read_texel (g : Vm.Memory.arena) img x y z =
+  let clampi v hi = max 0 (min v (hi - 1)) in
+  let x = clampi x img.i_width
+  and y = clampi y img.i_height
+  and z = clampi z img.i_depth in
+  let elem = elem_size img in
+  let nch = channels_of_order img.i_order in
+  let cb = channel_bytes img.i_chtype in
+  let base =
+    img.i_addr + ((((z * img.i_height) + y) * img.i_width + x) * elem)
+  in
+  Array.init 4 (fun c ->
+      if c < nch then
+        match img.i_chtype with
+        | CT_float -> Vm.Memory.load_float g (base + (c * cb)) 4
+        | CT_unorm_int8 ->
+          Int64.to_float (Vm.Memory.load_int g (base + (c * cb)) 1) /. 255.0
+        | CT_sint32 | CT_uint32 ->
+          Int64.to_float (Vm.Memory.load_int g (base + (c * cb)) 4)
+        | CT_uint8 -> Int64.to_float (Vm.Memory.load_int g (base + (c * cb)) 1)
+      else if c = 3 then 1.0
+      else 0.0)
+
+let write_texel (g : Vm.Memory.arena) img x y z (rgba : float array) =
+  if x >= 0 && x < img.i_width && y >= 0 && y < img.i_height
+     && z >= 0 && z < img.i_depth
+  then begin
+    let elem = elem_size img in
+    let nch = channels_of_order img.i_order in
+    let cb = channel_bytes img.i_chtype in
+    let base =
+      img.i_addr + ((((z * img.i_height) + y) * img.i_width + x) * elem)
+    in
+    for c = 0 to nch - 1 do
+      match img.i_chtype with
+      | CT_float -> Vm.Memory.store_float g (base + (c * cb)) 4 rgba.(c)
+      | CT_unorm_int8 ->
+        Vm.Memory.store_int g (base + (c * cb)) 1
+          (Int64.of_float (Float.round (rgba.(c) *. 255.0)))
+      | CT_sint32 | CT_uint32 ->
+        Vm.Memory.store_int g (base + (c * cb)) 4 (Int64.of_float rgba.(c))
+      | CT_uint8 ->
+        Vm.Memory.store_int g (base + (c * cb)) 1 (Int64.of_float rgba.(c))
+    done
+  end
+
+(* Kernel built-ins over a handle registry.  [image_of] and [sampler_of]
+   resolve the integer handles a kernel receives as arguments. *)
+let externals ~(arena : Vm.Memory.arena) ~(image_of : int -> image)
+    ~(sampler_of : int -> sampler option) =
+  let open Vm.Interp in
+  let as_image (a : tval) = image_of (Int64.to_int (Vm.Value.to_int a.v)) in
+  let coord_xyz (a : tval) =
+    match a.v with
+    | VVec c ->
+      let get i = if i < Array.length c then c.(i) else Vm.Value.VInt 0L in
+      (get 0, get 1, get 2)
+    | v -> (v, Vm.Value.VInt 0L, Vm.Value.VInt 0L)
+  in
+  let to_xyz img normalized (cx, cy, cz) =
+    let conv dim c =
+      match c with
+      | Vm.Value.VInt n -> Int64.to_int n
+      | Vm.Value.VFloat f ->
+        let f = if normalized then f *. float_of_int dim else f in
+        int_of_float (Float.floor f)
+      | _ -> 0
+    in
+    (conv img.i_width cx, conv img.i_height cy, conv img.i_depth cz)
+  in
+  let read_image conv_out ctx args =
+    match args with
+    | img :: rest ->
+      let img = as_image img in
+      let sampler, coord =
+        match rest with
+        | [ s; c ] -> (sampler_of (Int64.to_int (Vm.Value.to_int s.v)), c)
+        | [ c ] -> (None, c)
+        | _ -> raise (Image_error "read_image arity")
+      in
+      let normalized =
+        match sampler with Some s -> s.s_normalized | None -> false
+      in
+      let x, y, z = to_xyz img normalized (coord_xyz coord) in
+      let base =
+        img.i_addr
+        + ((((z * img.i_height) + y) * img.i_width + x) * elem_size img)
+      in
+      ctx.Vm.Interp.on_access Vm.Memory.Load Minic.Ast.AS_global base
+        (elem_size img);
+      conv_out (read_texel arena img x y z)
+    | [] -> raise (Image_error "read_image arity")
+  in
+  let float4_of texel =
+    tv (VVec (Array.map (fun f -> Vm.Value.VFloat f) texel)) (TVec (Float, 4))
+  in
+  let int4_of texel =
+    tv (VVec (Array.map (fun f -> Vm.Value.VInt (Int64.of_float f)) texel))
+      (TVec (Int, 4))
+  in
+  let uint4_of texel =
+    tv (VVec (Array.map (fun f -> Vm.Value.VInt (Int64.of_float f)) texel))
+      (TVec (UInt, 4))
+  in
+  let floats_of (c : tval) =
+    match c.v with
+    | VVec a ->
+      Array.init 4 (fun i ->
+          if i < Array.length a then Vm.Value.to_float a.(i) else 0.)
+    | v -> Array.make 4 (Vm.Value.to_float v)
+  in
+  let write_image ctx args =
+    match args with
+    | [ img; coord; color ] ->
+      let img = as_image img in
+      let x, y, z = to_xyz img false (coord_xyz coord) in
+      let base =
+        img.i_addr
+        + ((((z * img.i_height) + y) * img.i_width + x) * elem_size img)
+      in
+      ctx.Vm.Interp.on_access Vm.Memory.Store Minic.Ast.AS_global base
+        (elem_size img);
+      write_texel arena img x y z (floats_of color);
+      tunit
+    | _ -> raise (Image_error "write_image arity")
+  in
+  [ ("read_imagef", read_image float4_of);
+    ("read_imagei", read_image int4_of);
+    ("read_imageui", read_image uint4_of);
+    ("write_imagef", write_image);
+    ("write_imagei", write_image);
+    ("write_imageui", write_image);
+    ("get_image_width",
+     (fun _ args ->
+        match args with
+        | [ i ] -> tint (as_image i).i_width
+        | _ -> raise (Image_error "get_image_width")));
+    ("get_image_height",
+     (fun _ args ->
+        match args with
+        | [ i ] -> tint (as_image i).i_height
+        | _ -> raise (Image_error "get_image_height"))) ]

@@ -1,0 +1,56 @@
+(** Image objects and texel access shared by the native OpenCL runtime
+    and the OpenCL-on-CUDA wrapper layer (the paper's CLImage class,
+    Fig. 6).
+
+    An image is a dense texel array in the device's global arena; the
+    kernel built-ins read_image{f,i,ui} / write_image{f,i,ui} reach it
+    through an integer handle passed as a kernel argument. *)
+
+exception Image_error of string
+
+type channel_order = CO_r | CO_rg | CO_rgba
+type channel_type = CT_float | CT_unorm_int8 | CT_sint32 | CT_uint8 | CT_uint32
+
+type address_mode = AM_clamp | AM_repeat | AM_clamp_to_edge
+type filter_mode = FM_nearest | FM_linear
+
+type sampler = {
+  s_id : int;
+  s_normalized : bool;
+  s_address : address_mode;
+  s_filter : filter_mode;
+}
+
+type image = {
+  i_id : int;      (** runtime handle *)
+  i_addr : int;    (** offset in the device global arena *)
+  i_dim : int;
+  i_width : int;
+  i_height : int;
+  i_depth : int;
+  i_order : channel_order;
+  i_chtype : channel_type;
+}
+
+val channels_of_order : channel_order -> int
+val channel_bytes : channel_type -> int
+
+(** Bytes per texel / of the whole image. *)
+val elem_size : image -> int
+val byte_size : image -> int
+
+(** Read one texel as RGBA floats (missing channels default to 0, alpha
+    to 1); coordinates clamp to the image bounds. *)
+val read_texel : Vm.Memory.arena -> image -> int -> int -> int -> float array
+
+(** Write the image's channels of one texel; out-of-bounds writes are
+    dropped, as OpenCL specifies. *)
+val write_texel :
+  Vm.Memory.arena -> image -> int -> int -> int -> float array -> unit
+
+(** The kernel built-ins, closed over a handle registry.  [image_of] and
+    [sampler_of] resolve the integer handles kernels receive. *)
+val externals :
+  arena:Vm.Memory.arena -> image_of:(int -> image) ->
+  sampler_of:(int -> sampler option) ->
+  (string * (Vm.Interp.ctx -> Vm.Interp.tval list -> Vm.Interp.tval)) list

@@ -1,0 +1,151 @@
+(* CUDA-style occupancy calculation and a register-usage estimator.
+
+   The paper traces the Rodinia cfd gap (§6.3) to the per-thread register
+   counts chosen by the two native compilers (occupancy 0.375 for CUDA
+   vs. 0.469 for OpenCL on the same kernel).  We model that by estimating
+   register demand from the kernel AST and scaling it by the framework's
+   register multiplier; the classic occupancy formula does the rest. *)
+
+open Minic.Ast
+
+(* Register words (4 bytes) demanded by a type held in registers. *)
+let rec reg_words_of_ty t =
+  match t with
+  | TScalar s -> max 1 ((scalar_size s + 3) / 4)
+  | TVec (s, n) -> n * max 1 ((scalar_size s + 3) / 4)
+  | TPtr _ | TRef _ | TFun _ -> 2
+  | TQual (_, u) | TConst u -> reg_words_of_ty u
+  | TArr _ -> 0            (* local arrays spill to local memory *)
+  | TNamed _ -> 4          (* small structs by value *)
+  | TTexture _ | TImage _ | TSampler -> 2
+
+let rec expr_depth (e : expr) =
+  match e with
+  | IntLit _ | FloatLit _ | StrLit _ | Ident _ | SizeofT _ -> 1
+  | Unary (_, a) | Cast (_, a) | StaticCast (_, a) | ReinterpretCast (_, a)
+  | SizeofE a | Member (a, _) ->
+    1 + expr_depth a
+  | Binary (_, a, b) | Assign (_, a, b) | Index (a, b) ->
+    1 + max (expr_depth a) (expr_depth b)
+  | Cond (c, a, b) ->
+    1 + max (expr_depth c) (max (expr_depth a) (expr_depth b))
+  | Call (_, _, args) | VecLit (_, args) ->
+    1 + List.fold_left (fun m a -> max m (expr_depth a)) 0 args
+  | Launch _ -> 1
+
+let rec stmt_reg_stats (words, depth) (s : stmt) =
+  match s with
+  | SDecl d ->
+    let w =
+      match type_space d.d_ty, d.d_storage.s_space with
+      | (AS_local | AS_constant | AS_global), _ -> 0
+      | _, (AS_local | AS_constant | AS_global) -> 0
+      | _ -> reg_words_of_ty d.d_ty
+    in
+    let dep =
+      match d.d_init with
+      | Some (IExpr e) -> expr_depth e
+      | _ -> 0
+    in
+    (words + w, max depth dep)
+  | SExpr e -> (words, max depth (expr_depth e))
+  | SIf (c, a, b) ->
+    let acc = stmt_reg_stats (words, max depth (expr_depth c)) a in
+    (match b with None -> acc | Some b -> stmt_reg_stats acc b)
+  | SWhile (c, b) | SDoWhile (b, c) ->
+    stmt_reg_stats (words, max depth (expr_depth c)) b
+  | SFor (i, c, u, b) ->
+    let acc = (words, depth) in
+    let acc = match i with Some i -> stmt_reg_stats acc i | None -> acc in
+    let acc =
+      match c with
+      | Some c -> (fst acc, max (snd acc) (expr_depth c))
+      | None -> acc
+    in
+    let acc =
+      match u with
+      | Some u -> (fst acc, max (snd acc) (expr_depth u))
+      | None -> acc
+    in
+    stmt_reg_stats acc b
+  | SReturn (Some e) -> (words, max depth (expr_depth e))
+  | SReturn None | SBreak | SContinue -> (words, depth)
+  | SBlock l -> List.fold_left stmt_reg_stats (words, depth) l
+
+(* Estimated registers per thread for a kernel under a given framework. *)
+let estimate_regs (fw : Device.framework) (f : func) =
+  let param_words =
+    List.fold_left (fun n pa -> n + reg_words_of_ty pa.pa_ty) 0 f.fn_params
+  in
+  let body = Option.value f.fn_body ~default:[] in
+  let local_words, depth = List.fold_left stmt_reg_stats (0, 0) body in
+  let raw = 8 + param_words + local_words + (2 * depth) in
+  let scaled = int_of_float (Float.round (float_of_int raw *. fw.reg_multiplier)) in
+  max 16 (min 255 scaled)
+
+(* Static __shared__/__local bytes declared in the kernel body. *)
+let static_smem_bytes layout (f : func) =
+  let body = Option.value f.fn_body ~default:[] in
+  let rec go acc s =
+    match s with
+    | SDecl d
+      when (type_space d.d_ty = AS_local || d.d_storage.s_space = AS_local)
+           && not d.d_storage.s_extern ->
+      acc + Vm.Layout.sizeof layout d.d_ty
+    | SIf (_, a, b) ->
+      let acc = go acc a in
+      (match b with None -> acc | Some b -> go acc b)
+    | SWhile (_, b) | SDoWhile (b, _) | SFor (_, _, _, b) -> go acc b
+    | SBlock l -> List.fold_left go acc l
+    | SDecl _ | SExpr _ | SReturn _ | SBreak | SContinue -> acc
+  in
+  List.fold_left go 0 body
+
+type result = {
+  occupancy : float;            (* active threads / max threads per SM *)
+  active_blocks : int;
+  regs_per_thread : int;
+  smem_per_block : int;
+  limited_by : string;
+}
+
+let compute (hw : Device.hw) ~regs_per_thread ~block_threads ~smem_per_block
+    ?(launch_bounds = None) () =
+  let block_threads = max 1 block_threads in
+  let by_threads = hw.max_threads_per_sm / block_threads in
+  let by_regs =
+    if regs_per_thread <= 0 then hw.max_blocks_per_sm
+    else hw.regs_per_sm / (regs_per_thread * block_threads)
+  in
+  let by_smem =
+    if smem_per_block <= 0 then hw.max_blocks_per_sm
+    else hw.smem_per_sm / smem_per_block
+  in
+  let by_bounds = Option.value launch_bounds ~default:hw.max_blocks_per_sm in
+  let blocks =
+    max 1 (min (min by_threads by_regs) (min by_smem (min hw.max_blocks_per_sm by_bounds)))
+  in
+  let limited_by =
+    if blocks = by_regs && by_regs <= by_threads && by_regs <= by_smem then "registers"
+    else if blocks = by_smem && by_smem <= by_threads then "shared memory"
+    else if blocks = hw.max_blocks_per_sm then "max blocks"
+    else "threads"
+  in
+  { occupancy =
+      float_of_int (blocks * block_threads) /. float_of_int hw.max_threads_per_sm;
+    active_blocks = blocks;
+    regs_per_thread;
+    smem_per_block;
+    limited_by }
+
+(* One-call helper for a kernel launch. *)
+let of_kernel dev layout (f : func) ~block_threads ~dyn_shared =
+  let hw = dev.Device.hw in
+  let regs = estimate_regs dev.Device.fw f in
+  let smem = static_smem_bytes layout f + dyn_shared in
+  let r =
+    compute hw ~regs_per_thread:regs ~block_threads ~smem_per_block:smem
+      ~launch_bounds:None ()
+  in
+  if dev.Device.model_occupancy then r
+  else { r with occupancy = 1.0; limited_by = "disabled" }

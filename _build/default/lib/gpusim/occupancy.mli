@@ -1,0 +1,42 @@
+(** CUDA-style occupancy calculation and a register-usage estimator.
+
+    The paper traces the Rodinia cfd gap (§6.3) to the per-thread
+    register counts chosen by the two native compilers (occupancy 0.375
+    for CUDA vs. 0.469 for OpenCL on the same kernel).  Register demand
+    is estimated from the kernel AST and scaled by the framework's
+    register multiplier; the classic occupancy formula does the rest. *)
+
+(** Register words (4 bytes) a value of this type occupies when held in
+    registers; local arrays spill and count zero. *)
+val reg_words_of_ty : Minic.Ast.ty -> int
+
+(** Maximum operator-nesting depth, a proxy for live temporaries. *)
+val expr_depth : Minic.Ast.expr -> int
+
+(** Estimated registers per thread for a kernel under a framework's
+    compiler (clamped to [16, 255]). *)
+val estimate_regs : Device.framework -> Minic.Ast.func -> int
+
+(** Static [__shared__]/[__local] bytes declared in the kernel body
+    (dynamic shared memory is added by the caller). *)
+val static_smem_bytes : Vm.Layout.env -> Minic.Ast.func -> int
+
+type result = {
+  occupancy : float;       (** active threads / max threads per SM *)
+  active_blocks : int;     (** co-resident blocks per SM *)
+  regs_per_thread : int;
+  smem_per_block : int;
+  limited_by : string;     (** "registers", "shared memory", ... *)
+}
+
+(** The standard occupancy calculation for one launch shape. *)
+val compute :
+  Device.hw -> regs_per_thread:int -> block_threads:int ->
+  smem_per_block:int -> ?launch_bounds:int option -> unit -> result
+
+(** Occupancy of a concrete kernel launch on a device (returns full
+    occupancy when the device's occupancy model is disabled, for the A2
+    ablation). *)
+val of_kernel :
+  Device.t -> Vm.Layout.env -> Minic.Ast.func -> block_threads:int ->
+  dyn_shared:int -> result

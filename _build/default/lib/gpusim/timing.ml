@@ -1,0 +1,82 @@
+(* Kernel cost model: event counters -> simulated nanoseconds.
+
+   Three throughput terms compete and the slowest wins; a memory-latency
+   term is added on top, scaled down by how well the achieved occupancy
+   hides it.  The model is deliberately simple but every term is
+   mechanistic, so the paper's phenomena emerge from counted events:
+
+   - shared-memory bank conflicts inflate [smem_transactions]
+     (the 32-bit vs 64-bit addressing-mode effect behind NPB FT);
+   - register-pressure-limited occupancy weakens latency hiding
+     (the cfd effect);
+   - un-coalesced access patterns inflate [gmem_transactions]. *)
+
+let issue_cost (c : Counters.t) =
+  float_of_int c.ops_int
+  +. (1.0 *. float_of_int c.ops_float)
+  +. (1.0 *. float_of_int c.ops_double)
+  +. (8.0 *. float_of_int c.ops_special)
+  +. (1.0 *. float_of_int c.ops_branch)
+  (* register-file traffic is nearly free; a small charge stands in for
+     MOV/address-generation instructions *)
+  +. (0.1 *. float_of_int c.private_accesses)
+
+let kernel_time_ns (dev : Device.t) (ls : Exec.launch_stats) =
+  let hw = dev.Device.hw and fw = dev.Device.fw in
+  let c = ls.Exec.counters in
+  let warp = float_of_int hw.warp_size in
+  let sms = float_of_int hw.sm_count in
+  let occ = ls.Exec.occupancy.Occupancy.occupancy in
+
+  (* Compute: warp-instructions issued, spread over all SMs.  A shared
+     memory access that conflicts is replayed, and every replay occupies
+     the issuing warp's slot -- so conflict replays are charged to the
+     issue stream as well as to the LDS throughput bound below. *)
+  let warp_issues =
+    ((issue_cost c /. warp) +. float_of_int c.smem_bank_conflict_extra)
+    *. fw.cpi
+  in
+  let compute_cycles = warp_issues /. sms in
+
+  (* Shared memory: one transaction per cycle per SM; bank-conflict
+     replays multiply the transaction count, which is how the 32-bit
+     addressing mode slows conflict-heavy kernels down (§6.2). *)
+  let smem_cycles = float_of_int c.smem_transactions /. sms in
+
+  (* Global memory: bandwidth bound vs latency bound. *)
+  let gmem_bytes_moved = float_of_int c.gmem_transactions *. 128.0 in
+  let bw_time_ns = gmem_bytes_moved /. hw.gmem_bw_gbps in
+  let bw_cycles = bw_time_ns *. hw.clock_ghz in
+  let warps_in_flight =
+    Float.max 1.0 (occ *. float_of_int hw.max_threads_per_sm /. warp)
+  in
+  let latency_cycles =
+    float_of_int c.gmem_transactions *. hw.gmem_latency_cycles
+    /. (sms *. warps_in_flight)
+  in
+  let gmem_cycles = Float.max bw_cycles latency_cycles in
+
+  (* Each barrier round stalls one resident group for ~30 cycles, and
+     groups from different SMs (and co-resident blocks) overlap. *)
+  let concurrent_groups =
+    sms *. float_of_int (max 1 ls.Exec.occupancy.Occupancy.active_blocks)
+  in
+  let barrier_cycles = float_of_int c.barriers *. 30.0 /. concurrent_groups in
+
+  let cycles =
+    Float.max compute_cycles (Float.max smem_cycles gmem_cycles)
+    +. (0.3 *. Float.min compute_cycles (Float.min smem_cycles gmem_cycles))
+    +. barrier_cycles
+  in
+  (cycles /. hw.clock_ghz) +. fw.launch_overhead_ns
+
+(* Pretty one-line summary for logs and the bench harness. *)
+let describe (dev : Device.t) (ls : Exec.launch_stats) =
+  let c = ls.Exec.counters in
+  Printf.sprintf
+    "items=%d blocks=%d occ=%.3f(%s,r=%d) ops=%d gmem=%d/%d smem=%d(+%d cfl) barriers=%d time=%.1fus"
+    c.n_items ls.n_blocks ls.occupancy.Occupancy.occupancy
+    ls.occupancy.Occupancy.limited_by ls.occupancy.Occupancy.regs_per_thread
+    (Counters.total_ops c) c.gmem_transactions c.gmem_accesses
+    c.smem_transactions c.smem_bank_conflict_extra c.barriers
+    (kernel_time_ns dev ls /. 1000.0)

@@ -1,0 +1,19 @@
+(** Kernel cost model: event counters -> simulated nanoseconds.
+
+    Three throughput terms compete (instruction issue, shared-memory
+    transactions, global-memory bandwidth/latency) and the slowest wins;
+    bank-conflict replays are charged to the issue stream as well, and
+    occupancy scales how much global-memory latency is hidden.  Every
+    term is mechanistic, so the paper's phenomena (§6.2 FT bank
+    conflicts, §6.3 cfd occupancy) emerge from counted events. *)
+
+(** Weighted instruction-issue cost of a launch's counted operations. *)
+val issue_cost : Counters.t -> float
+
+(** Simulated duration of one kernel launch, including the framework's
+    fixed launch overhead. *)
+val kernel_time_ns : Device.t -> Exec.launch_stats -> float
+
+(** One-line human-readable summary (items, occupancy, transactions,
+    conflicts, time) for logs and debugging. *)
+val describe : Device.t -> Exec.launch_stats -> string

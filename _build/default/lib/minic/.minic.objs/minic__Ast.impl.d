@@ -1,0 +1,1 @@
+lib/minic/ast.pp.ml: Int64 List Option Ppx_deriving_runtime

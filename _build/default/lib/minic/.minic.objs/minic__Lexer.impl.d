@@ -1,0 +1,1 @@
+lib/minic/lexer.pp.ml: Ast Buffer Char Hashtbl Int64 List Option Printf String Token

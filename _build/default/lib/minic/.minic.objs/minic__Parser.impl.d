@@ -1,0 +1,1 @@
+lib/minic/parser.pp.ml: Ast Hashtbl Int64 Lexer List Option Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/specialize.pp.ml: Ast List Option Pretty String

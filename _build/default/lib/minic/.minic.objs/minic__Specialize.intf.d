@@ -1,0 +1,1 @@
+lib/minic/specialize.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/token.pp.ml: Ast Int64 Printf

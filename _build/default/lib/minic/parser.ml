@@ -1,0 +1,990 @@
+(* Recursive-descent parser for Mini-C with precedence climbing for
+   expressions.  The same parser handles OpenCL C device code, CUDA device
+   code, and the (CUDA or translated) host code; the [dialect] only
+   controls which extension keywords are accepted and how predefined
+   typedef names are seeded. *)
+
+open Ast
+
+exception Error of string * int
+
+type dialect = OpenCL | Cuda | Host
+
+type t = {
+  lx : Lexer.t;
+  dialect : dialect;
+  typenames : (string, unit) Hashtbl.t;  (* typedefs + struct names *)
+}
+
+let err p msg = raise (Error (msg, Lexer.line p.lx))
+
+(* Typedef names every host program may use without declaring.  They are
+   runtime handle types; the interpreter treats them as 8-byte opaque
+   words (see Vm.Layout). *)
+let host_typenames =
+  [ "cl_mem"; "cl_int"; "cl_uint"; "cl_long"; "cl_ulong"; "cl_bool";
+    "cl_context"; "cl_command_queue"; "cl_program"; "cl_kernel";
+    "cl_device_id"; "cl_platform_id"; "cl_event"; "cl_sampler";
+    "cl_image_format"; "cl_image_desc"; "cl_float"; "cl_double";
+    "cudaError_t"; "cudaStream_t"; "cudaEvent_t"; "cudaArray";
+    "cudaChannelFormatDesc"; "cudaDeviceProp"; "cudaMemcpyKind";
+    "CUdeviceptr"; "CUmodule"; "CUfunction"; "CUstream"; "CUresult";
+    "CUcontext"; "CUdevice";
+    "dim3";
+  ]
+
+let make ?(dialect = Cuda) src =
+  let typenames = Hashtbl.create 97 in
+  (match dialect with
+   | Host | Cuda -> List.iter (fun n -> Hashtbl.replace typenames n ()) host_typenames
+   | OpenCL -> ());
+  { lx = Lexer.make src; dialect; typenames }
+
+(* ------------------------------------------------------------------ *)
+(* Token helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let peek p = Lexer.peek p.lx
+let peek2 p = Lexer.peek2 p.lx
+let next p = Lexer.next p.lx
+
+let eat_punct p s =
+  match next p with
+  | Token.PUNCT x when x = s -> ()
+  | t -> err p (Printf.sprintf "expected %S, got %S" s (Token.to_string t))
+
+let eat_kw p s =
+  match next p with
+  | Token.KW x when x = s -> ()
+  | t -> err p (Printf.sprintf "expected %S, got %S" s (Token.to_string t))
+
+let is_punct p s = match peek p with Token.PUNCT x -> x = s | _ -> false
+let is_kw p s = match peek p with Token.KW x -> x = s | _ -> false
+
+let accept_punct p s = if is_punct p s then (ignore (next p); true) else false
+let accept_kw p s = if is_kw p s then (ignore (next p); true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Type recognition                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_of_name = function
+  | "void" -> Some Void
+  | "bool" -> Some Bool
+  | "char" -> Some Char
+  | "uchar" -> Some UChar
+  | "short" -> Some Short
+  | "ushort" -> Some UShort
+  | "int" -> Some Int
+  | "uint" -> Some UInt
+  | "long" -> Some Long
+  | "ulong" -> Some ULong
+  | "longlong" -> Some LongLong
+  | "ulonglong" -> Some ULongLong
+  | "float" -> Some Float
+  | "double" -> Some Double
+  | "size_t" -> Some SizeT
+  | _ -> None
+
+(* "float4" -> Some (Float, 4); valid widths per the paper: CUDA has
+   1..4, OpenCL has 2,3,4,8,16.  The parser accepts the union; the
+   translator enforces/adjusts per-dialect rules. *)
+let vector_of_name name =
+  let split i =
+    let base = String.sub name 0 i in
+    let digits = String.sub name i (String.length name - i) in
+    match scalar_of_name base, int_of_string_opt digits with
+    | Some sc, Some n when List.mem n [ 1; 2; 3; 4; 8; 16 ] && sc <> Void ->
+      Some (sc, n)
+    | _ -> None
+  in
+  let n = String.length name in
+  let rec go i =
+    if i >= n then None
+    else if name.[i] >= '0' && name.[i] <= '9' then split i
+    else go (i + 1)
+  in
+  if n = 0 || (name.[0] >= '0' && name.[0] <= '9') then None else go 1
+
+let space_of_kw = function
+  | "__global" | "global" -> Some AS_global
+  | "__local" | "local" | "__shared__" -> Some AS_local
+  | "__constant" | "constant" | "__constant__" -> Some AS_constant
+  | "__private" | "private" -> Some AS_private
+  | "__device__" -> Some AS_global
+  | _ -> None
+
+let access_qual = function
+  | "__read_only" | "read_only" | "__write_only" | "write_only"
+  | "__read_write" | "read_write" -> true
+  | _ -> false
+
+(* Does the next token start a type?  Used to disambiguate declarations
+   from expressions and casts from parenthesised expressions. *)
+let starts_type p =
+  match peek p with
+  | Token.KW k ->
+    scalar_of_name k <> None
+    || space_of_kw k <> None
+    || access_qual k
+    || List.mem k
+         [ "unsigned"; "signed"; "const"; "volatile"; "struct"; "texture";
+           "image1d_t"; "image2d_t"; "image3d_t"; "sampler_t"; "extern";
+           "static"; "restrict"; "__restrict__" ]
+  | Token.IDENT name ->
+    Hashtbl.mem p.typenames name || vector_of_name name <> None
+  | _ -> false
+
+(* Parse the "specifier" part of a type: qualifiers + base type.  Returns
+   (storage, base_ty).  Storage captures extern/static/const and any
+   address-space qualifier that appeared before the base type. *)
+let rec parse_specifier p =
+  let storage = ref plain_storage in
+  let space = ref AS_none in
+  let base = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek p with
+    | Token.KW "extern" -> ignore (next p); storage := { !storage with s_extern = true }
+    | Token.KW "static" -> ignore (next p); storage := { !storage with s_static = true }
+    | Token.KW "const" -> ignore (next p); storage := { !storage with s_const = true }
+    | Token.KW "volatile" -> ignore (next p); storage := { !storage with s_volatile = true }
+    | Token.KW ("restrict" | "__restrict__") ->
+      ignore (next p); storage := { !storage with s_restrict = true }
+    | Token.KW k when access_qual k -> ignore (next p)
+    | Token.KW k when space_of_kw k <> None && !base = None ->
+      ignore (next p);
+      space := Option.get (space_of_kw k)
+    | Token.KW "unsigned" when !base = None ->
+      ignore (next p);
+      let sc =
+        match peek p with
+        | Token.KW "char" -> ignore (next p); UChar
+        | Token.KW "short" -> ignore (next p); UShort
+        | Token.KW "int" -> ignore (next p); UInt
+        | Token.KW "long" ->
+          ignore (next p);
+          if accept_kw p "long" then ULongLong else ULong
+        | _ -> UInt
+      in
+      base := Some (TScalar sc)
+    | Token.KW "signed" when !base = None ->
+      ignore (next p);
+      let sc =
+        match peek p with
+        | Token.KW "char" -> ignore (next p); Char
+        | Token.KW "short" -> ignore (next p); Short
+        | Token.KW "int" -> ignore (next p); Int
+        | Token.KW "long" ->
+          ignore (next p);
+          if accept_kw p "long" then LongLong else Long
+        | _ -> Int
+      in
+      base := Some (TScalar sc)
+    | Token.KW "long" when !base = None ->
+      ignore (next p);
+      let sc =
+        if accept_kw p "long" then LongLong
+        else begin
+          ignore (accept_kw p "int");
+          Long
+        end
+      in
+      base := Some (TScalar sc)
+    | Token.KW "struct" when !base = None ->
+      ignore (next p);
+      (match next p with
+       | Token.IDENT n ->
+         Hashtbl.replace p.typenames n ();
+         base := Some (TNamed n)
+       | t -> err p (Printf.sprintf "expected struct name, got %S" (Token.to_string t)))
+    | Token.KW "texture" when !base = None ->
+      ignore (next p);
+      eat_punct p "<";
+      let sc =
+        match next p with
+        | Token.KW k | Token.IDENT k ->
+          (match scalar_of_name k with
+           | Some s -> TScalar s
+           | None ->
+             match vector_of_name k with
+             | Some (s, n) -> TVec (s, n)
+             | None -> err p "bad texture element type")
+        | t -> err p (Printf.sprintf "bad texture element %S" (Token.to_string t))
+      in
+      let dim =
+        if accept_punct p "," then
+          match next p with
+          | Token.INT (n, _) -> Int64.to_int n
+          | t -> err p (Printf.sprintf "bad texture dim %S" (Token.to_string t))
+        else 1
+      in
+      let mode =
+        if accept_punct p "," then
+          match next p with
+          | Token.KW "cudaReadModeElementType" -> RM_element
+          | Token.KW "cudaReadModeNormalizedFloat" -> RM_normalized_float
+          | t -> err p (Printf.sprintf "bad texture mode %S" (Token.to_string t))
+        else RM_element
+      in
+      eat_punct p ">";
+      let sc =
+        match sc with
+        | TScalar s -> s
+        | TVec (s, _) -> s    (* element vector width tracked separately below *)
+        | _ -> assert false
+      in
+      base := Some (TTexture (sc, dim, mode))
+    | Token.KW "image1d_t" -> ignore (next p); base := Some (TImage 1)
+    | Token.KW "image2d_t" -> ignore (next p); base := Some (TImage 2)
+    | Token.KW "image3d_t" -> ignore (next p); base := Some (TImage 3)
+    | Token.KW "sampler_t" -> ignore (next p); base := Some TSampler
+    | Token.KW k when scalar_of_name k <> None && !base = None ->
+      ignore (next p);
+      base := Some (TScalar (Option.get (scalar_of_name k)))
+    | Token.IDENT name when !base = None
+                         && (Hashtbl.mem p.typenames name
+                             || vector_of_name name <> None) ->
+      ignore (next p);
+      (match vector_of_name name with
+       | Some (sc, n) -> base := Some (TVec (sc, n))
+       | None -> base := Some (TNamed name))
+    | _ -> continue_ := false
+  done;
+  match !base with
+  | None -> err p "expected a type"
+  | Some b ->
+    (* const is tracked in storage only; abstract types re-wrap it *)
+    let b = if !space = AS_none then b else TQual (!space, b) in
+    (!storage, b)
+
+(* Pointer suffix: '*' [const|restrict|volatile|space]* repeatedly. *)
+and parse_pointers p base =
+  if accept_punct p "*" then begin
+    let t = ref (TPtr base) in
+    let go = ref true in
+    while !go do
+      match peek p with
+      | Token.KW ("const" | "volatile" | "restrict" | "__restrict__") ->
+        ignore (next p)
+      | Token.KW k when space_of_kw k <> None ->
+        (* CUDA-style: space applies to the pointer variable itself;
+           keep it as an outer qualifier. *)
+        ignore (next p);
+        t := TQual (Option.get (space_of_kw k), !t)
+      | _ -> go := false
+    done;
+    parse_pointers p !t
+  end
+  else if accept_punct p "&" then TRef base
+  else base
+
+(* A full abstract type (for casts, sizeof, template args). *)
+and parse_type p =
+  let st, base = parse_specifier p in
+  let base = if st.s_const then TConst base else base in
+  let t = parse_pointers p base in
+  (* abstract array suffix, e.g. sizeof(int[4]) -- rare *)
+  if accept_punct p "[" then begin
+    let n =
+      match peek p with
+      | Token.INT (n, _) -> ignore (next p); Some (Int64.to_int n)
+      | _ -> None
+    in
+    eat_punct p "]";
+    TArr (t, n)
+  end
+  else t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Try to parse a '(' type ')' prefix; backtrack on failure. *)
+and try_cast p =
+  if not (is_punct p "(") then None
+  else begin
+    let snap = Lexer.save p.lx in
+    ignore (next p);
+    if starts_type p then begin
+      match parse_type p with
+      | t when is_punct p ")" ->
+        ignore (next p);
+        (* A cast must be followed by something that can start a unary
+           expression; otherwise "(x)" where x is shadowing a typename
+           would misparse -- our corpus avoids shadowing, so accept. *)
+        Some t
+      | _ -> Lexer.restore p.lx snap; None
+      | exception Error _ -> Lexer.restore p.lx snap; None
+    end
+    else begin
+      Lexer.restore p.lx snap;
+      None
+    end
+  end
+
+and parse_expr p = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  match peek p with
+  | Token.PUNCT "=" -> ignore (next p); Assign (None, lhs, parse_assign p)
+  | Token.PUNCT "+=" -> ignore (next p); Assign (Some Add, lhs, parse_assign p)
+  | Token.PUNCT "-=" -> ignore (next p); Assign (Some Sub, lhs, parse_assign p)
+  | Token.PUNCT "*=" -> ignore (next p); Assign (Some Mul, lhs, parse_assign p)
+  | Token.PUNCT "/=" -> ignore (next p); Assign (Some Div, lhs, parse_assign p)
+  | Token.PUNCT "%=" -> ignore (next p); Assign (Some Mod, lhs, parse_assign p)
+  | Token.PUNCT "&=" -> ignore (next p); Assign (Some Band, lhs, parse_assign p)
+  | Token.PUNCT "|=" -> ignore (next p); Assign (Some Bor, lhs, parse_assign p)
+  | Token.PUNCT "^=" -> ignore (next p); Assign (Some Bxor, lhs, parse_assign p)
+  | Token.PUNCT "<<=" -> ignore (next p); Assign (Some Shl, lhs, parse_assign p)
+  | Token.PUNCT ">>=" -> ignore (next p); Assign (Some Shr, lhs, parse_assign p)
+  | _ -> lhs
+
+and parse_cond p =
+  let c = parse_binary p 0 in
+  if accept_punct p "?" then begin
+    let a = parse_expr p in
+    eat_punct p ":";
+    let b = parse_assign p in
+    Cond (c, a, b)
+  end
+  else c
+
+(* Precedence climbing over binary operators. *)
+and binop_of_punct = function
+  | "||" -> Some (Lor, 1)
+  | "&&" -> Some (Land, 2)
+  | "|" -> Some (Bor, 3)
+  | "^" -> Some (Bxor, 4)
+  | "&" -> Some (Band, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "<" -> Some (Lt, 7)
+  | ">" -> Some (Gt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | _ -> None
+
+and parse_binary p min_prec =
+  let lhs = ref (parse_unary p) in
+  let go = ref true in
+  while !go do
+    match peek p with
+    | Token.PUNCT op ->
+      (match binop_of_punct op with
+       | Some (bop, prec) when prec >= min_prec ->
+         ignore (next p);
+         let rhs = parse_binary p (prec + 1) in
+         lhs := Binary (bop, !lhs, rhs)
+       | _ -> go := false)
+    | _ -> go := false
+  done;
+  !lhs
+
+and parse_unary p =
+  match peek p with
+  | Token.PUNCT "-" -> ignore (next p); Unary (Neg, parse_unary p)
+  | Token.PUNCT "!" -> ignore (next p); Unary (Lnot, parse_unary p)
+  | Token.PUNCT "~" -> ignore (next p); Unary (Bnot, parse_unary p)
+  | Token.PUNCT "*" -> ignore (next p); Unary (Deref, parse_unary p)
+  | Token.PUNCT "&" -> ignore (next p); Unary (Addrof, parse_unary p)
+  | Token.PUNCT "+" -> ignore (next p); parse_unary p
+  | Token.PUNCT "++" -> ignore (next p); Unary (Preinc, parse_unary p)
+  | Token.PUNCT "--" -> ignore (next p); Unary (Predec, parse_unary p)
+  | Token.KW "sizeof" ->
+    ignore (next p);
+    if is_punct p "(" then begin
+      let snap = Lexer.save p.lx in
+      ignore (next p);
+      if starts_type p then begin
+        match parse_type p with
+        | t when is_punct p ")" -> ignore (next p); SizeofT t
+        | _ -> Lexer.restore p.lx snap; SizeofE (parse_unary p)
+        | exception Error _ -> Lexer.restore p.lx snap; SizeofE (parse_unary p)
+      end
+      else begin
+        Lexer.restore p.lx snap;
+        SizeofE (parse_unary p)
+      end
+    end
+    else SizeofE (parse_unary p)
+  | Token.KW ("static_cast" | "reinterpret_cast" as k) ->
+    ignore (next p);
+    eat_punct p "<";
+    let t = parse_type p in
+    eat_punct p ">";
+    eat_punct p "(";
+    let e = parse_expr p in
+    eat_punct p ")";
+    if k = "static_cast" then StaticCast (t, e) else ReinterpretCast (t, e)
+  | Token.PUNCT "(" ->
+    (match try_cast p with
+     | Some t ->
+       (* OpenCL vector literal: (float4)(a, b, c, d) *)
+       (match unqual t with
+        | TVec _ when is_punct p "(" ->
+          ignore (next p);
+          let args = parse_args_until_rparen p in
+          VecLit (t, args)
+        | _ -> Cast (t, parse_unary p))
+     | None ->
+       ignore (next p);
+       let e = parse_expr p in
+       eat_punct p ")";
+       parse_postfix p e)
+  | _ ->
+    let e = parse_primary p in
+    parse_postfix p e
+
+and parse_args_until_rparen p =
+  if accept_punct p ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_assign p in
+      if accept_punct p "," then go (e :: acc)
+      else begin
+        eat_punct p ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* Template args on a call: ident '<' type {',' type} '>' '(' .
+   Disambiguated from comparison by trial parse. *)
+and try_template_args p =
+  if not (is_punct p "<") then None
+  else begin
+    let snap = Lexer.save p.lx in
+    ignore (next p);
+    let ok = ref true in
+    let args = ref [] in
+    (try
+       let rec go () =
+         if starts_type p then begin
+           args := parse_type p :: !args;
+           if accept_punct p "," then go ()
+         end
+         else ok := false
+       in
+       go ()
+     with Error _ -> ok := false);
+    if !ok && is_punct p ">" then begin
+      ignore (next p);
+      if is_punct p "(" || (match peek p with Token.LAUNCH_OPEN -> true | _ -> false)
+      then Some (List.rev !args)
+      else begin Lexer.restore p.lx snap; None end
+    end
+    else begin
+      Lexer.restore p.lx snap;
+      None
+    end
+  end
+
+and parse_launch p name tmpl =
+  (* consumed LAUNCH_OPEN already *)
+  let grid = parse_assign p in
+  eat_punct p ",";
+  let block = parse_assign p in
+  let shmem = if accept_punct p "," then Some (parse_assign p) else None in
+  let stream = if accept_punct p "," then Some (parse_assign p) else None in
+  (match next p with
+   | Token.LAUNCH_CLOSE -> ()
+   | t -> err p (Printf.sprintf "expected >>>, got %S" (Token.to_string t)));
+  eat_punct p "(";
+  let args = parse_args_until_rparen p in
+  Launch { l_kernel = name; l_tmpl = tmpl; l_grid = grid; l_block = block;
+           l_shmem = shmem; l_stream = stream; l_args = args }
+
+and parse_primary p =
+  match next p with
+  | Token.INT (n, sc) -> IntLit (n, sc)
+  | Token.FLOATLIT (f, sc) -> FloatLit (f, sc)
+  | Token.STRING s -> StrLit s
+  | Token.IDENT name | Token.KW ("constant" | "local" | "global" as name) ->
+    (* a few OpenCL short quals double as identifiers in host code; only
+       reachable when not in type position *)
+    (match peek p with
+     | Token.LAUNCH_OPEN -> ignore (next p); parse_launch p name []
+     | Token.PUNCT "(" ->
+       ignore (next p);
+       let args = parse_args_until_rparen p in
+       Call (name, [], args)
+     | Token.PUNCT "<" ->
+       (match try_template_args p with
+        | Some tmpl ->
+          (match peek p with
+           | Token.LAUNCH_OPEN -> ignore (next p); parse_launch p name tmpl
+           | _ ->
+             eat_punct p "(";
+             let args = parse_args_until_rparen p in
+             Call (name, tmpl, args))
+        | None -> Ident name)
+     | _ -> Ident name)
+  | t -> err p (Printf.sprintf "unexpected token %S in expression" (Token.to_string t))
+
+and parse_postfix p e =
+  match peek p with
+  | Token.PUNCT "[" ->
+    ignore (next p);
+    let i = parse_expr p in
+    eat_punct p "]";
+    parse_postfix p (Index (e, i))
+  | Token.PUNCT "." ->
+    ignore (next p);
+    (match next p with
+     | Token.IDENT m -> parse_postfix p (Member (e, m))
+     | Token.KW m -> parse_postfix p (Member (e, m))
+     | t -> err p (Printf.sprintf "expected member name, got %S" (Token.to_string t)))
+  | Token.PUNCT "->" ->
+    ignore (next p);
+    (match next p with
+     | Token.IDENT m | Token.KW m ->
+       parse_postfix p (Member (Unary (Deref, e), m))
+     | t -> err p (Printf.sprintf "expected member name, got %S" (Token.to_string t)))
+  | Token.PUNCT "++" -> ignore (next p); parse_postfix p (Unary (Postinc, e))
+  | Token.PUNCT "--" -> ignore (next p); parse_postfix p (Unary (Postdec, e))
+  | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and statements                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Array suffixes on a declarator: a[10][3] or a[] *)
+and parse_array_suffix p t =
+  if accept_punct p "[" then begin
+    let n =
+      match peek p with
+      | Token.PUNCT "]" -> None
+      | _ ->
+        let e = parse_expr p in
+        (match e with
+         | IntLit (n, _) -> Some (Int64.to_int n)
+         | _ -> err p "array dimension must be an integer literal")
+    in
+    eat_punct p "]";
+    let inner = parse_array_suffix p t in
+    TArr (inner, n)
+  end
+  else t
+
+and parse_initializer p =
+  if accept_punct p "{" then begin
+    let rec go acc =
+      if accept_punct p "}" then List.rev acc
+      else begin
+        let i = parse_initializer p in
+        if accept_punct p "," then go (i :: acc)
+        else begin
+          eat_punct p "}";
+          List.rev (i :: acc)
+        end
+      end
+    in
+    IList (go [])
+  end
+  else IExpr (parse_assign p)
+
+(* Parse one or more declarators sharing a specifier; returns decls. *)
+and parse_declarators p storage base =
+  let rec one acc =
+    let t = parse_pointers p base in
+    let name =
+      match next p with
+      | Token.IDENT n -> n
+      | t -> err p (Printf.sprintf "expected declarator name, got %S" (Token.to_string t))
+    in
+    let t = parse_array_suffix p t in
+    (* dim3 grid(2, 3);  constructor-style initialisation *)
+    let init =
+      if is_punct p "(" && base = TNamed "dim3" then begin
+        ignore (next p);
+        let args = parse_args_until_rparen p in
+        Some (IExpr (Call ("dim3", [], args)))
+      end
+      else if accept_punct p "=" then Some (parse_initializer p)
+      else None
+    in
+    let d = { d_name = name; d_ty = t; d_storage = storage; d_init = init } in
+    if accept_punct p "," then one (d :: acc)
+    else begin
+      eat_punct p ";";
+      List.rev (d :: acc)
+    end
+  in
+  one []
+
+and parse_stmt p =
+  match peek p with
+  | Token.PUNCT "{" ->
+    ignore (next p);
+    let rec go acc =
+      if accept_punct p "}" then List.rev acc else go (parse_stmt p :: acc)
+    in
+    SBlock (go [])
+  | Token.PUNCT ";" -> ignore (next p); SBlock []
+  | Token.KW "if" ->
+    ignore (next p);
+    eat_punct p "(";
+    let c = parse_expr p in
+    eat_punct p ")";
+    let a = parse_stmt p in
+    let b = if accept_kw p "else" then Some (parse_stmt p) else None in
+    SIf (c, a, b)
+  | Token.KW "while" ->
+    ignore (next p);
+    eat_punct p "(";
+    let c = parse_expr p in
+    eat_punct p ")";
+    SWhile (c, parse_stmt p)
+  | Token.KW "do" ->
+    ignore (next p);
+    let b = parse_stmt p in
+    eat_kw p "while";
+    eat_punct p "(";
+    let c = parse_expr p in
+    eat_punct p ")";
+    eat_punct p ";";
+    SDoWhile (b, c)
+  | Token.KW "for" ->
+    ignore (next p);
+    eat_punct p "(";
+    let init =
+      if is_punct p ";" then begin ignore (next p); None end
+      else if starts_type p then begin
+        let storage, base = parse_specifier p in
+        match parse_declarators p storage base with
+        | [ d ] -> Some (SDecl d)
+        | ds -> Some (SBlock (List.map (fun d -> SDecl d) ds))
+      end
+      else begin
+        let e = parse_expr p in
+        eat_punct p ";";
+        Some (SExpr e)
+      end
+    in
+    let cond = if is_punct p ";" then None else Some (parse_expr p) in
+    eat_punct p ";";
+    let update = if is_punct p ")" then None else Some (parse_expr p) in
+    eat_punct p ")";
+    SFor (init, cond, update, parse_stmt p)
+  | Token.KW "return" ->
+    ignore (next p);
+    if accept_punct p ";" then SReturn None
+    else begin
+      let e = parse_expr p in
+      eat_punct p ";";
+      SReturn (Some e)
+    end
+  | Token.KW "break" -> ignore (next p); eat_punct p ";"; SBreak
+  | Token.KW "continue" -> ignore (next p); eat_punct p ";"; SContinue
+  | _ when starts_type p ->
+    let storage, base = parse_specifier p in
+    (match parse_declarators p storage base with
+     | [ d ] -> SDecl d
+     | ds -> SBlock (List.map (fun d -> SDecl d) ds))
+  | _ ->
+    let e = parse_expr p in
+    eat_punct p ";";
+    SExpr e
+
+(* ------------------------------------------------------------------ *)
+(* Top-level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and parse_params p =
+  eat_punct p "(";
+  if accept_punct p ")" then []
+  else if is_kw p "void" && (match peek2 p with Token.PUNCT ")" -> true | _ -> false)
+  then begin
+    ignore (next p);
+    ignore (next p);
+    []
+  end
+  else begin
+    let rec go acc =
+      let storage, base = parse_specifier p in
+      let t = parse_pointers p base in
+      let name =
+        match peek p with
+        | Token.IDENT n -> ignore (next p); n
+        | _ -> ""    (* prototype without parameter names *)
+      in
+      let t = parse_array_suffix p t in
+      (* int a[] parameter: decays to pointer *)
+      let t = match t with TArr (u, None) -> TPtr u | t -> t in
+      let pa =
+        { pa_name = name; pa_ty = t; pa_space = storage.s_space;
+          pa_const = storage.s_const }
+      in
+      if accept_punct p "," then go (pa :: acc)
+      else begin
+        eat_punct p ")";
+        List.rev (pa :: acc)
+      end
+    in
+    go []
+  end
+
+type fn_quals = {
+  q_kernel : bool;       (* OpenCL __kernel *)
+  q_global : bool;       (* CUDA __global__ *)
+  q_device : bool;
+  q_host : bool;
+  q_launch_bounds : int option;
+}
+
+let no_fn_quals =
+  { q_kernel = false; q_global = false; q_device = false; q_host = false;
+    q_launch_bounds = None }
+
+let rec parse_fn_quals p acc =
+  match peek p with
+  | Token.KW ("__kernel" | "kernel") ->
+    ignore (next p);
+    parse_fn_quals p { acc with q_kernel = true }
+  | Token.KW "__global__" ->
+    ignore (next p);
+    parse_fn_quals p { acc with q_global = true }
+  | Token.KW "__device__" when not (starts_var_after_device p) ->
+    ignore (next p);
+    parse_fn_quals p { acc with q_device = true }
+  | Token.KW "__host__" ->
+    ignore (next p);
+    parse_fn_quals p { acc with q_host = true }
+  | Token.KW "__launch_bounds__" ->
+    ignore (next p);
+    eat_punct p "(";
+    let n =
+      match next p with
+      | Token.INT (n, _) -> Int64.to_int n
+      | t -> err p (Printf.sprintf "bad launch_bounds %S" (Token.to_string t))
+    in
+    eat_punct p ")";
+    parse_fn_quals p { acc with q_launch_bounds = Some n }
+  | _ -> acc
+
+(* __device__ can qualify a global variable as well as a function; look
+   ahead: "__device__ <type...> name (" is a function, otherwise it is a
+   variable.  We resolve by scanning for '(' before ';'/'='/',' after the
+   declarator name -- a simple and reliable heuristic for our corpus. *)
+and starts_var_after_device p =
+  let snap = Lexer.save p.lx in
+  ignore (next p);    (* __device__ *)
+  let result =
+    try
+      let _storage, base = parse_specifier p in
+      let _t = parse_pointers p base in
+      match peek p with
+      | Token.IDENT _ ->
+        ignore (next p);
+        (* function if '(' follows the name (but not dim3 ctor: dim3 never
+           follows __device__ in our corpus) *)
+        not (is_punct p "(")
+      | _ -> false
+    with Error _ -> false
+  in
+  Lexer.restore p.lx snap;
+  result
+
+let parse_topdecl p =
+  (* template <typename T> prefix *)
+  let tmpl =
+    if accept_kw p "template" then begin
+      eat_punct p "<";
+      let rec go acc =
+        (match peek p with
+         | Token.KW ("typename" | "class") -> ignore (next p)
+         | _ -> err p "expected typename/class in template parameters");
+        (match next p with
+         | Token.IDENT n ->
+           Hashtbl.replace p.typenames n ();
+           if accept_punct p "," then go (n :: acc)
+           else begin
+             eat_punct p ">";
+             List.rev (n :: acc)
+           end
+         | t -> err p (Printf.sprintf "bad template parameter %S" (Token.to_string t)))
+      in
+      go []
+    end
+    else []
+  in
+  if accept_kw p "typedef" then begin
+    if accept_kw p "struct" then begin
+      (* typedef struct [Tag] { fields } Name; *)
+      (match peek p with
+       | Token.IDENT _ -> ignore (next p)
+       | _ -> ());
+      eat_punct p "{";
+      let rec fields acc =
+        if accept_punct p "}" then List.rev acc
+        else begin
+          let _st, base = parse_specifier p in
+          let rec decls acc =
+            let t = parse_pointers p base in
+            let name =
+              match next p with
+              | Token.IDENT n -> n
+              | t -> err p (Printf.sprintf "bad field %S" (Token.to_string t))
+            in
+            let t = parse_array_suffix p t in
+            if accept_punct p "," then decls ((name, t) :: acc)
+            else begin
+              eat_punct p ";";
+              List.rev ((name, t) :: acc)
+            end
+          in
+          fields (List.rev_append (decls []) acc)
+        end
+      in
+      let fs = fields [] in
+      let name =
+        match next p with
+        | Token.IDENT n -> n
+        | t -> err p (Printf.sprintf "bad typedef name %S" (Token.to_string t))
+      in
+      eat_punct p ";";
+      Hashtbl.replace p.typenames name ();
+      TStruct (name, fs)
+    end
+    else begin
+      let t = parse_type p in
+      let name =
+        match next p with
+        | Token.IDENT n -> n
+        | tk -> err p (Printf.sprintf "bad typedef name %S" (Token.to_string tk))
+      in
+      eat_punct p ";";
+      Hashtbl.replace p.typenames name ();
+      TTypedef (name, t)
+    end
+  end
+  else if is_kw p "struct"
+          && (match peek2 p with Token.IDENT _ -> true | _ -> false)
+          && (let snap = Lexer.save p.lx in
+              ignore (next p);
+              ignore (next p);
+              let r = is_punct p "{" in
+              Lexer.restore p.lx snap;
+              r)
+  then begin
+    ignore (next p);
+    let name = match next p with Token.IDENT n -> n | _ -> assert false in
+    Hashtbl.replace p.typenames name ();
+    eat_punct p "{";
+    let rec fields acc =
+      if accept_punct p "}" then List.rev acc
+      else begin
+        let _st, base = parse_specifier p in
+        let rec decls acc =
+          let t = parse_pointers p base in
+          let fname =
+            match next p with
+            | Token.IDENT n -> n
+            | t -> err p (Printf.sprintf "bad field %S" (Token.to_string t))
+          in
+          let t = parse_array_suffix p t in
+          if accept_punct p "," then decls ((fname, t) :: acc)
+          else begin
+            eat_punct p ";";
+            List.rev ((fname, t) :: acc)
+          end
+        in
+        fields (List.rev_append (decls []) acc)
+      end
+    in
+    let fs = fields [] in
+    eat_punct p ";";
+    TStruct (name, fs)
+  end
+  else begin
+    let quals = parse_fn_quals p no_fn_quals in
+    let storage, base = parse_specifier p in
+    let quals = parse_fn_quals p quals in     (* e.g. "void __global__ f" *)
+    let t = parse_pointers p base in
+    let name =
+      match next p with
+      | Token.IDENT n -> n
+      | tk -> err p (Printf.sprintf "expected name, got %S" (Token.to_string tk))
+    in
+    if is_punct p "(" && not (base = TNamed "dim3" && t = base) then begin
+      let params = parse_params p in
+      let kind =
+        if quals.q_kernel || quals.q_global then FK_kernel
+        else if quals.q_device && quals.q_host then FK_host_device
+        else if quals.q_device then FK_device
+        else if p.dialect = OpenCL then FK_device
+        else FK_host
+      in
+      let body =
+        if accept_punct p ";" then None
+        else begin
+          match parse_stmt p with
+          | SBlock b -> Some b
+          | _ -> err p "expected function body"
+        end
+      in
+      TFunc { fn_name = name; fn_kind = kind; fn_ret = t; fn_params = params;
+              fn_body = body; fn_tmpl = tmpl; fn_launch_bounds = quals.q_launch_bounds }
+    end
+    else begin
+      (* global variable: re-assemble with the declarator list parser *)
+      let t = parse_array_suffix p t in
+      let storage =
+        if quals.q_device then { storage with s_space = AS_global }
+        else storage
+      in
+      let init =
+        if is_punct p "(" && base = TNamed "dim3" then begin
+          ignore (next p);
+          let args = parse_args_until_rparen p in
+          Some (IExpr (Call ("dim3", [], args)))
+        end
+        else if accept_punct p "=" then Some (parse_initializer p)
+        else None
+      in
+      let d = { d_name = name; d_ty = t; d_storage = storage; d_init = init } in
+      if accept_punct p "," then begin
+        (* further declarators share the specifier *)
+        let rest = parse_declarators p storage base in
+        ignore rest;
+        (* flatten: only the first is returned here; multi-declarator
+           globals are split by [parse_program] via recursion, so reject
+           to keep the corpus simple *)
+        err p "multi-declarator globals are not supported at top level"
+      end
+      else begin
+        eat_punct p ";";
+        TVar d
+      end
+    end
+  end
+
+let parse_program p =
+  let rec go acc =
+    match peek p with
+    | Token.EOF -> List.rev acc
+    | _ -> go (parse_topdecl p :: acc)
+  in
+  go []
+
+let program ?(dialect = Cuda) src =
+  let p = make ~dialect src in
+  parse_program p
+
+let expr_of_string ?(dialect = Cuda) src =
+  let p = make ~dialect src in
+  let e = parse_expr p in
+  (match peek p with
+   | Token.EOF -> ()
+   | t -> err p (Printf.sprintf "trailing token %S" (Token.to_string t)));
+  e

@@ -1,0 +1,85 @@
+(* Template specialisation: substitute template type parameters with
+   concrete types throughout a function.  Used both by the interpreter
+   (to run templated CUDA device code) and by the CUDA-to-OpenCL
+   translator, which must emit specialised C functions because OpenCL C
+   has no templates (paper §3.6). *)
+
+open Ast
+
+let subst_ty map t =
+  map_type
+    (function
+      | TNamed n as t ->
+        (match List.assoc_opt n map with Some t' -> t' | None -> t)
+      | t -> t)
+    t
+
+let rec subst_init map = function
+  | IExpr e -> IExpr (subst_expr map e)
+  | IList l -> IList (List.map (subst_init map) l)
+
+and subst_expr map e =
+  map_expr
+    (function
+      | Cast (t, a) -> Cast (subst_ty map t, a)
+      | StaticCast (t, a) -> StaticCast (subst_ty map t, a)
+      | ReinterpretCast (t, a) -> ReinterpretCast (subst_ty map t, a)
+      | SizeofT t -> SizeofT (subst_ty map t)
+      | VecLit (t, args) -> VecLit (subst_ty map t, args)
+      | Call (n, ts, args) -> Call (n, List.map (subst_ty map) ts, args)
+      | e -> e)
+    e
+
+let subst_stmt map s =
+  let rec go s =
+    map_stmt ~expr:(fun e -> e) ~stmt:(fun s -> s)
+      (match s with
+       | SDecl d ->
+         SDecl { d with d_ty = subst_ty map d.d_ty;
+                        d_init = Option.map (subst_init map) d.d_init }
+       | s -> s)
+    |> fun s' ->
+    (* map_stmt above only rebuilt this node; recurse manually for types *)
+    (match s' with
+     | SIf (c, a, b) -> SIf (subst_expr map c, go a, Option.map go b)
+     | SWhile (c, b) -> SWhile (subst_expr map c, go b)
+     | SDoWhile (b, c) -> SDoWhile (go b, subst_expr map c)
+     | SFor (i, c, u, b) ->
+       SFor (Option.map go i, Option.map (subst_expr map) c,
+             Option.map (subst_expr map) u, go b)
+     | SBlock l -> SBlock (List.map go l)
+     | SExpr e -> SExpr (subst_expr map e)
+     | SReturn e -> SReturn (Option.map (subst_expr map) e)
+     | SDecl d ->
+       SDecl { d with d_ty = subst_ty map d.d_ty;
+                      d_init = Option.map (subst_init map) d.d_init }
+     | SBreak | SContinue -> s')
+  in
+  go s
+
+(* Mangle a specialised function name, e.g. reduce<float> -> reduce__float. *)
+let mangle name tys =
+  if tys = [] then name
+  else
+    let t_str t =
+      String.map
+        (function
+          | '*' -> 'p'
+          | ' ' -> '_'
+          | c -> c)
+        (Pretty.type_name Pretty.Cuda t)
+    in
+    name ^ "__" ^ String.concat "_" (List.map t_str tys)
+
+let func f tys =
+  if f.fn_tmpl = [] then f
+  else begin
+    let map = List.combine f.fn_tmpl (List.filteri (fun i _ -> i < List.length f.fn_tmpl) tys) in
+    { f with
+      fn_name = mangle f.fn_name tys;
+      fn_tmpl = [];
+      fn_ret = subst_ty map f.fn_ret;
+      fn_params =
+        List.map (fun pa -> { pa with pa_ty = subst_ty map pa.pa_ty }) f.fn_params;
+      fn_body = Option.map (List.map (subst_stmt map)) f.fn_body }
+  end

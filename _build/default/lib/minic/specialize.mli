@@ -1,0 +1,20 @@
+(** Template specialisation: substitute template type parameters with
+    concrete types throughout a function.
+
+    Used both by the interpreter (to run templated CUDA device code
+    directly) and by the CUDA-to-OpenCL translator, which must emit
+    specialised C functions because OpenCL C has no templates (§3.6). *)
+
+(** [subst_ty map t] replaces [TNamed] occurrences per [map]. *)
+val subst_ty : (string * Ast.ty) list -> Ast.ty -> Ast.ty
+
+val subst_expr : (string * Ast.ty) list -> Ast.expr -> Ast.expr
+val subst_stmt : (string * Ast.ty) list -> Ast.stmt -> Ast.stmt
+
+(** Mangled name of a specialisation, e.g. [reduce<float>] becomes
+    ["reduce__float"]; the identity on an empty argument list. *)
+val mangle : string -> Ast.ty list -> string
+
+(** Specialise a templated function with the given type arguments; a
+    non-template function is returned unchanged. *)
+val func : Ast.func -> Ast.ty list -> Ast.func

@@ -1,0 +1,23 @@
+(* Lexical tokens for Mini-C. *)
+
+type t =
+  | INT of int64 * Ast.scalar         (* literal with suffix-derived type *)
+  | FLOATLIT of float * Ast.scalar
+  | STRING of string
+  | IDENT of string
+  | KW of string                      (* reserved words incl. dialect quals *)
+  | PUNCT of string                   (* operators and punctuation *)
+  | LAUNCH_OPEN                       (* <<< *)
+  | LAUNCH_CLOSE                      (* >>> *)
+  | EOF
+
+let to_string = function
+  | INT (n, _) -> Int64.to_string n
+  | FLOATLIT (f, _) -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | LAUNCH_OPEN -> "<<<"
+  | LAUNCH_CLOSE -> ">>>"
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/opencl/cl.ml: Array Gpusim Hashtbl Int64 List Minic Option Printf String Vm

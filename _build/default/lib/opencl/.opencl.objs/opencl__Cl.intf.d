@@ -1,0 +1,1 @@
+lib/opencl/cl.mli: Gpusim Hashtbl Minic Vm

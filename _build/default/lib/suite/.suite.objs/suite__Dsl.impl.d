@@ -1,0 +1,1 @@
+lib/suite/dsl.ml: Array Bridge Gpusim Int64 List Printf Vm

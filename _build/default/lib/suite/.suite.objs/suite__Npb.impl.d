@@ -1,0 +1,1 @@
+lib/suite/npb.ml: Array Bridge Dsl List Printf

@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Bridge List Npb Rodinia_cl Rodinia_cuda Toolkit_cl Toolkit_cuda Toolkit_failing

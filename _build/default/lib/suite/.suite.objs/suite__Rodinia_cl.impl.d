@@ -1,0 +1,1 @@
+lib/suite/rodinia_cl.ml: Array Bridge Dsl Printf

@@ -1,0 +1,1 @@
+lib/suite/rodinia_cuda.ml: List

@@ -1,0 +1,1 @@
+lib/suite/toolkit_cl.ml: Array Bridge Dsl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/suite/toolkit_cuda.ml: Rodinia_cuda

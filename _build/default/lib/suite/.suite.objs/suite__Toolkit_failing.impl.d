@@ -1,0 +1,1 @@
+lib/suite/toolkit_failing.ml: Printf Rodinia_cuda

@@ -1,0 +1,197 @@
+(* Combinators for writing OpenCL benchmark hosts against a packed
+   Cl_api context, plus deterministic data generators shared by every
+   application so all run configurations see identical inputs.
+
+   [ops] opens the existential context once and returns a record of
+   monomorphic operations; device objects are referenced through integer
+   handles into tables captured by the closures, which keeps application
+   code free of functors and first-class-module plumbing. *)
+
+open Bridge.Framework
+
+(* --- deterministic data ---------------------------------------------- *)
+
+let lcg_state seed = ref (Int64.of_int ((seed * 2654435761) + 12345))
+
+let lcg_next st =
+  st := Int64.add (Int64.mul !st 6364136223846793005L) 1442695040888963407L;
+  Int64.to_float (Int64.shift_right_logical !st 40) /. 16777216.0
+
+(* n floats in [0, 1), deterministic in [seed]. *)
+let randf n seed =
+  let st = lcg_state seed in
+  Array.init n (fun _ -> lcg_next st)
+
+let randi n seed modulus =
+  let st = lcg_state seed in
+  Array.init n (fun _ -> int_of_float (lcg_next st *. float_of_int modulus))
+
+let ramp n = Array.init n float_of_int
+
+(* --- checksums -------------------------------------------------------- *)
+
+let checksum_floats label xs =
+  let sum = Array.fold_left (fun a x -> a +. x) 0.0 xs in
+  let l2 = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs) in
+  Printf.sprintf "%s sum %.4g l2 %.4g" label sum l2
+
+let checksum_ints label xs =
+  let sum = Array.fold_left ( + ) 0 xs in
+  let xor = Array.fold_left ( lxor ) 0 xs in
+  Printf.sprintf "%s sum %d xor %d" label sum xor
+
+(* --- typed handles ----------------------------------------------------- *)
+
+type buf = Buf of int
+type kern = Kern of int
+type img = Img_h of int
+type smp = Smp_h of int
+
+type arg =
+  | B of buf
+  | I of int
+  | F of float
+  | D of float
+  | L of int             (* dynamic __local bytes *)
+  | Img of img
+  | Smp of smp
+
+type ops = {
+  (* buffers *)
+  fbuf : float array -> buf;            (* create + write floats *)
+  dbuf : float array -> buf;            (* create + write doubles *)
+  intbuf : int array -> buf;
+  fbuf_empty : int -> buf;              (* n floats *)
+  dbuf_empty : int -> buf;
+  intbuf_empty : int -> buf;
+  read_floats : buf -> int -> float array;
+  read_doubles : buf -> int -> float array;
+  read_ints : buf -> int -> int array;
+  write_floats : buf -> float array -> unit;
+  (* program and kernels *)
+  build : string -> unit;
+  kern : string -> kern;
+  set_args : kern -> arg list -> unit;
+  run1 : kern -> g:int -> l:int -> unit;
+  run2 : kern -> gx:int -> gy:int -> lx:int -> ly:int -> unit;
+  finish : unit -> unit;
+  (* images *)
+  image2d : width:int -> height:int -> float array -> img;
+  read_image_floats : img -> int -> float array;
+  sampler : unit -> smp;
+  (* device queries *)
+  device_info : string -> int64;
+  device_name : unit -> string;
+}
+
+let ops (Clctx ((module C), c)) : ops =
+  let arena = C.host c in
+  let bufs : C.buffer option array ref = ref (Array.make 16 None) in
+  let nbufs = ref 0 in
+  let kerns : C.kernel option array ref = ref (Array.make 8 None) in
+  let nkerns = ref 0 in
+  let imgs : C.image option array ref = ref (Array.make 4 None) in
+  let nimgs = ref 0 in
+  let smps : C.sampler option array ref = ref (Array.make 4 None) in
+  let nsmps = ref 0 in
+  let push store count v =
+    if !count = Array.length !store then begin
+      let bigger = Array.make (2 * !count) None in
+      Array.blit !store 0 bigger 0 !count;
+      store := bigger
+    end;
+    !store.(!count) <- Some v;
+    incr count;
+    !count - 1
+  in
+  let get store i =
+    match !store.(i) with
+    | Some v -> v
+    | None -> invalid_arg "dangling handle"
+  in
+  let mk_fbuf elem_size write_fn xs =
+    let hb = write_fn arena xs in
+    let b = C.create_buffer c (elem_size * Array.length xs) in
+    C.write_buffer c b ~size:(elem_size * Array.length xs)
+      ~ptr:(Vm.Hostbuf.ptr hb) ();
+    Buf (push bufs nbufs b)
+  in
+  { fbuf = mk_fbuf 4 Vm.Hostbuf.of_floats;
+    dbuf = mk_fbuf 8 Vm.Hostbuf.of_doubles;
+    intbuf =
+      (fun xs ->
+         let hb = Vm.Hostbuf.of_ints arena xs in
+         let b = C.create_buffer c (4 * Array.length xs) in
+         C.write_buffer c b ~size:(4 * Array.length xs)
+           ~ptr:(Vm.Hostbuf.ptr hb) ();
+         Buf (push bufs nbufs b));
+    fbuf_empty = (fun n -> Buf (push bufs nbufs (C.create_buffer c (4 * n))));
+    dbuf_empty = (fun n -> Buf (push bufs nbufs (C.create_buffer c (8 * n))));
+    intbuf_empty = (fun n -> Buf (push bufs nbufs (C.create_buffer c (4 * n))));
+    read_floats =
+      (fun (Buf i) n ->
+         let hb = Vm.Hostbuf.alloc arena (4 * n) in
+         C.read_buffer c (get bufs i) ~size:(4 * n) ~ptr:(Vm.Hostbuf.ptr hb) ();
+         Vm.Hostbuf.to_floats hb n);
+    read_doubles =
+      (fun (Buf i) n ->
+         let hb = Vm.Hostbuf.alloc arena (8 * n) in
+         C.read_buffer c (get bufs i) ~size:(8 * n) ~ptr:(Vm.Hostbuf.ptr hb) ();
+         Vm.Hostbuf.to_doubles hb n);
+    read_ints =
+      (fun (Buf i) n ->
+         let hb = Vm.Hostbuf.alloc arena (4 * n) in
+         C.read_buffer c (get bufs i) ~size:(4 * n) ~ptr:(Vm.Hostbuf.ptr hb) ();
+         Vm.Hostbuf.to_ints hb n);
+    write_floats =
+      (fun (Buf i) xs ->
+         let hb = Vm.Hostbuf.of_floats arena xs in
+         C.write_buffer c (get bufs i) ~size:(4 * Array.length xs)
+           ~ptr:(Vm.Hostbuf.ptr hb) ());
+    build = (fun src -> C.build_program c src);
+    kern = (fun name -> Kern (push kerns nkerns (C.create_kernel c name)));
+    set_args =
+      (fun (Kern ki) args ->
+         let k = get kerns ki in
+         List.iteri
+           (fun i a ->
+              match a with
+              | B (Buf bi) -> C.set_arg_buffer c k i (get bufs bi)
+              | I n -> C.set_arg_int c k i n
+              | F x -> C.set_arg_float c k i x
+              | D x -> C.set_arg_double c k i x
+              | L bytes -> C.set_arg_local c k i bytes
+              | Img (Img_h ii) -> C.set_arg_image c k i (get imgs ii)
+              | Smp (Smp_h si) -> C.set_arg_sampler c k i (get smps si))
+           args);
+    run1 =
+      (fun (Kern ki) ~g ~l ->
+         C.enqueue_nd_range c (get kerns ki) ~gws:[| g; 1; 1 |]
+           ~lws:[| l; 1; 1 |]);
+    run2 =
+      (fun (Kern ki) ~gx ~gy ~lx ~ly ->
+         C.enqueue_nd_range c (get kerns ki) ~gws:[| gx; gy; 1 |]
+           ~lws:[| lx; ly; 1 |]);
+    finish = (fun () -> C.finish c);
+    image2d =
+      (fun ~width ~height xs ->
+         let hb = Vm.Hostbuf.of_floats arena xs in
+         Img_h
+           (push imgs nimgs
+              (C.create_image2d c ~width ~height ~order:Gpusim.Imagelib.CO_r
+                 ~chtype:Gpusim.Imagelib.CT_float
+                 ~host_ptr:(Vm.Hostbuf.ptr hb) ())));
+    read_image_floats =
+      (fun (Img_h ii) n ->
+         let hb = Vm.Hostbuf.alloc arena (4 * n) in
+         C.read_image c (get imgs ii) ~ptr:(Vm.Hostbuf.ptr hb);
+         Vm.Hostbuf.to_floats hb n);
+    sampler =
+      (fun () ->
+         Smp_h
+           (push smps nsmps
+              (C.create_sampler c ~normalized:false
+                 ~address:Gpusim.Imagelib.AM_clamp_to_edge
+                 ~filter:Gpusim.Imagelib.FM_nearest)));
+    device_info = (fun p -> C.device_info c p);
+    device_name = (fun () -> C.device_name c) }

@@ -1,0 +1,43 @@
+(* The complete benchmark inventory of the paper's evaluation (§6.1):
+   Rodinia 3.0, SNU NPB 1.0.3, and the NVIDIA CUDA Toolkit 4.2 samples,
+   in both programming models where the original suite provides both. *)
+
+type cuda_app = Rodinia_cuda.cuda_app = {
+  cu_name : string;
+  cu_suite : string;
+  cu_src : string;
+  cu_tex1d_texels : int option;
+  cu_expect_translatable : bool;
+}
+
+(* --- OpenCL applications (Figure 7) ----------------------------------- *)
+
+let rodinia_opencl = Rodinia_cl.apps          (* 20 *)
+let npb_opencl = Npb.apps                     (* 7  *)
+let toolkit_opencl = Toolkit_cl.apps          (* 27 *)
+
+let all_opencl = rodinia_opencl @ npb_opencl @ toolkit_opencl   (* 54 *)
+
+(* --- CUDA applications (Figure 8) -------------------------------------- *)
+
+let rodinia_cuda = Rodinia_cuda.apps          (* 21, of which 14 translate *)
+let toolkit_cuda_ok = Toolkit_cuda.apps       (* 25 translatable *)
+let toolkit_cuda_failing = Toolkit_failing.apps  (* 56 untranslatable *)
+
+let toolkit_cuda = toolkit_cuda_ok @ toolkit_cuda_failing       (* 81 *)
+
+let all_cuda = rodinia_cuda @ toolkit_cuda
+
+(* Find the matching original CUDA implementation of an OpenCL Rodinia
+   app (for Figure 7(a)'s third bar); names coincide except hotspot3D,
+   which has no CUDA twin in our inventory. *)
+let cuda_twin (a : Bridge.Framework.ocl_app) =
+  List.find_opt
+    (fun c -> c.cu_name = a.Bridge.Framework.oa_name)
+    rodinia_cuda
+
+(* The OpenCL original of a CUDA Rodinia app (Figure 8(a)'s third bar). *)
+let opencl_twin (c : cuda_app) =
+  List.find_opt
+    (fun a -> a.Bridge.Framework.oa_name = c.cu_name)
+    rodinia_opencl

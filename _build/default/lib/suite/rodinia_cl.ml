@@ -1,0 +1,958 @@
+(* Rodinia 3.0 OpenCL benchmarks, miniaturised (Figure 7(a)).
+
+   Each application keeps the original's kernel structure, memory access
+   pattern and host/device traffic shape at reduced problem sizes; the
+   host is written against the packed Cl_api context so the identical
+   code runs on the native OpenCL framework and on the OpenCL-to-CUDA
+   wrapper library. *)
+
+open Bridge.Framework
+
+let app = ocl_app ~suite:"rodinia"
+
+(* ------------------------------------------------------------------ *)
+
+let backprop_src = {|
+__kernel void layerforward(__global float* input, __global float* weights,
+                           __global float* hidden, __local float* partial,
+                           int in_n, int hid_n) {
+  int j = get_group_id(0);
+  int tid = get_local_id(0);
+  float acc = 0.0f;
+  for (int i = tid; i < in_n; i += get_local_size(0)) {
+    acc += input[i] * weights[j * in_n + i];
+  }
+  partial[tid] = acc;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s = s / 2) {
+    if (tid < s) partial[tid] += partial[tid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (tid == 0) hidden[j] = 1.0f / (1.0f + exp(-partial[0]));
+}
+
+__kernel void adjust_weights(__global float* delta, __global float* input,
+                             __global float* weights, int in_n, int hid_n) {
+  int j = get_global_id(0);
+  int i = get_global_id(1);
+  if (i < in_n && j < hid_n) {
+    weights[j * in_n + i] += 0.3f * delta[j] * input[i] + 0.3f * weights[j * in_n + i] * 0.001f;
+  }
+}
+|}
+
+let backprop =
+  app "backprop" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let in_n = 256 and hid_n = 64 in
+      let input = Dsl.randf in_n 1 in
+      let weights = Dsl.randf (in_n * hid_n) 2 in
+      let delta = Dsl.randf hid_n 3 in
+      o.build backprop_src;
+      let b_in = o.fbuf input in
+      let b_w = o.fbuf weights in
+      let b_hid = o.fbuf_empty hid_n in
+      let b_delta = o.fbuf delta in
+      let k1 = o.kern "layerforward" in
+      o.set_args k1 [ B b_in; B b_w; B b_hid; L (64 * 4); I in_n; I hid_n ];
+      o.run1 k1 ~g:(hid_n * 64) ~l:64;
+      let k2 = o.kern "adjust_weights" in
+      o.set_args k2 [ B b_delta; B b_in; B b_w; I in_n; I hid_n ];
+      o.run2 k2 ~gx:hid_n ~gy:in_n ~lx:16 ~ly:16;
+      let hid = o.read_floats b_hid hid_n in
+      let w = o.read_floats b_w (in_n * hid_n) in
+      Dsl.checksum_floats "backprop" (Array.append hid w))
+
+(* ------------------------------------------------------------------ *)
+
+let bfs_src = {|
+__kernel void bfs_kernel(__global int* edges_off, __global int* edges,
+                         __global int* frontier, __global int* visited,
+                         __global int* cost, __global int* next_frontier,
+                         int n) {
+  int v = get_global_id(0);
+  if (v < n && frontier[v] == 1) {
+    frontier[v] = 0;
+    for (int e = edges_off[v]; e < edges_off[v + 1]; e++) {
+      int u = edges[e];
+      if (visited[u] == 0) {
+        visited[u] = 1;
+        cost[u] = cost[v] + 1;
+        next_frontier[u] = 1;
+      }
+    }
+  }
+}
+
+__kernel void bfs_swap(__global int* frontier, __global int* next_frontier,
+                       __global int* work, int n) {
+  int v = get_global_id(0);
+  if (v < n) {
+    frontier[v] = next_frontier[v];
+    next_frontier[v] = 0;
+    if (frontier[v] == 1) atomic_add(work, 1);
+  }
+}
+|}
+
+(* a deterministic sparse graph: each vertex points to a few pseudo-random
+   successors *)
+let bfs_graph n deg =
+  let targets = Dsl.randi (n * deg) 7 n in
+  let off = Array.init (n + 1) (fun i -> i * deg) in
+  (off, targets)
+
+let bfs =
+  app "bfs" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let n = 1024 and deg = 4 in
+      let off, edges = bfs_graph n deg in
+      o.build bfs_src;
+      let b_off = o.intbuf off in
+      let b_edges = o.intbuf edges in
+      let frontier = Array.make n 0 in
+      frontier.(0) <- 1;
+      let visited = Array.make n 0 in
+      visited.(0) <- 1;
+      let b_frontier = o.intbuf frontier in
+      let b_visited = o.intbuf visited in
+      let b_cost = o.intbuf (Array.make n 0) in
+      let b_next = o.intbuf (Array.make n 0) in
+      let k = o.kern "bfs_kernel" in
+      let ks = o.kern "bfs_swap" in
+      let work = ref 1 in
+      let iters = ref 0 in
+      while !work > 0 && !iters < 12 do
+        incr iters;
+        o.set_args k
+          [ B b_off; B b_edges; B b_frontier; B b_visited; B b_cost; B b_next; I n ];
+        o.run1 k ~g:n ~l:64;
+        let b_work = o.intbuf [| 0 |] in
+        o.set_args ks [ B b_frontier; B b_next; B b_work; I n ];
+        o.run1 ks ~g:n ~l:64;
+        work := (o.read_ints b_work 1).(0)
+      done;
+      Dsl.checksum_ints "bfs" (o.read_ints b_cost n))
+
+(* ------------------------------------------------------------------ *)
+
+let btree_src = {|
+__kernel void findK(__global int* keys, __global int* queries,
+                    __global int* answers, int n_keys, int n_queries) {
+  int q = get_global_id(0);
+  if (q < n_queries) {
+    int target = queries[q];
+    int lo = 0;
+    int hi = n_keys - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (keys[mid] < target) lo = mid + 1; else hi = mid;
+    }
+    answers[q] = keys[lo];
+  }
+}
+|}
+
+let btree =
+  app "b+tree" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let n_keys = 4096 and n_queries = 1024 in
+      let keys = Array.init n_keys (fun i -> i * 3) in
+      let queries = Dsl.randi n_queries 11 (n_keys * 3) in
+      o.build btree_src;
+      let b_keys = o.intbuf keys in
+      let b_q = o.intbuf queries in
+      let b_a = o.intbuf_empty n_queries in
+      let k = o.kern "findK" in
+      o.set_args k [ B b_keys; B b_q; B b_a; I n_keys; I n_queries ];
+      o.run1 k ~g:n_queries ~l:64;
+      Dsl.checksum_ints "b+tree" (o.read_ints b_a n_queries))
+
+(* ------------------------------------------------------------------ *)
+
+(* cfd: register pressure dominates this kernel; the original runs
+   blocks of 192 threads and its occupancy is register-limited, which is
+   what produces the 14% CUDA/OpenCL gap the paper reports (§6.3). *)
+let cfd_src = {|
+__kernel void compute_flux(__global float* density, __global float* momx,
+                           __global float* momy, __global float* energy,
+                           __global int* neighbors, __global float* fluxes,
+                           int nelr) {
+  int i = get_global_id(0);
+  if (i < nelr) {
+    float d_i = density[i];
+    float mx_i = momx[i];
+    float my_i = momy[i];
+    float e_i = energy[i];
+    float vx_i = mx_i / d_i;
+    float vy_i = my_i / d_i;
+    float speed2_i = vx_i * vx_i + vy_i * vy_i;
+    float pressure_i = 0.4f * (e_i - 0.5f * d_i * speed2_i);
+    float sound_i = sqrt(1.4f * pressure_i / d_i);
+    float flux_d = 0.0f;
+    float flux_mx = 0.0f;
+    float flux_my = 0.0f;
+    float flux_e = 0.0f;
+    for (int j = 0; j < 4; j++) {
+      int nb = neighbors[i * 4 + j];
+      float nx = 0.5f * (float)(j - 1);
+      float ny = 0.5f * (float)(2 - j);
+      float d_nb = density[nb];
+      float mx_nb = momx[nb];
+      float my_nb = momy[nb];
+      float e_nb = energy[nb];
+      float vx_nb = mx_nb / d_nb;
+      float vy_nb = my_nb / d_nb;
+      float speed2_nb = vx_nb * vx_nb + vy_nb * vy_nb;
+      float pressure_nb = 0.4f * (e_nb - 0.5f * d_nb * speed2_nb);
+      float sound_nb = sqrt(1.4f * pressure_nb / d_nb);
+      float factor = 0.5f * (sound_i + sound_nb);
+      float fd = factor * (d_i - d_nb) + nx * (mx_i + mx_nb) + ny * (my_i + my_nb);
+      float fmx = factor * (mx_i - mx_nb) + nx * (vx_i * mx_i + vx_nb * mx_nb + pressure_i + pressure_nb);
+      float fmy = factor * (my_i - my_nb) + ny * (vy_i * my_i + vy_nb * my_nb + pressure_i + pressure_nb);
+      float fe = factor * (e_i - e_nb) + nx * vx_i * (e_i + pressure_i) + ny * vy_nb * (e_nb + pressure_nb);
+      flux_d += fd;
+      flux_mx += fmx;
+      flux_my += fmy;
+      flux_e += fe;
+    }
+    fluxes[i * 4 + 0] = flux_d;
+    fluxes[i * 4 + 1] = flux_mx;
+    fluxes[i * 4 + 2] = flux_my;
+    fluxes[i * 4 + 3] = flux_e;
+  }
+}
+|}
+
+let cfd =
+  app "cfd" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let nelr = 1536 in
+      let density = Array.map (fun x -> x +. 1.0) (Dsl.randf nelr 21) in
+      let momx = Dsl.randf nelr 22 in
+      let momy = Dsl.randf nelr 23 in
+      let energy = Array.map (fun x -> x +. 2.0) (Dsl.randf nelr 24) in
+      let neighbors = Dsl.randi (nelr * 4) 25 nelr in
+      o.build cfd_src;
+      let b_d = o.fbuf density and b_mx = o.fbuf momx in
+      let b_my = o.fbuf momy and b_e = o.fbuf energy in
+      let b_nb = o.intbuf neighbors in
+      let b_f = o.fbuf_empty (nelr * 4) in
+      let k = o.kern "compute_flux" in
+      o.set_args k [ B b_d; B b_mx; B b_my; B b_e; B b_nb; B b_f; I nelr ];
+      for _ = 1 to 3 do
+        o.run1 k ~g:nelr ~l:192
+      done;
+      Dsl.checksum_floats "cfd" (o.read_floats b_f (nelr * 4)))
+
+(* ------------------------------------------------------------------ *)
+
+let gaussian_src = {|
+__kernel void fan1(__global float* a, __global float* m, int size, int t) {
+  int i = get_global_id(0);
+  if (i < size - 1 - t) {
+    m[size * (i + t + 1) + t] = a[size * (i + t + 1) + t] / a[size * t + t];
+  }
+}
+
+__kernel void fan2(__global float* a, __global float* b, __global float* m,
+                   int size, int t) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i < size - 1 - t && j < size - t) {
+    a[size * (i + 1 + t) + (j + t)] -= m[size * (i + 1 + t) + t] * a[size * t + (j + t)];
+    if (j == 0) b[i + 1 + t] -= m[size * (i + 1 + t) + t] * b[t];
+  }
+}
+|}
+
+let gaussian =
+  app "gaussian" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let size = 64 in
+      let a =
+        Array.init (size * size) (fun k ->
+            let i = k / size and j = k mod size in
+            if i = j then 10.0 +. float_of_int (i mod 7)
+            else 1.0 /. (1.0 +. float_of_int (abs (i - j))))
+      in
+      let b = Dsl.ramp size in
+      o.build gaussian_src;
+      let b_a = o.fbuf a and b_b = o.fbuf b in
+      let b_m = o.fbuf (Array.make (size * size) 0.0) in
+      let k1 = o.kern "fan1" and k2 = o.kern "fan2" in
+      for t = 0 to size - 2 do
+        o.set_args k1 [ B b_a; B b_m; I size; I t ];
+        o.run1 k1 ~g:size ~l:64;
+        o.set_args k2 [ B b_a; B b_b; B b_m; I size; I t ];
+        o.run2 k2 ~gx:size ~gy:size ~lx:16 ~ly:16
+      done;
+      Dsl.checksum_floats "gaussian" (o.read_floats b_b size))
+
+(* ------------------------------------------------------------------ *)
+
+let heartwall_src = {|
+__kernel void track(__global float* frame, __global int* px, __global int* py,
+                    __global float* conv, int fw, int fh, int np, int win) {
+  int p = get_group_id(0);
+  int tid = get_local_id(0);
+  __local float best[64];
+  float acc = -1.0e30f;
+  if (p < np) {
+    for (int w = tid; w < win * win; w += get_local_size(0)) {
+      int dx = w % win - win / 2;
+      int dy = w / win - win / 2;
+      int x = px[p] + dx;
+      int y = py[p] + dy;
+      if (x >= 0 && x < fw && y >= 0 && y < fh) {
+        float v = frame[y * fw + x];
+        float score = v - 0.01f * (float)(dx * dx + dy * dy);
+        if (score > acc) acc = score;
+      }
+    }
+  }
+  best[tid] = acc;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (tid == 0) {
+    float m = -1.0e30f;
+    for (int t = 0; t < get_local_size(0); t++) {
+      if (best[t] > m) m = best[t];
+    }
+    if (p < np) conv[p] = m;
+  }
+}
+|}
+
+let heartwall =
+  app "heartwall" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let fw = 128 and fh = 128 and np = 64 and win = 9 in
+      let frame = Dsl.randf (fw * fh) 31 in
+      let px = Dsl.randi np 32 fw in
+      let py = Dsl.randi np 33 fh in
+      o.build heartwall_src;
+      let b_frame = o.fbuf frame in
+      let b_px = o.intbuf px and b_py = o.intbuf py in
+      let b_conv = o.fbuf_empty np in
+      let k = o.kern "track" in
+      o.set_args k [ B b_frame; B b_px; B b_py; B b_conv; I fw; I fh; I np; I win ];
+      for _ = 1 to 4 do
+        o.run1 k ~g:(np * 64) ~l:64
+      done;
+      Dsl.checksum_floats "heartwall" (o.read_floats b_conv np))
+
+(* ------------------------------------------------------------------ *)
+
+let hotspot_src = {|
+__kernel void hotspot_step(__global float* temp_src, __global float* power,
+                           __global float* temp_dst, int n, float cap,
+                           float rx, float ry, float rz, float amb) {
+  int c = get_global_id(0);
+  int r = get_global_id(1);
+  __local float tile[18][18];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  tile[ly + 1][lx + 1] = temp_src[r * n + c];
+  if (lx == 0) tile[ly + 1][0] = temp_src[r * n + (c > 0 ? c - 1 : c)];
+  if (lx == get_local_size(0) - 1) tile[ly + 1][lx + 2] = temp_src[r * n + (c < n - 1 ? c + 1 : c)];
+  if (ly == 0) tile[0][lx + 1] = temp_src[(r > 0 ? r - 1 : r) * n + c];
+  if (ly == get_local_size(1) - 1) tile[ly + 2][lx + 1] = temp_src[(r < n - 1 ? r + 1 : r) * n + c];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float t = tile[ly + 1][lx + 1];
+  float delta = (power[r * n + c]
+    + (tile[ly + 1][lx + 2] + tile[ly + 1][lx] - 2.0f * t) / rx
+    + (tile[ly + 2][lx + 1] + tile[ly][lx + 1] - 2.0f * t) / ry
+    + (amb - t) / rz) / cap;
+  temp_dst[r * n + c] = t + delta;
+}
+|}
+
+let hotspot =
+  app "hotspot" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let n = 64 in
+      let temp = Array.map (fun x -> 320.0 +. (10.0 *. x)) (Dsl.randf (n * n) 41) in
+      let power = Dsl.randf (n * n) 42 in
+      o.build hotspot_src;
+      let b_a = o.fbuf temp and b_p = o.fbuf power in
+      let b_b = o.fbuf_empty (n * n) in
+      let k = o.kern "hotspot_step" in
+      let src = ref b_a and dst = ref b_b in
+      for _ = 1 to 6 do
+        o.set_args k
+          [ B !src; B b_p; B !dst; I n; F 0.5; F 1.0; F 1.0; F 30.0; F 80.0 ];
+        o.run2 k ~gx:n ~gy:n ~lx:16 ~ly:16;
+        let t = !src in
+        src := !dst;
+        dst := t
+      done;
+      Dsl.checksum_floats "hotspot" (o.read_floats !src (n * n)))
+
+(* ------------------------------------------------------------------ *)
+
+(* hotspot3D (OpenCL-only in our inventory, as in Rodinia 3.0's OpenCL
+   directory) *)
+let hotspot3d_src = {|
+__kernel void hotspot3d(__global float* tin, __global float* pin,
+                        __global float* tout, int nx, int ny, int nz,
+                        float cc, float cn, float ct) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      int c = k * nx * ny + j * nx + i;
+      float center = tin[c];
+      float west = i > 0 ? tin[c - 1] : center;
+      float east = i < nx - 1 ? tin[c + 1] : center;
+      float north = j > 0 ? tin[c - nx] : center;
+      float south = j < ny - 1 ? tin[c + nx] : center;
+      float below = k > 0 ? tin[c - nx * ny] : center;
+      float above = k < nz - 1 ? tin[c + nx * ny] : center;
+      tout[c] = cc * center + cn * (west + east + north + south) + ct * (below + above) + pin[c];
+    }
+  }
+}
+|}
+
+let hotspot3d =
+  app "hotspot3D" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let nx = 32 and ny = 32 and nz = 8 in
+      let n = nx * ny * nz in
+      let tin = Array.map (fun x -> 300.0 +. x) (Dsl.randf n 51) in
+      let pin = Dsl.randf n 52 in
+      o.build hotspot3d_src;
+      let b_t = o.fbuf tin and b_p = o.fbuf pin in
+      let b_o = o.fbuf_empty n in
+      let k = o.kern "hotspot3d" in
+      o.set_args k [ B b_t; B b_p; B b_o; I nx; I ny; I nz; F 0.4; F 0.1; F 0.1 ];
+      for _ = 1 to 4 do
+        o.run2 k ~gx:nx ~gy:ny ~lx:16 ~ly:16
+      done;
+      Dsl.checksum_floats "hotspot3D" (o.read_floats b_o n))
+
+(* ------------------------------------------------------------------ *)
+
+(* hybridsort: the OpenCL version ships buckets back and forth per pass
+   while the original CUDA version keeps data resident; that structural
+   difference is the ~27% third-bar gap of Figure 7(a). *)
+let hybridsort_src = {|
+__kernel void bucketcount(__global float* input, __global int* counts,
+                          float minv, float maxv, int nbuckets, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    int b = (int)((input[i] - minv) / (maxv - minv) * (float)nbuckets);
+    if (b >= nbuckets) b = nbuckets - 1;
+    atomic_add(&counts[b], 1);
+  }
+}
+
+__kernel void oddeven_pass(__global float* data, int n, int phase) {
+  int i = get_global_id(0);
+  int idx = 2 * i + phase;
+  if (idx + 1 < n) {
+    float a = data[idx];
+    float b = data[idx + 1];
+    if (a > b) {
+      data[idx] = b;
+      data[idx + 1] = a;
+    }
+  }
+}
+|}
+
+let hybridsort =
+  app "hybridsort" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let n = 2048 and nbuckets = 16 in
+      let input = Dsl.randf n 61 in
+      o.build hybridsort_src;
+      let b_in = o.fbuf input in
+      let b_counts = o.intbuf (Array.make nbuckets 0) in
+      let kc = o.kern "bucketcount" in
+      o.set_args kc [ B b_in; B b_counts; F 0.0; F 1.0; I nbuckets; I n ];
+      o.run1 kc ~g:n ~l:64;
+      let _counts = o.read_ints b_counts nbuckets in
+      let ks = o.kern "oddeven_pass" in
+      (* the OpenCL implementation re-uploads the data between sorting
+         stages (extra host<->device transfers, like Rodinia's version) *)
+      for stage = 0 to 7 do
+        if stage mod 2 = 0 then begin
+          let snapshot = o.read_floats b_in n in
+          o.write_floats b_in snapshot
+        end;
+        for phase = 0 to 1 do
+          o.set_args ks [ B b_in; I n; I phase ];
+          o.run1 ks ~g:(n / 2) ~l:64
+        done
+      done;
+      let out = o.read_floats b_in n in
+      (* checksum of a partially-sorted deterministic sequence *)
+      Dsl.checksum_floats "hybridsort" out)
+
+(* ------------------------------------------------------------------ *)
+
+let kmeans_src = {|
+__kernel void kmeans_assign(__global float* features, __global float* clusters,
+                            __global int* membership, int npoints,
+                            int nclusters, int nfeatures) {
+  int p = get_global_id(0);
+  if (p < npoints) {
+    int best = 0;
+    float bestd = 1.0e30f;
+    for (int c = 0; c < nclusters; c++) {
+      float d = 0.0f;
+      for (int f = 0; f < nfeatures; f++) {
+        float diff = features[p * nfeatures + f] - clusters[c * nfeatures + f];
+        d += diff * diff;
+      }
+      if (d < bestd) {
+        bestd = d;
+        best = c;
+      }
+    }
+    membership[p] = best;
+  }
+}
+|}
+
+let kmeans =
+  app "kmeans" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let npoints = 2048 and nclusters = 8 and nfeatures = 8 in
+      let features = Dsl.randf (npoints * nfeatures) 71 in
+      let clusters = Dsl.randf (nclusters * nfeatures) 72 in
+      o.build kmeans_src;
+      let b_f = o.fbuf features and b_c = o.fbuf clusters in
+      let b_m = o.intbuf_empty npoints in
+      let k = o.kern "kmeans_assign" in
+      o.set_args k [ B b_f; B b_c; B b_m; I npoints; I nclusters; I nfeatures ];
+      for _ = 1 to 3 do
+        o.run1 k ~g:npoints ~l:64
+      done;
+      Dsl.checksum_ints "kmeans" (o.read_ints b_m npoints))
+
+(* ------------------------------------------------------------------ *)
+
+let lavamd_src = {|
+__kernel void md_kernel(__global float* posq, __global int* box_start,
+                        __global float* forces, int nboxes, int perbox) {
+  int b = get_group_id(0);
+  int tid = get_local_id(0);
+  __local float shared_pos[256];
+  if (b < nboxes) {
+    int base = box_start[b];
+    for (int i = tid; i < perbox * 4; i += get_local_size(0)) {
+      shared_pos[i] = posq[base * 4 + i];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (tid < perbox) {
+      float fx = 0.0f;
+      float fy = 0.0f;
+      float fz = 0.0f;
+      float xi = shared_pos[tid * 4 + 0];
+      float yi = shared_pos[tid * 4 + 1];
+      float zi = shared_pos[tid * 4 + 2];
+      for (int j = 0; j < perbox; j++) {
+        if (j != tid) {
+          float dx = xi - shared_pos[j * 4 + 0];
+          float dy = yi - shared_pos[j * 4 + 1];
+          float dz = zi - shared_pos[j * 4 + 2];
+          float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+          float qj = shared_pos[j * 4 + 3];
+          float s = qj * exp(-r2);
+          fx += s * dx;
+          fy += s * dy;
+          fz += s * dz;
+        }
+      }
+      forces[(base + tid) * 4 + 0] = fx;
+      forces[(base + tid) * 4 + 1] = fy;
+      forces[(base + tid) * 4 + 2] = fz;
+      forces[(base + tid) * 4 + 3] = 0.0f;
+    }
+  }
+}
+|}
+
+let lavamd =
+  app "lavaMD" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let nboxes = 27 and perbox = 32 in
+      let natoms = nboxes * perbox in
+      let posq = Dsl.randf (natoms * 4) 81 in
+      let box_start = Array.init nboxes (fun b -> b * perbox) in
+      o.build lavamd_src;
+      let b_p = o.fbuf posq in
+      let b_s = o.intbuf box_start in
+      let b_f = o.fbuf_empty (natoms * 4) in
+      let k = o.kern "md_kernel" in
+      o.set_args k [ B b_p; B b_s; B b_f; I nboxes; I perbox ];
+      o.run1 k ~g:(nboxes * 64) ~l:64;
+      Dsl.checksum_floats "lavaMD" (o.read_floats b_f (natoms * 4)))
+
+(* ------------------------------------------------------------------ *)
+
+let leukocyte_src = {|
+__kernel void dilate(__global float* img, __global float* out, int w, int h,
+                     int radius) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x < w && y < h) {
+    float m = -1.0e30f;
+    for (int dy = -radius; dy <= radius; dy++) {
+      for (int dx = -radius; dx <= radius; dx++) {
+        int xx = x + dx;
+        int yy = y + dy;
+        if (xx >= 0 && xx < w && yy >= 0 && yy < h) {
+          float v = img[yy * w + xx];
+          if (v > m) m = v;
+        }
+      }
+    }
+    out[y * w + x] = m;
+  }
+}
+|}
+
+let leukocyte =
+  app "leukocyte" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let w = 96 and h = 96 in
+      let img = Dsl.randf (w * h) 91 in
+      o.build leukocyte_src;
+      let b_i = o.fbuf img in
+      let b_o = o.fbuf_empty (w * h) in
+      let k = o.kern "dilate" in
+      o.set_args k [ B b_i; B b_o; I w; I h; I 2 ];
+      for _ = 1 to 2 do
+        o.run2 k ~gx:w ~gy:h ~lx:16 ~ly:16
+      done;
+      Dsl.checksum_floats "leukocyte" (o.read_floats b_o (w * h)))
+
+(* ------------------------------------------------------------------ *)
+
+let lud_src = {|
+__kernel void lud_internal(__global float* m, int size, int offset) {
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  int i = offset + 1 + gy;
+  int j = offset + 1 + gx;
+  if (i < size && j < size) {
+    m[i * size + j] -= m[i * size + offset] * m[offset * size + j];
+  }
+}
+
+__kernel void lud_diagonal(__global float* m, int size, int offset) {
+  int tid = get_global_id(0);
+  if (tid == 0) {
+    float pivot = m[offset * size + offset];
+    for (int i = offset + 1; i < size; i++) {
+      m[i * size + offset] /= pivot;
+    }
+  }
+}
+|}
+
+let lud =
+  app "lud" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let size = 48 in
+      let m =
+        Array.init (size * size) (fun k ->
+            let i = k / size and j = k mod size in
+            if i = j then 8.0 +. float_of_int (i mod 5)
+            else 0.5 /. (1.0 +. float_of_int (abs (i - j))))
+      in
+      o.build lud_src;
+      let b_m = o.fbuf m in
+      let kd = o.kern "lud_diagonal" and ki = o.kern "lud_internal" in
+      for off = 0 to size - 2 do
+        o.set_args kd [ B b_m; I size; I off ];
+        o.run1 kd ~g:16 ~l:16;
+        let rem = size - off - 1 in
+        let g = ((rem + 15) / 16) * 16 in
+        o.set_args ki [ B b_m; I size; I off ];
+        o.run2 ki ~gx:g ~gy:g ~lx:16 ~ly:16
+      done;
+      Dsl.checksum_floats "lud" (o.read_floats b_m (size * size)))
+
+(* ------------------------------------------------------------------ *)
+
+(* myocyte: very few work-items, each integrating an ODE system -- the
+   classic low-parallelism Rodinia member *)
+let myocyte_src = {|
+__kernel void solver(__global float* y0, __global float* yout,
+                     int neq, int steps) {
+  int cell = get_global_id(0);
+  float y = y0[cell];
+  float t = 0.0f;
+  float h = 0.01f;
+  for (int s = 0; s < steps; s++) {
+    float k1 = -2.0f * y + sin(t) + 0.1f * (float)(cell % neq);
+    float k2 = -2.0f * (y + 0.5f * h * k1) + sin(t + 0.5f * h);
+    y = y + h * k2;
+    t = t + h;
+  }
+  yout[cell] = y;
+}
+|}
+
+let myocyte =
+  app "myocyte" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let cells = 128 and steps = 200 in
+      let y0 = Dsl.randf cells 101 in
+      o.build myocyte_src;
+      let b_y = o.fbuf y0 in
+      let b_o = o.fbuf_empty cells in
+      let k = o.kern "solver" in
+      o.set_args k [ B b_y; B b_o; I 16; I steps ];
+      o.run1 k ~g:cells ~l:32;
+      Dsl.checksum_floats "myocyte" (o.read_floats b_o cells))
+
+(* ------------------------------------------------------------------ *)
+
+let nn_src = {|
+__kernel void euclid(__global float* lat, __global float* lon,
+                     __global float* dist, float qlat, float qlon, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    float dlat = lat[i] - qlat;
+    float dlon = lon[i] - qlon;
+    dist[i] = sqrt(dlat * dlat + dlon * dlon);
+  }
+}
+|}
+
+let nn =
+  app "nn" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let n = 4096 in
+      let lat = Dsl.randf n 111 in
+      let lon = Dsl.randf n 112 in
+      o.build nn_src;
+      let b_lat = o.fbuf lat and b_lon = o.fbuf lon in
+      let b_d = o.fbuf_empty n in
+      let k = o.kern "euclid" in
+      o.set_args k [ B b_lat; B b_lon; B b_d; F 0.5; F 0.5; I n ];
+      o.run1 k ~g:n ~l:64;
+      let d = o.read_floats b_d n in
+      (* host-side top-1 like the original *)
+      let best = ref 0 in
+      Array.iteri (fun i x -> if x < d.(!best) then best := i) d;
+      Printf.sprintf "nn best %d %s" !best (Dsl.checksum_floats "d" d))
+
+(* ------------------------------------------------------------------ *)
+
+let nw_src = {|
+__kernel void needle(__global int* score, __global int* ref_m, int dim,
+                     int diag, int penalty) {
+  int tid = get_global_id(0);
+  int i = diag - tid;
+  int j = tid + 1;
+  if (i >= 1 && i < dim && j >= 1 && j < dim) {
+    int up = score[(i - 1) * dim + j] - penalty;
+    int left = score[i * dim + (j - 1)] - penalty;
+    int upleft = score[(i - 1) * dim + (j - 1)] + ref_m[i * dim + j];
+    int m = up > left ? up : left;
+    score[i * dim + j] = m > upleft ? m : upleft;
+  }
+}
+|}
+
+let nw =
+  app "nw" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let dim = 128 and penalty = 1 in
+      let refm = Dsl.randi (dim * dim) 121 10 in
+      let score = Array.make (dim * dim) 0 in
+      for i = 0 to dim - 1 do
+        score.(i * dim) <- -i * penalty;
+        score.(i) <- -i * penalty
+      done;
+      o.build nw_src;
+      let b_s = o.intbuf score in
+      let b_r = o.intbuf refm in
+      let k = o.kern "needle" in
+      for diag = 1 to (2 * dim) - 3 do
+        o.set_args k [ B b_s; B b_r; I dim; I diag; I penalty ];
+        o.run1 k ~g:dim ~l:64
+      done;
+      Dsl.checksum_ints "nw" (o.read_ints b_s (dim * dim)))
+
+(* ------------------------------------------------------------------ *)
+
+let particlefilter_src = {|
+__kernel void likelihood(__global float* x, __global float* y,
+                         __global float* weights, float ox, float oy,
+                         int np) {
+  int p = get_global_id(0);
+  if (p < np) {
+    unsigned long seed = (unsigned long)(p * 2654435761);
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    float jitter = (float)(seed >> 40) / 16777216.0f - 0.5f;
+    float dx = x[p] + 0.05f * jitter - ox;
+    float dy = y[p] - oy;
+    weights[p] = exp(-0.5f * (dx * dx + dy * dy));
+  }
+}
+
+__kernel void normalize_weights(__global float* weights, __global float* total,
+                                int np) {
+  int p = get_global_id(0);
+  if (p < np) weights[p] /= total[0];
+}
+|}
+
+let particlefilter =
+  app "particlefilter" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let np = 1024 in
+      let x = Dsl.randf np 131 in
+      let y = Dsl.randf np 132 in
+      o.build particlefilter_src;
+      let b_x = o.fbuf x and b_y = o.fbuf y in
+      let b_w = o.fbuf_empty np in
+      let k = o.kern "likelihood" in
+      let kn = o.kern "normalize_weights" in
+      for step = 1 to 4 do
+        o.set_args k
+          [ B b_x; B b_y; B b_w; F (0.4 +. (0.05 *. float_of_int step)); F 0.5; I np ];
+        o.run1 k ~g:np ~l:64;
+        let w = o.read_floats b_w np in
+        let total = Array.fold_left ( +. ) 0.0 w in
+        let b_t = o.fbuf [| total |] in
+        o.set_args kn [ B b_w; B b_t; I np ];
+        o.run1 kn ~g:np ~l:64
+      done;
+      Dsl.checksum_floats "particlefilter" (o.read_floats b_w np))
+
+(* ------------------------------------------------------------------ *)
+
+let pathfinder_src = {|
+__kernel void dynproc(__global int* wall, __global int* src,
+                      __global int* dst, int cols, int row) {
+  int c = get_global_id(0);
+  __local int prev[80];
+  int tid = get_local_id(0);
+  if (c < cols) prev[tid] = src[c];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (c < cols) {
+    int best = prev[tid];
+    if (tid > 0 && prev[tid - 1] < best) best = prev[tid - 1];
+    if (tid < get_local_size(0) - 1 && prev[tid + 1] < best) best = prev[tid + 1];
+    dst[c] = best + wall[row * cols + c];
+  }
+}
+|}
+
+let pathfinder =
+  app "pathfinder" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let cols = 1024 and rows = 16 in
+      let wall = Dsl.randi (cols * rows) 141 10 in
+      o.build pathfinder_src;
+      let b_wall = o.intbuf wall in
+      let b_a = o.intbuf (Array.sub wall 0 cols) in
+      let b_b = o.intbuf_empty cols in
+      let k = o.kern "dynproc" in
+      let src = ref b_a and dst = ref b_b in
+      for row = 1 to rows - 1 do
+        o.set_args k [ B b_wall; B !src; B !dst; I cols; I row ];
+        o.run1 k ~g:cols ~l:64;
+        let t = !src in
+        src := !dst;
+        dst := t
+      done;
+      Dsl.checksum_ints "pathfinder" (o.read_ints !src cols))
+
+(* ------------------------------------------------------------------ *)
+
+let srad_src = {|
+__kernel void srad_kernel(__global float* img, __global float* out,
+                          int rows, int cols, float q0sqr, float lambda) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x < cols && y < rows) {
+    float jc = img[y * cols + x];
+    float jn = y > 0 ? img[(y - 1) * cols + x] : jc;
+    float js = y < rows - 1 ? img[(y + 1) * cols + x] : jc;
+    float jw = x > 0 ? img[y * cols + x - 1] : jc;
+    float je = x < cols - 1 ? img[y * cols + x + 1] : jc;
+    float g2 = ((jn - jc) * (jn - jc) + (js - jc) * (js - jc)
+              + (jw - jc) * (jw - jc) + (je - jc) * (je - jc)) / (jc * jc);
+    float l = (jn + js + jw + je - 4.0f * jc) / jc;
+    float num = 0.5f * g2 - 0.0625f * l * l;
+    float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den);
+    float c = 1.0f / (1.0f + (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr)));
+    if (c < 0.0f) c = 0.0f;
+    if (c > 1.0f) c = 1.0f;
+    out[y * cols + x] = jc + lambda * c * (jn + js + jw + je - 4.0f * jc);
+  }
+}
+|}
+
+let srad =
+  app "srad" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let rows = 64 and cols = 64 in
+      let img = Array.map (fun x -> 1.0 +. x) (Dsl.randf (rows * cols) 151) in
+      o.build srad_src;
+      let b_a = o.fbuf img in
+      let b_b = o.fbuf_empty (rows * cols) in
+      let k = o.kern "srad_kernel" in
+      let src = ref b_a and dst = ref b_b in
+      for _ = 1 to 4 do
+        o.set_args k [ B !src; B !dst; I rows; I cols; F 0.05; F 0.125 ];
+        o.run2 k ~gx:cols ~gy:rows ~lx:16 ~ly:16;
+        let t = !src in
+        src := !dst;
+        dst := t
+      done;
+      Dsl.checksum_floats "srad" (o.read_floats !src (rows * cols)))
+
+(* ------------------------------------------------------------------ *)
+
+let streamcluster_src = {|
+__kernel void pgain(__global float* points, __global float* center,
+                    __global float* cost, int np, int dim) {
+  int p = get_global_id(0);
+  if (p < np) {
+    float d = 0.0f;
+    for (int f = 0; f < dim; f++) {
+      float diff = points[p * dim + f] - center[f];
+      d += diff * diff;
+    }
+    cost[p] = d;
+  }
+}
+|}
+
+let streamcluster =
+  app "streamcluster" (fun ctx ->
+      let o = Dsl.ops ctx in
+      let np = 2048 and dim = 16 in
+      let points = Dsl.randf (np * dim) 161 in
+      o.build streamcluster_src;
+      let b_p = o.fbuf points in
+      let b_cost = o.fbuf_empty np in
+      let k = o.kern "pgain" in
+      let acc = ref 0.0 in
+      for c = 0 to 3 do
+        let center = Dsl.randf dim (170 + c) in
+        let b_c = o.fbuf center in
+        o.set_args k [ B b_p; B b_c; B b_cost; I np; I dim ];
+        o.run1 k ~g:np ~l:64;
+        let cost = o.read_floats b_cost np in
+        acc := !acc +. Array.fold_left ( +. ) 0.0 cost
+      done;
+      Printf.sprintf "streamcluster totalcost %.4g" !acc)
+
+(* ------------------------------------------------------------------ *)
+
+let apps =
+  [ backprop; bfs; btree; cfd; gaussian; heartwall; hotspot; hotspot3d;
+    hybridsort; kmeans; lavamd; leukocyte; lud; myocyte; nn; nw;
+    particlefilter; pathfinder; srad; streamcluster ]

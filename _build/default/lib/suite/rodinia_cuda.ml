@@ -1,0 +1,1082 @@
+(* Rodinia 3.0 CUDA benchmarks, miniaturised (Figure 8(a)).
+
+   Each application is a complete .cu program (host + device code) run by
+   the native CUDA runtime and fed to the CUDA-to-OpenCL translator.  The
+   paper's seven untranslatable members fail here for the same reasons:
+   heartwall passes a struct of pointers to a kernel, nn and mummergpu
+   call cudaMemGetInfo, dwt2d uses C++ classes in device code, and
+   kmeans/leukocyte/hybridsort bind 1D textures larger than the maximum
+   OpenCL 1D image. *)
+
+type cuda_app = {
+  cu_name : string;
+  cu_suite : string;
+  cu_src : string;
+  cu_tex1d_texels : int option;   (* runtime size hint for §5's limit *)
+  cu_expect_translatable : bool;
+}
+
+let app ?(tex1d = None) ?(translatable = true) cu_name cu_src =
+  { cu_name; cu_suite = "rodinia"; cu_src; cu_tex1d_texels = tex1d;
+    cu_expect_translatable = translatable }
+
+(* ------------------------------------------------------------------ *)
+
+let backprop = app "backprop" {|
+__global__ void layerforward(float* input, float* weights, float* hidden,
+                             int in_n, int hid_n) {
+  int j = blockIdx.x;
+  int tid = threadIdx.x;
+  __shared__ float partial[64];
+  float acc = 0.0f;
+  for (int i = tid; i < in_n; i += blockDim.x) {
+    acc += input[i] * weights[j * in_n + i];
+  }
+  partial[tid] = acc;
+  __syncthreads();
+  for (int s = blockDim.x / 2; s > 0; s = s / 2) {
+    if (tid < s) partial[tid] += partial[tid + s];
+    __syncthreads();
+  }
+  if (tid == 0) hidden[j] = 1.0f / (1.0f + exp(-partial[0]));
+}
+
+__global__ void adjust_weights(float* delta, float* input, float* weights,
+                               int in_n, int hid_n) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < in_n && j < hid_n) {
+    weights[j * in_n + i] += 0.3f * delta[j] * input[i] + 0.3f * weights[j * in_n + i] * 0.001f;
+  }
+}
+
+int main(void) {
+  int in_n = 256;
+  int hid_n = 64;
+  float* h_in = (float*)malloc(in_n * sizeof(float));
+  float* h_w = (float*)malloc(in_n * hid_n * sizeof(float));
+  float* h_delta = (float*)malloc(hid_n * sizeof(float));
+  float* h_hid = (float*)malloc(hid_n * sizeof(float));
+  for (int i = 0; i < in_n; i++) h_in[i] = 0.01f * (float)(i % 97);
+  for (int i = 0; i < in_n * hid_n; i++) h_w[i] = 0.001f * (float)(i % 193);
+  for (int i = 0; i < hid_n; i++) h_delta[i] = 0.02f * (float)(i % 31);
+  float* d_in; float* d_w; float* d_delta; float* d_hid;
+  cudaMalloc((void**)&d_in, in_n * sizeof(float));
+  cudaMalloc((void**)&d_w, in_n * hid_n * sizeof(float));
+  cudaMalloc((void**)&d_delta, hid_n * sizeof(float));
+  cudaMalloc((void**)&d_hid, hid_n * sizeof(float));
+  cudaMemcpy(d_in, h_in, in_n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_w, h_w, in_n * hid_n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_delta, h_delta, hid_n * sizeof(float), cudaMemcpyHostToDevice);
+  layerforward<<<hid_n, 64>>>(d_in, d_w, d_hid, in_n, hid_n);
+  dim3 grid(hid_n / 16, in_n / 16);
+  dim3 block(16, 16);
+  adjust_weights<<<grid, block>>>(d_delta, d_in, d_w, in_n, hid_n);
+  cudaMemcpy(h_hid, d_hid, hid_n * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaMemcpy(h_w, d_w, in_n * hid_n * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < hid_n; i++) sum += h_hid[i];
+  for (int i = 0; i < in_n * hid_n; i++) sum += h_w[i] * 0.001f;
+  printf("backprop sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+let bfs = app "bfs" {|
+__global__ void bfs_kernel(int* edges_off, int* edges, int* frontier,
+                           int* visited, int* cost, int* next_frontier, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n && frontier[v] == 1) {
+    frontier[v] = 0;
+    for (int e = edges_off[v]; e < edges_off[v + 1]; e++) {
+      int u = edges[e];
+      if (visited[u] == 0) {
+        visited[u] = 1;
+        cost[u] = cost[v] + 1;
+        next_frontier[u] = 1;
+      }
+    }
+  }
+}
+
+__global__ void bfs_swap(int* frontier, int* next_frontier, int* work, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    frontier[v] = next_frontier[v];
+    next_frontier[v] = 0;
+    if (frontier[v] == 1) atomicAdd(work, 1);
+  }
+}
+
+int main(void) {
+  int n = 1024;
+  int deg = 4;
+  int* h_off = (int*)malloc((n + 1) * sizeof(int));
+  int* h_edges = (int*)malloc(n * deg * sizeof(int));
+  for (int i = 0; i <= n; i++) h_off[i] = i * deg;
+  unsigned long seed = 12345ul;
+  for (int i = 0; i < n * deg; i++) {
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    h_edges[i] = (int)((seed >> 33) % (unsigned long)n);
+  }
+  int* d_off; int* d_edges; int* d_frontier; int* d_visited; int* d_cost; int* d_next; int* d_work;
+  cudaMalloc((void**)&d_off, (n + 1) * sizeof(int));
+  cudaMalloc((void**)&d_edges, n * deg * sizeof(int));
+  cudaMalloc((void**)&d_frontier, n * sizeof(int));
+  cudaMalloc((void**)&d_visited, n * sizeof(int));
+  cudaMalloc((void**)&d_cost, n * sizeof(int));
+  cudaMalloc((void**)&d_next, n * sizeof(int));
+  cudaMalloc((void**)&d_work, sizeof(int));
+  cudaMemcpy(d_off, h_off, (n + 1) * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_edges, h_edges, n * deg * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemset(d_frontier, 0, n * sizeof(int));
+  cudaMemset(d_visited, 0, n * sizeof(int));
+  cudaMemset(d_cost, 0, n * sizeof(int));
+  cudaMemset(d_next, 0, n * sizeof(int));
+  int one = 1;
+  cudaMemcpy(d_frontier, &one, sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_visited, &one, sizeof(int), cudaMemcpyHostToDevice);
+  int work = 1;
+  int iters = 0;
+  while (work > 0 && iters < 12) {
+    iters++;
+    bfs_kernel<<<n / 64, 64>>>(d_off, d_edges, d_frontier, d_visited, d_cost, d_next, n);
+    cudaMemset(d_work, 0, sizeof(int));
+    bfs_swap<<<n / 64, 64>>>(d_frontier, d_next, d_work, n);
+    cudaMemcpy(&work, d_work, sizeof(int), cudaMemcpyDeviceToHost);
+  }
+  int* h_cost = (int*)malloc(n * sizeof(int));
+  cudaMemcpy(h_cost, d_cost, n * sizeof(int), cudaMemcpyDeviceToHost);
+  int sum = 0;
+  for (int i = 0; i < n; i++) sum += h_cost[i];
+  printf("bfs sum %d iters %d\n", sum, iters);
+  return 0;
+}
+|}
+
+let btree = app "b+tree" {|
+__global__ void findK(int* keys, int* queries, int* answers, int n_keys, int n_queries) {
+  int q = blockIdx.x * blockDim.x + threadIdx.x;
+  if (q < n_queries) {
+    int target = queries[q];
+    int lo = 0;
+    int hi = n_keys - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (keys[mid] < target) lo = mid + 1; else hi = mid;
+    }
+    answers[q] = keys[lo];
+  }
+}
+
+int main(void) {
+  int n_keys = 4096;
+  int n_queries = 1024;
+  int* h_keys = (int*)malloc(n_keys * sizeof(int));
+  int* h_q = (int*)malloc(n_queries * sizeof(int));
+  for (int i = 0; i < n_keys; i++) h_keys[i] = i * 3;
+  unsigned long seed = 777ul;
+  for (int i = 0; i < n_queries; i++) {
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    h_q[i] = (int)((seed >> 33) % (unsigned long)(n_keys * 3));
+  }
+  int* d_keys; int* d_q; int* d_a;
+  cudaMalloc((void**)&d_keys, n_keys * sizeof(int));
+  cudaMalloc((void**)&d_q, n_queries * sizeof(int));
+  cudaMalloc((void**)&d_a, n_queries * sizeof(int));
+  cudaMemcpy(d_keys, h_keys, n_keys * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_q, h_q, n_queries * sizeof(int), cudaMemcpyHostToDevice);
+  findK<<<n_queries / 64, 64>>>(d_keys, d_q, d_a, n_keys, n_queries);
+  int* h_a = (int*)malloc(n_queries * sizeof(int));
+  cudaMemcpy(h_a, d_a, n_queries * sizeof(int), cudaMemcpyDeviceToHost);
+  int sum = 0;
+  for (int i = 0; i < n_queries; i++) sum += h_a[i];
+  printf("b+tree sum %d\n", sum);
+  return 0;
+}
+|}
+
+(* register pressure limits occupancy here: the CUDA compiler's appetite
+   yields 0.375 where OpenCL's yields 0.469 (paper §6.3) *)
+let cfd = app "cfd" {|
+__global__ void compute_flux(float* density, float* momx, float* momy,
+                             float* energy, int* neighbors, float* fluxes,
+                             int nelr) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nelr) {
+    float d_i = density[i];
+    float mx_i = momx[i];
+    float my_i = momy[i];
+    float e_i = energy[i];
+    float vx_i = mx_i / d_i;
+    float vy_i = my_i / d_i;
+    float speed2_i = vx_i * vx_i + vy_i * vy_i;
+    float pressure_i = 0.4f * (e_i - 0.5f * d_i * speed2_i);
+    float sound_i = sqrt(1.4f * pressure_i / d_i);
+    float flux_d = 0.0f;
+    float flux_mx = 0.0f;
+    float flux_my = 0.0f;
+    float flux_e = 0.0f;
+    for (int j = 0; j < 4; j++) {
+      int nb = neighbors[i * 4 + j];
+      float nx = 0.5f * (float)(j - 1);
+      float ny = 0.5f * (float)(2 - j);
+      float d_nb = density[nb];
+      float mx_nb = momx[nb];
+      float my_nb = momy[nb];
+      float e_nb = energy[nb];
+      float vx_nb = mx_nb / d_nb;
+      float vy_nb = my_nb / d_nb;
+      float speed2_nb = vx_nb * vx_nb + vy_nb * vy_nb;
+      float pressure_nb = 0.4f * (e_nb - 0.5f * d_nb * speed2_nb);
+      float sound_nb = sqrt(1.4f * pressure_nb / d_nb);
+      float factor = 0.5f * (sound_i + sound_nb);
+      float fd = factor * (d_i - d_nb) + nx * (mx_i + mx_nb) + ny * (my_i + my_nb);
+      float fmx = factor * (mx_i - mx_nb) + nx * (vx_i * mx_i + vx_nb * mx_nb + pressure_i + pressure_nb);
+      float fmy = factor * (my_i - my_nb) + ny * (vy_i * my_i + vy_nb * my_nb + pressure_i + pressure_nb);
+      float fe = factor * (e_i - e_nb) + nx * vx_i * (e_i + pressure_i) + ny * vy_nb * (e_nb + pressure_nb);
+      flux_d += fd;
+      flux_mx += fmx;
+      flux_my += fmy;
+      flux_e += fe;
+    }
+    fluxes[i * 4 + 0] = flux_d;
+    fluxes[i * 4 + 1] = flux_mx;
+    fluxes[i * 4 + 2] = flux_my;
+    fluxes[i * 4 + 3] = flux_e;
+  }
+}
+
+int main(void) {
+  int nelr = 1536;
+  float* h_d = (float*)malloc(nelr * sizeof(float));
+  float* h_mx = (float*)malloc(nelr * sizeof(float));
+  float* h_my = (float*)malloc(nelr * sizeof(float));
+  float* h_e = (float*)malloc(nelr * sizeof(float));
+  int* h_nb = (int*)malloc(nelr * 4 * sizeof(int));
+  unsigned long seed = 9ul;
+  for (int i = 0; i < nelr; i++) {
+    h_d[i] = 1.0f + 0.001f * (float)(i % 37);
+    h_mx[i] = 0.01f * (float)(i % 53);
+    h_my[i] = 0.02f * (float)(i % 41);
+    h_e[i] = 2.0f + 0.001f * (float)(i % 29);
+  }
+  for (int i = 0; i < nelr * 4; i++) {
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    h_nb[i] = (int)((seed >> 33) % (unsigned long)nelr);
+  }
+  float* d_d; float* d_mx; float* d_my; float* d_e; float* d_f;
+  int* d_nb;
+  cudaMalloc((void**)&d_d, nelr * sizeof(float));
+  cudaMalloc((void**)&d_mx, nelr * sizeof(float));
+  cudaMalloc((void**)&d_my, nelr * sizeof(float));
+  cudaMalloc((void**)&d_e, nelr * sizeof(float));
+  cudaMalloc((void**)&d_nb, nelr * 4 * sizeof(int));
+  cudaMalloc((void**)&d_f, nelr * 4 * sizeof(float));
+  cudaMemcpy(d_d, h_d, nelr * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_mx, h_mx, nelr * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_my, h_my, nelr * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_e, h_e, nelr * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_nb, h_nb, nelr * 4 * sizeof(int), cudaMemcpyHostToDevice);
+  for (int it = 0; it < 3; it++) {
+    compute_flux<<<nelr / 192, 192>>>(d_d, d_mx, d_my, d_e, d_nb, d_f, nelr);
+  }
+  float* h_f = (float*)malloc(nelr * 4 * sizeof(float));
+  cudaMemcpy(h_f, d_f, nelr * 4 * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < nelr * 4; i++) sum += h_f[i];
+  printf("cfd sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+(* dwt2d uses C++ classes in device code: untranslatable (§3.6). *)
+let dwt2d = app ~translatable:false "dwt2d" {|
+class PixelBlock {
+public:
+  float values[16];
+  __device__ float haar(int i) { return values[i] - values[i + 1]; }
+};
+
+__global__ void dwt_kernel(float* in, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  PixelBlock blk;
+  for (int k = 0; k < 16; k++) blk.values[k] = in[i * 16 + k];
+  out[i] = blk.haar(threadIdx.x % 15);
+}
+
+int main(void) {
+  printf("dwt2d untranslatable\n");
+  return 0;
+}
+|}
+
+let gaussian = app "gaussian" {|
+__global__ void fan1(float* a, float* m, int size, int t) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < size - 1 - t) {
+    m[size * (i + t + 1) + t] = a[size * (i + t + 1) + t] / a[size * t + t];
+  }
+}
+
+__global__ void fan2(float* a, float* b, float* m, int size, int t) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < size - 1 - t && j < size - t) {
+    a[size * (i + 1 + t) + (j + t)] -= m[size * (i + 1 + t) + t] * a[size * t + (j + t)];
+    if (j == 0) b[i + 1 + t] -= m[size * (i + 1 + t) + t] * b[t];
+  }
+}
+
+int main(void) {
+  int size = 64;
+  float* h_a = (float*)malloc(size * size * sizeof(float));
+  float* h_b = (float*)malloc(size * sizeof(float));
+  for (int i = 0; i < size; i++) {
+    for (int j = 0; j < size; j++) {
+      if (i == j) h_a[i * size + j] = 10.0f + (float)(i % 7);
+      else h_a[i * size + j] = 1.0f / (1.0f + (float)(i > j ? i - j : j - i));
+    }
+    h_b[i] = (float)i;
+  }
+  float* d_a; float* d_b; float* d_m;
+  cudaMalloc((void**)&d_a, size * size * sizeof(float));
+  cudaMalloc((void**)&d_b, size * sizeof(float));
+  cudaMalloc((void**)&d_m, size * size * sizeof(float));
+  cudaMemcpy(d_a, h_a, size * size * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_b, h_b, size * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemset(d_m, 0, size * size * sizeof(float));
+  dim3 block2(16, 16);
+  for (int t = 0; t < size - 1; t++) {
+    fan1<<<size / 64, 64>>>(d_a, d_m, size, t);
+    dim3 grid2(size / 16, size / 16);
+    fan2<<<grid2, block2>>>(d_a, d_b, d_m, size, t);
+  }
+  cudaMemcpy(h_b, d_b, size * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < size; i++) sum += h_b[i];
+  printf("gaussian sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+(* heartwall passes a struct containing device pointers to its kernel:
+   no OpenCL counterpart exists for that (the paper's first failure). *)
+let heartwall = app ~translatable:false "heartwall" {|
+typedef struct {
+  float* frame;
+  int* px;
+  int* py;
+  float* conv;
+  int fw;
+  int fh;
+} TrackParams;
+
+__global__ void track(TrackParams p, int np, int win) {
+  int q = blockIdx.x;
+  int tid = threadIdx.x;
+  __shared__ float best[64];
+  float acc = -1.0e30f;
+  if (q < np) {
+    for (int w = tid; w < win * win; w += blockDim.x) {
+      int dx = w % win - win / 2;
+      int dy = w / win - win / 2;
+      int x = p.px[q] + dx;
+      int y = p.py[q] + dy;
+      if (x >= 0 && x < p.fw && y >= 0 && y < p.fh) {
+        float v = p.frame[y * p.fw + x];
+        float score = v - 0.01f * (float)(dx * dx + dy * dy);
+        if (score > acc) acc = score;
+      }
+    }
+  }
+  best[tid] = acc;
+  __syncthreads();
+  if (tid == 0) {
+    float m = -1.0e30f;
+    for (int t = 0; t < blockDim.x; t++) {
+      if (best[t] > m) m = best[t];
+    }
+    if (q < np) p.conv[q] = m;
+  }
+}
+
+int main(void) {
+  int fw = 128;
+  int fh = 128;
+  int np = 64;
+  int win = 9;
+  float* h_frame = (float*)malloc(fw * fh * sizeof(float));
+  int* h_px = (int*)malloc(np * sizeof(int));
+  int* h_py = (int*)malloc(np * sizeof(int));
+  for (int i = 0; i < fw * fh; i++) h_frame[i] = 0.001f * (float)(i % 661);
+  for (int i = 0; i < np; i++) {
+    h_px[i] = (i * 37) % fw;
+    h_py[i] = (i * 53) % fh;
+  }
+  TrackParams p;
+  cudaMalloc((void**)&p.frame, fw * fh * sizeof(float));
+  cudaMalloc((void**)&p.px, np * sizeof(int));
+  cudaMalloc((void**)&p.py, np * sizeof(int));
+  cudaMalloc((void**)&p.conv, np * sizeof(float));
+  p.fw = fw;
+  p.fh = fh;
+  cudaMemcpy(p.frame, h_frame, fw * fh * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(p.px, h_px, np * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(p.py, h_py, np * sizeof(int), cudaMemcpyHostToDevice);
+  for (int it = 0; it < 4; it++) {
+    track<<<np, 64>>>(p, np, win);
+  }
+  float* h_conv = (float*)malloc(np * sizeof(float));
+  cudaMemcpy(h_conv, p.conv, np * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < np; i++) sum += h_conv[i];
+  printf("heartwall sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+let hotspot = app "hotspot" {|
+__global__ void hotspot_step(float* temp_src, float* power, float* temp_dst,
+                             int n, float cap, float rx, float ry, float rz,
+                             float amb) {
+  int c = blockIdx.x * blockDim.x + threadIdx.x;
+  int r = blockIdx.y * blockDim.y + threadIdx.y;
+  __shared__ float tile[18][18];
+  int lx = threadIdx.x;
+  int ly = threadIdx.y;
+  tile[ly + 1][lx + 1] = temp_src[r * n + c];
+  if (lx == 0) tile[ly + 1][0] = temp_src[r * n + (c > 0 ? c - 1 : c)];
+  if (lx == blockDim.x - 1) tile[ly + 1][lx + 2] = temp_src[r * n + (c < n - 1 ? c + 1 : c)];
+  if (ly == 0) tile[0][lx + 1] = temp_src[(r > 0 ? r - 1 : r) * n + c];
+  if (ly == blockDim.y - 1) tile[ly + 2][lx + 1] = temp_src[(r < n - 1 ? r + 1 : r) * n + c];
+  __syncthreads();
+  float t = tile[ly + 1][lx + 1];
+  float delta = (power[r * n + c]
+    + (tile[ly + 1][lx + 2] + tile[ly + 1][lx] - 2.0f * t) / rx
+    + (tile[ly + 2][lx + 1] + tile[ly][lx + 1] - 2.0f * t) / ry
+    + (amb - t) / rz) / cap;
+  temp_dst[r * n + c] = t + delta;
+}
+
+int main(void) {
+  int n = 64;
+  float* h_t = (float*)malloc(n * n * sizeof(float));
+  float* h_p = (float*)malloc(n * n * sizeof(float));
+  for (int i = 0; i < n * n; i++) {
+    h_t[i] = 320.0f + 0.1f * (float)(i % 101);
+    h_p[i] = 0.001f * (float)(i % 89);
+  }
+  float* d_a; float* d_b; float* d_p;
+  cudaMalloc((void**)&d_a, n * n * sizeof(float));
+  cudaMalloc((void**)&d_b, n * n * sizeof(float));
+  cudaMalloc((void**)&d_p, n * n * sizeof(float));
+  cudaMemcpy(d_a, h_t, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_p, h_p, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  dim3 grid(n / 16, n / 16);
+  dim3 block(16, 16);
+  for (int it = 0; it < 3; it++) {
+    hotspot_step<<<grid, block>>>(d_a, d_p, d_b, n, 0.5f, 1.0f, 1.0f, 30.0f, 80.0f);
+    hotspot_step<<<grid, block>>>(d_b, d_p, d_a, n, 0.5f, 1.0f, 1.0f, 30.0f, 80.0f);
+  }
+  cudaMemcpy(h_t, d_a, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < n * n; i++) sum += h_t[i];
+  printf("hotspot sum %.6g\n", sum);
+  return 0;
+}
+|}
+
+(* hybridsort binds a 1D texture over the full input; at production sizes
+   that exceeds the maximum OpenCL 1D image (§5). *)
+let hybridsort = app ~translatable:false ~tex1d:(Some (1 lsl 20)) "hybridsort" {|
+texture<float, 1, cudaReadModeElementType> tex_input;
+
+__global__ void bucketcount(int* counts, float minv, float maxv, int nbuckets, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float v = tex1Dfetch(tex_input, i);
+    int b = (int)((v - minv) / (maxv - minv) * (float)nbuckets);
+    if (b >= nbuckets) b = nbuckets - 1;
+    atomicAdd(&counts[b], 1);
+  }
+}
+
+__global__ void oddeven_pass(float* data, int n, int phase) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int idx = 2 * i + phase;
+  if (idx + 1 < n) {
+    float a = data[idx];
+    float b = data[idx + 1];
+    if (a > b) {
+      data[idx] = b;
+      data[idx + 1] = a;
+    }
+  }
+}
+
+int main(void) {
+  int n = 2048;
+  int nbuckets = 16;
+  float* h = (float*)malloc(n * sizeof(float));
+  unsigned long seed = 61ul;
+  for (int i = 0; i < n; i++) {
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    h[i] = (float)(seed >> 40) / 16777216.0f;
+  }
+  float* d;
+  int* d_counts;
+  cudaMalloc((void**)&d, n * sizeof(float));
+  cudaMalloc((void**)&d_counts, nbuckets * sizeof(int));
+  cudaMemcpy(d, h, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemset(d_counts, 0, nbuckets * sizeof(int));
+  cudaBindTexture(0, tex_input, d, n * sizeof(float));
+  bucketcount<<<n / 64, 64>>>(d_counts, 0.0f, 1.0f, nbuckets, n);
+  cudaUnbindTexture(tex_input);
+  for (int stage = 0; stage < 8; stage++) {
+    for (int phase = 0; phase < 2; phase++) {
+      oddeven_pass<<<n / 2 / 64, 64>>>(d, n, phase);
+    }
+  }
+  cudaMemcpy(h, d, n * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < n; i++) sum += h[i] * (float)(i % 3);
+  printf("hybridsort sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+(* kmeans binds its feature matrix to a too-large 1D texture (§5). *)
+let kmeans = app ~translatable:false ~tex1d:(Some (1 lsl 21)) "kmeans" {|
+texture<float, 1, cudaReadModeElementType> tex_features;
+
+__global__ void kmeans_assign(float* clusters, int* membership, int npoints,
+                              int nclusters, int nfeatures) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p < npoints) {
+    int best = 0;
+    float bestd = 1.0e30f;
+    for (int c = 0; c < nclusters; c++) {
+      float d = 0.0f;
+      for (int f = 0; f < nfeatures; f++) {
+        float diff = tex1Dfetch(tex_features, p * nfeatures + f) - clusters[c * nfeatures + f];
+        d += diff * diff;
+      }
+      if (d < bestd) { bestd = d; best = c; }
+    }
+    membership[p] = best;
+  }
+}
+
+int main(void) {
+  int npoints = 2048;
+  int nclusters = 8;
+  int nfeatures = 8;
+  float* h_f = (float*)malloc(npoints * nfeatures * sizeof(float));
+  float* h_c = (float*)malloc(nclusters * nfeatures * sizeof(float));
+  for (int i = 0; i < npoints * nfeatures; i++) h_f[i] = 0.001f * (float)(i % 881);
+  for (int i = 0; i < nclusters * nfeatures; i++) h_c[i] = 0.01f * (float)(i % 71);
+  float* d_f; float* d_c;
+  int* d_m;
+  cudaMalloc((void**)&d_f, npoints * nfeatures * sizeof(float));
+  cudaMalloc((void**)&d_c, nclusters * nfeatures * sizeof(float));
+  cudaMalloc((void**)&d_m, npoints * sizeof(int));
+  cudaMemcpy(d_f, h_f, npoints * nfeatures * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_c, h_c, nclusters * nfeatures * sizeof(float), cudaMemcpyHostToDevice);
+  cudaBindTexture(0, tex_features, d_f, npoints * nfeatures * sizeof(float));
+  for (int it = 0; it < 3; it++) {
+    kmeans_assign<<<npoints / 64, 64>>>(d_c, d_m, npoints, nclusters, nfeatures);
+  }
+  int* h_m = (int*)malloc(npoints * sizeof(int));
+  cudaMemcpy(h_m, d_m, npoints * sizeof(int), cudaMemcpyDeviceToHost);
+  int sum = 0;
+  for (int i = 0; i < npoints; i++) sum += h_m[i];
+  printf("kmeans sum %d\n", sum);
+  return 0;
+}
+|}
+
+let lavamd = app "lavaMD" {|
+__global__ void md_kernel(float* posq, int* box_start, float* forces,
+                          int nboxes, int perbox) {
+  int b = blockIdx.x;
+  int tid = threadIdx.x;
+  __shared__ float shared_pos[256];
+  if (b < nboxes) {
+    int base = box_start[b];
+    for (int i = tid; i < perbox * 4; i += blockDim.x) {
+      shared_pos[i] = posq[base * 4 + i];
+    }
+    __syncthreads();
+    if (tid < perbox) {
+      float fx = 0.0f;
+      float fy = 0.0f;
+      float fz = 0.0f;
+      float xi = shared_pos[tid * 4 + 0];
+      float yi = shared_pos[tid * 4 + 1];
+      float zi = shared_pos[tid * 4 + 2];
+      for (int j = 0; j < perbox; j++) {
+        if (j != tid) {
+          float dx = xi - shared_pos[j * 4 + 0];
+          float dy = yi - shared_pos[j * 4 + 1];
+          float dz = zi - shared_pos[j * 4 + 2];
+          float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+          float qj = shared_pos[j * 4 + 3];
+          float s = qj * exp(-r2);
+          fx += s * dx;
+          fy += s * dy;
+          fz += s * dz;
+        }
+      }
+      forces[(base + tid) * 4 + 0] = fx;
+      forces[(base + tid) * 4 + 1] = fy;
+      forces[(base + tid) * 4 + 2] = fz;
+      forces[(base + tid) * 4 + 3] = 0.0f;
+    }
+  }
+}
+
+int main(void) {
+  int nboxes = 27;
+  int perbox = 32;
+  int natoms = nboxes * perbox;
+  float* h_p = (float*)malloc(natoms * 4 * sizeof(float));
+  int* h_s = (int*)malloc(nboxes * sizeof(int));
+  for (int i = 0; i < natoms * 4; i++) h_p[i] = 0.001f * (float)(i % 997);
+  for (int b = 0; b < nboxes; b++) h_s[b] = b * perbox;
+  float* d_p; float* d_f;
+  int* d_s;
+  cudaMalloc((void**)&d_p, natoms * 4 * sizeof(float));
+  cudaMalloc((void**)&d_s, nboxes * sizeof(int));
+  cudaMalloc((void**)&d_f, natoms * 4 * sizeof(float));
+  cudaMemcpy(d_p, h_p, natoms * 4 * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_s, h_s, nboxes * sizeof(int), cudaMemcpyHostToDevice);
+  md_kernel<<<nboxes, 64>>>(d_p, d_s, d_f, nboxes, perbox);
+  float* h_f = (float*)malloc(natoms * 4 * sizeof(float));
+  cudaMemcpy(h_f, d_f, natoms * 4 * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < natoms * 4; i++) sum += h_f[i];
+  printf("lavaMD sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+(* leukocyte's GICOV matrix rides a too-large 1D texture (§5). *)
+let leukocyte = app ~translatable:false ~tex1d:(Some 200000) "leukocyte" {|
+texture<float, 1, cudaReadModeElementType> tex_gicov;
+
+__global__ void dilate(float* out, int w, int h, int radius) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x < w && y < h) {
+    float m = -1.0e30f;
+    for (int dy = -radius; dy <= radius; dy++) {
+      for (int dx = -radius; dx <= radius; dx++) {
+        int xx = x + dx;
+        int yy = y + dy;
+        if (xx >= 0 && xx < w && yy >= 0 && yy < h) {
+          float v = tex1Dfetch(tex_gicov, yy * w + xx);
+          if (v > m) m = v;
+        }
+      }
+    }
+    out[y * w + x] = m;
+  }
+}
+
+int main(void) {
+  int w = 96;
+  int h = 96;
+  float* h_img = (float*)malloc(w * h * sizeof(float));
+  for (int i = 0; i < w * h; i++) h_img[i] = 0.001f * (float)(i % 773);
+  float* d_img; float* d_out;
+  cudaMalloc((void**)&d_img, w * h * sizeof(float));
+  cudaMalloc((void**)&d_out, w * h * sizeof(float));
+  cudaMemcpy(d_img, h_img, w * h * sizeof(float), cudaMemcpyHostToDevice);
+  cudaBindTexture(0, tex_gicov, d_img, w * h * sizeof(float));
+  dim3 grid(w / 16, h / 16);
+  dim3 block(16, 16);
+  for (int it = 0; it < 2; it++) {
+    dilate<<<grid, block>>>(d_out, w, h, 2);
+  }
+  float* h_out = (float*)malloc(w * h * sizeof(float));
+  cudaMemcpy(h_out, d_out, w * h * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < w * h; i++) sum += h_out[i];
+  printf("leukocyte sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+let lud = app "lud" {|
+__global__ void lud_diagonal(float* m, int size, int offset) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid == 0) {
+    float pivot = m[offset * size + offset];
+    for (int i = offset + 1; i < size; i++) {
+      m[i * size + offset] /= pivot;
+    }
+  }
+}
+
+__global__ void lud_internal(float* m, int size, int offset) {
+  int gx = blockIdx.x * blockDim.x + threadIdx.x;
+  int gy = blockIdx.y * blockDim.y + threadIdx.y;
+  int i = offset + 1 + gy;
+  int j = offset + 1 + gx;
+  if (i < size && j < size) {
+    m[i * size + j] -= m[i * size + offset] * m[offset * size + j];
+  }
+}
+
+int main(void) {
+  int size = 48;
+  float* h_m = (float*)malloc(size * size * sizeof(float));
+  for (int i = 0; i < size; i++) {
+    for (int j = 0; j < size; j++) {
+      if (i == j) h_m[i * size + j] = 8.0f + (float)(i % 5);
+      else h_m[i * size + j] = 0.5f / (1.0f + (float)(i > j ? i - j : j - i));
+    }
+  }
+  float* d_m;
+  cudaMalloc((void**)&d_m, size * size * sizeof(float));
+  cudaMemcpy(d_m, h_m, size * size * sizeof(float), cudaMemcpyHostToDevice);
+  dim3 block(16, 16);
+  for (int off = 0; off < size - 1; off++) {
+    lud_diagonal<<<1, 16>>>(d_m, size, off);
+    int rem = size - off - 1;
+    int g = (rem + 15) / 16;
+    dim3 grid(g, g);
+    lud_internal<<<grid, block>>>(d_m, size, off);
+  }
+  cudaMemcpy(h_m, d_m, size * size * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < size * size; i++) sum += h_m[i];
+  printf("lud sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+(* mummergpu needs cudaMemGetInfo to size its suffix-tree pages; OpenCL
+   has no counterpart (§3.7). *)
+let mummergpu = app ~translatable:false "mummergpu" {|
+__global__ void match_kernel(int* tree, int* queries, int* results, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) results[i] = tree[queries[i] % 1024] + i;
+}
+
+int main(void) {
+  size_t free_mem = 0;
+  size_t total_mem = 0;
+  cudaMemGetInfo(&free_mem, &total_mem);
+  printf("mummergpu untranslatable %d\n", (int)(total_mem > 0));
+  return 0;
+}
+|}
+
+let myocyte = app "myocyte" {|
+__global__ void solver(float* y0, float* yout, int neq, int steps) {
+  int cell = blockIdx.x * blockDim.x + threadIdx.x;
+  float y = y0[cell];
+  float t = 0.0f;
+  float h = 0.01f;
+  for (int s = 0; s < steps; s++) {
+    float k1 = -2.0f * y + sin(t) + 0.1f * (float)(cell % neq);
+    float k2 = -2.0f * (y + 0.5f * h * k1) + sin(t + 0.5f * h);
+    y = y + h * k2;
+    t = t + h;
+  }
+  yout[cell] = y;
+}
+
+int main(void) {
+  int cells = 128;
+  int steps = 200;
+  float* h_y = (float*)malloc(cells * sizeof(float));
+  for (int i = 0; i < cells; i++) h_y[i] = 0.001f * (float)(i * 13 % 251);
+  float* d_y; float* d_o;
+  cudaMalloc((void**)&d_y, cells * sizeof(float));
+  cudaMalloc((void**)&d_o, cells * sizeof(float));
+  cudaMemcpy(d_y, h_y, cells * sizeof(float), cudaMemcpyHostToDevice);
+  solver<<<cells / 32, 32>>>(d_y, d_o, 16, steps);
+  cudaMemcpy(h_y, d_o, cells * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < cells; i++) sum += h_y[i];
+  printf("myocyte sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+(* nn sizes its record chunks with cudaMemGetInfo: untranslatable. *)
+let nn = app ~translatable:false "nn" {|
+__global__ void euclid(float* lat, float* lon, float* dist, float qlat,
+                       float qlon, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float dlat = lat[i] - qlat;
+    float dlon = lon[i] - qlon;
+    dist[i] = sqrt(dlat * dlat + dlon * dlon);
+  }
+}
+
+int main(void) {
+  size_t free_mem = 0;
+  size_t total_mem = 0;
+  cudaMemGetInfo(&free_mem, &total_mem);
+  int n = 4096;
+  if ((int)(free_mem > 0) == 0) n = 0;
+  float* h_lat = (float*)malloc(n * sizeof(float));
+  float* h_lon = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i < n; i++) {
+    h_lat[i] = 0.001f * (float)(i % 911);
+    h_lon[i] = 0.001f * (float)((i * 3) % 907);
+  }
+  float* d_lat; float* d_lon; float* d_d;
+  cudaMalloc((void**)&d_lat, n * sizeof(float));
+  cudaMalloc((void**)&d_lon, n * sizeof(float));
+  cudaMalloc((void**)&d_d, n * sizeof(float));
+  cudaMemcpy(d_lat, h_lat, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_lon, h_lon, n * sizeof(float), cudaMemcpyHostToDevice);
+  euclid<<<n / 64, 64>>>(d_lat, d_lon, d_d, 0.5f, 0.5f, n);
+  float* h_d = (float*)malloc(n * sizeof(float));
+  cudaMemcpy(h_d, d_d, n * sizeof(float), cudaMemcpyDeviceToHost);
+  int best = 0;
+  for (int i = 1; i < n; i++) {
+    if (h_d[i] < h_d[best]) best = i;
+  }
+  printf("nn best %d\n", best);
+  return 0;
+}
+|}
+
+let nw = app "nw" {|
+__global__ void needle(int* score, int* ref_m, int dim, int diag, int penalty) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = diag - tid;
+  int j = tid + 1;
+  if (i >= 1 && i < dim && j >= 1 && j < dim) {
+    int up = score[(i - 1) * dim + j] - penalty;
+    int left = score[i * dim + (j - 1)] - penalty;
+    int upleft = score[(i - 1) * dim + (j - 1)] + ref_m[i * dim + j];
+    int m = up > left ? up : left;
+    score[i * dim + j] = m > upleft ? m : upleft;
+  }
+}
+
+int main(void) {
+  int dim = 128;
+  int penalty = 1;
+  int* h_s = (int*)malloc(dim * dim * sizeof(int));
+  int* h_r = (int*)malloc(dim * dim * sizeof(int));
+  unsigned long seed = 5ul;
+  for (int i = 0; i < dim * dim; i++) {
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    h_r[i] = (int)((seed >> 33) % 10ul);
+    h_s[i] = 0;
+  }
+  for (int i = 0; i < dim; i++) {
+    h_s[i * dim] = -i * penalty;
+    h_s[i] = -i * penalty;
+  }
+  int* d_s; int* d_r;
+  cudaMalloc((void**)&d_s, dim * dim * sizeof(int));
+  cudaMalloc((void**)&d_r, dim * dim * sizeof(int));
+  cudaMemcpy(d_s, h_s, dim * dim * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_r, h_r, dim * dim * sizeof(int), cudaMemcpyHostToDevice);
+  for (int diag = 1; diag <= 2 * dim - 3; diag++) {
+    needle<<<dim / 64, 64>>>(d_s, d_r, dim, diag, penalty);
+  }
+  cudaMemcpy(h_s, d_s, dim * dim * sizeof(int), cudaMemcpyDeviceToHost);
+  int sum = 0;
+  for (int i = 0; i < dim * dim; i++) sum += h_s[i];
+  printf("nw sum %d\n", sum);
+  return 0;
+}
+|}
+
+let particlefilter = app "particlefilter" {|
+__global__ void likelihood(float* x, float* y, float* weights, float ox,
+                           float oy, int np) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p < np) {
+    unsigned long seed = (unsigned long)(p * 2654435761);
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    float jitter = (float)(seed >> 40) / 16777216.0f - 0.5f;
+    float dx = x[p] + 0.05f * jitter - ox;
+    float dy = y[p] - oy;
+    weights[p] = exp(-0.5f * (dx * dx + dy * dy));
+  }
+}
+
+__global__ void normalize_weights(float* weights, float* total, int np) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p < np) weights[p] /= total[0];
+}
+
+int main(void) {
+  int np = 1024;
+  float* h_x = (float*)malloc(np * sizeof(float));
+  float* h_y = (float*)malloc(np * sizeof(float));
+  float* h_w = (float*)malloc(np * sizeof(float));
+  for (int i = 0; i < np; i++) {
+    h_x[i] = 0.001f * (float)(i % 991);
+    h_y[i] = 0.001f * (float)((i * 7) % 983);
+  }
+  float* d_x; float* d_y; float* d_w; float* d_t;
+  cudaMalloc((void**)&d_x, np * sizeof(float));
+  cudaMalloc((void**)&d_y, np * sizeof(float));
+  cudaMalloc((void**)&d_w, np * sizeof(float));
+  cudaMalloc((void**)&d_t, sizeof(float));
+  cudaMemcpy(d_x, h_x, np * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_y, h_y, np * sizeof(float), cudaMemcpyHostToDevice);
+  for (int step = 1; step <= 4; step++) {
+    likelihood<<<np / 64, 64>>>(d_x, d_y, d_w, 0.4f + 0.05f * (float)step, 0.5f, np);
+    cudaMemcpy(h_w, d_w, np * sizeof(float), cudaMemcpyDeviceToHost);
+    float total = 0.0f;
+    for (int i = 0; i < np; i++) total += h_w[i];
+    cudaMemcpy(d_t, &total, sizeof(float), cudaMemcpyHostToDevice);
+    normalize_weights<<<np / 64, 64>>>(d_w, d_t, np);
+  }
+  cudaMemcpy(h_w, d_w, np * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < np; i++) sum += h_w[i];
+  printf("particlefilter sum %.4g\n", sum);
+  return 0;
+}
+|}
+
+let pathfinder = app "pathfinder" {|
+__global__ void dynproc(int* wall, int* src, int* dst, int cols, int row) {
+  int c = blockIdx.x * blockDim.x + threadIdx.x;
+  __shared__ int prev[80];
+  int tid = threadIdx.x;
+  if (c < cols) prev[tid] = src[c];
+  __syncthreads();
+  if (c < cols) {
+    int best = prev[tid];
+    if (tid > 0 && prev[tid - 1] < best) best = prev[tid - 1];
+    if (tid < blockDim.x - 1 && prev[tid + 1] < best) best = prev[tid + 1];
+    dst[c] = best + wall[row * cols + c];
+  }
+}
+
+int main(void) {
+  int cols = 1024;
+  int rows = 16;
+  int* h_wall = (int*)malloc(cols * rows * sizeof(int));
+  unsigned long seed = 3ul;
+  for (int i = 0; i < cols * rows; i++) {
+    seed = seed * 6364136223846793005ul + 1442695040888963407ul;
+    h_wall[i] = (int)((seed >> 33) % 10ul);
+  }
+  int* d_wall; int* d_a; int* d_b;
+  cudaMalloc((void**)&d_wall, cols * rows * sizeof(int));
+  cudaMalloc((void**)&d_a, cols * sizeof(int));
+  cudaMalloc((void**)&d_b, cols * sizeof(int));
+  cudaMemcpy(d_wall, h_wall, cols * rows * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_a, h_wall, cols * sizeof(int), cudaMemcpyHostToDevice);
+  for (int row = 1; row < rows; row++) {
+    if (row % 2 == 1) dynproc<<<cols / 64, 64>>>(d_wall, d_a, d_b, cols, row);
+    else dynproc<<<cols / 64, 64>>>(d_wall, d_b, d_a, cols, row);
+  }
+  int* h_out = (int*)malloc(cols * sizeof(int));
+  cudaMemcpy(h_out, d_b, cols * sizeof(int), cudaMemcpyDeviceToHost);
+  int sum = 0;
+  for (int i = 0; i < cols; i++) sum += h_out[i];
+  printf("pathfinder sum %d\n", sum);
+  return 0;
+}
+|}
+
+let srad = app "srad" {|
+__global__ void srad_kernel(float* img, float* out, int rows, int cols,
+                            float q0sqr, float lambda) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x < cols && y < rows) {
+    float jc = img[y * cols + x];
+    float jn = y > 0 ? img[(y - 1) * cols + x] : jc;
+    float js = y < rows - 1 ? img[(y + 1) * cols + x] : jc;
+    float jw = x > 0 ? img[y * cols + x - 1] : jc;
+    float je = x < cols - 1 ? img[y * cols + x + 1] : jc;
+    float g2 = ((jn - jc) * (jn - jc) + (js - jc) * (js - jc)
+              + (jw - jc) * (jw - jc) + (je - jc) * (je - jc)) / (jc * jc);
+    float l = (jn + js + jw + je - 4.0f * jc) / jc;
+    float num = 0.5f * g2 - 0.0625f * l * l;
+    float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den);
+    float cc = 1.0f / (1.0f + (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr)));
+    if (cc < 0.0f) cc = 0.0f;
+    if (cc > 1.0f) cc = 1.0f;
+    out[y * cols + x] = jc + lambda * cc * (jn + js + jw + je - 4.0f * jc);
+  }
+}
+
+int main(void) {
+  int rows = 64;
+  int cols = 64;
+  float* h_i = (float*)malloc(rows * cols * sizeof(float));
+  for (int i = 0; i < rows * cols; i++) h_i[i] = 1.0f + 0.001f * (float)(i % 499);
+  float* d_a; float* d_b;
+  cudaMalloc((void**)&d_a, rows * cols * sizeof(float));
+  cudaMalloc((void**)&d_b, rows * cols * sizeof(float));
+  cudaMemcpy(d_a, h_i, rows * cols * sizeof(float), cudaMemcpyHostToDevice);
+  dim3 grid(cols / 16, rows / 16);
+  dim3 block(16, 16);
+  for (int it = 0; it < 2; it++) {
+    srad_kernel<<<grid, block>>>(d_a, d_b, rows, cols, 0.05f, 0.125f);
+    srad_kernel<<<grid, block>>>(d_b, d_a, rows, cols, 0.05f, 0.125f);
+  }
+  cudaMemcpy(h_i, d_a, rows * cols * sizeof(float), cudaMemcpyDeviceToHost);
+  float sum = 0.0f;
+  for (int i = 0; i < rows * cols; i++) sum += h_i[i];
+  printf("srad sum %.6g\n", sum);
+  return 0;
+}
+|}
+
+let streamcluster = app "streamcluster" {|
+__global__ void pgain(float* points, float* center, float* cost, int np, int dim) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p < np) {
+    float d = 0.0f;
+    for (int f = 0; f < dim; f++) {
+      float diff = points[p * dim + f] - center[f];
+      d += diff * diff;
+    }
+    cost[p] = d;
+  }
+}
+
+int main(void) {
+  int np = 2048;
+  int dim = 16;
+  float* h_p = (float*)malloc(np * dim * sizeof(float));
+  float* h_c = (float*)malloc(dim * sizeof(float));
+  float* h_cost = (float*)malloc(np * sizeof(float));
+  for (int i = 0; i < np * dim; i++) h_p[i] = 0.001f * (float)(i % 977);
+  float* d_p; float* d_c; float* d_cost;
+  cudaMalloc((void**)&d_p, np * dim * sizeof(float));
+  cudaMalloc((void**)&d_c, dim * sizeof(float));
+  cudaMalloc((void**)&d_cost, np * sizeof(float));
+  cudaMemcpy(d_p, h_p, np * dim * sizeof(float), cudaMemcpyHostToDevice);
+  float acc = 0.0f;
+  for (int c = 0; c < 4; c++) {
+    for (int f = 0; f < dim; f++) h_c[f] = 0.01f * (float)((c * dim + f) % 83);
+    cudaMemcpy(d_c, h_c, dim * sizeof(float), cudaMemcpyHostToDevice);
+    pgain<<<np / 64, 64>>>(d_p, d_c, d_cost, np, dim);
+    cudaMemcpy(h_cost, d_cost, np * sizeof(float), cudaMemcpyDeviceToHost);
+    for (int i = 0; i < np; i++) acc += h_cost[i];
+  }
+  printf("streamcluster totalcost %.4g\n", acc);
+  return 0;
+}
+|}
+
+let apps =
+  [ backprop; bfs; btree; cfd; dwt2d; gaussian; heartwall; hotspot;
+    hybridsort; kmeans; lavamd; leukocyte; lud; mummergpu; myocyte; nn; nw;
+    particlefilter; pathfinder; srad; streamcluster ]
+
+let translatable = List.filter (fun a -> a.cu_expect_translatable) apps
+let untranslatable = List.filter (fun a -> not a.cu_expect_translatable) apps

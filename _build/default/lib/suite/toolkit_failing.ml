@@ -1,0 +1,527 @@
+(* The 56 CUDA Toolkit 4.2 samples that cannot be translated to OpenCL,
+   with the exact failure categorisation of the paper's Table 3.  Each is
+   a miniature carrying the specific model-specific feature(s) that doom
+   it; several fail for multiple reasons, as the paper notes (particles,
+   Mandelbrot, nbody, smokeParticles). *)
+
+open Rodinia_cuda
+
+let stub ?(tex1d = None) cu_name cu_src =
+  { cu_name; cu_suite = "toolkit"; cu_src; cu_tex1d_texels = tex1d;
+    cu_expect_translatable = false }
+
+(* --- row 1: no corresponding functions ------------------------------- *)
+
+let clock = stub "clock" {|
+__global__ void timedReduction(float* input, float* output, long* timer) {
+  int tid = threadIdx.x;
+  if (tid == 0) timer[blockIdx.x] = clock();
+  output[tid] = input[tid] * 2.0f;
+  __syncthreads();
+  if (tid == 0) timer[blockIdx.x + gridDim.x] = clock();
+}
+int main(void) { return 0; }
+|}
+
+let concurrentkernels = stub "concurrentKernels" {|
+__global__ void clock_block(long* d_o, long clock_count) {
+  long start = clock64();
+  long c = start;
+  while (c - start < clock_count) c = clock64();
+  d_o[0] = c;
+}
+int main(void) { return 0; }
+|}
+
+let simpleassert = stub "simpleAssert" {|
+__global__ void testKernel(int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  assert(i < n);
+}
+int main(void) { return 0; }
+|}
+
+let simpleatomicintrinsics = stub "simpleAtomicIntrinsics" {|
+__global__ void testKernel(int* g_odata) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  atomicAdd(&g_odata[0], 10);
+  int laneMask = __ballot(tid % 2);
+  g_odata[1] = laneMask;
+}
+int main(void) { return 0; }
+|}
+
+let simplevoteintrinsics = stub "simpleVoteIntrinsics" {|
+__global__ void voteKernel(int* input, int* result, int n) {
+  int tid = threadIdx.x;
+  result[tid] = __all(input[tid] > 0) + __any(input[tid] > 100);
+}
+int main(void) { return 0; }
+|}
+
+let fdtd3d_cuda = stub "FDTD3d" {|
+__global__ void fdtdStep(float* out, float* in, int dimx) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int behind = __shfl_up(i, 1);
+  out[i] = in[i] + 0.1f * (float)behind;
+}
+int main(void) { return 0; }
+|}
+
+(* --- row 2: unsupported libraries ------------------------------------- *)
+
+let convolutionfft2d = stub "convolutionFFT2D" {|
+int main(void) {
+  float* d_data;
+  cudaMalloc((void**)&d_data, 1024 * sizeof(float));
+  cufftExecC2C(0, d_data, d_data, 1);
+  return 0;
+}
+|}
+
+let lineofsight = stub "lineOfSight" {|
+int main(void) {
+  int* d_in;
+  cudaMalloc((void**)&d_in, 1024 * sizeof(int));
+  thrust_inclusive_scan(d_in, d_in, 1024);
+  return 0;
+}
+|}
+
+let marchingcubes = stub "marchingCubes" {|
+int main(void) {
+  int* d_voxels;
+  cudaMalloc((void**)&d_voxels, 4096 * sizeof(int));
+  thrust_exclusive_scan(d_voxels, d_voxels, 4096);
+  return 0;
+}
+|}
+
+(* particles fails for two reasons, like the paper notes *)
+let particles = stub "particles" {|
+int main(void) {
+  unsigned int vbo = 0;
+  glGenBuffers(1, &vbo);
+  cudaGLRegisterBufferObject(vbo);
+  int* d_hash;
+  cudaMalloc((void**)&d_hash, 4096 * sizeof(int));
+  thrust_sort_by_key(d_hash, d_hash, 4096);
+  return 0;
+}
+|}
+
+let radixsortthrust = stub "radixSortThrust" {|
+int main(void) {
+  int* d_keys;
+  cudaMalloc((void**)&d_keys, 65536 * sizeof(int));
+  thrust_sort(d_keys, 65536);
+  return 0;
+}
+|}
+
+(* --- row 3: unsupported language extensions --------------------------- *)
+
+let alignedtypes = stub "alignedTypes" {|
+typedef struct __align__(16) { unsigned int r, g, b, a; } RGBA32_misaligned;
+__global__ void testKernel(RGBA32_misaligned* d_odata, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) d_odata[i].r = i;
+}
+int main(void) { return 0; }
+|}
+
+let convolutiontexture = stub "convolutionTexture" {|
+texture<float, 2, cudaReadModeElementType> texSrc;
+template <int i>
+__device__ float convolutionRow(float x, float y) {
+  return tex2D(texSrc, x + (float)(4 - i), y) + convolutionRow<i - 1>(x, y);
+}
+int main(void) { return 0; }
+|}
+
+let dct8x8_cuda = stub "dct8x8" {|
+__device__ void inplaceDCTvector(float* Vect0, int Step) {
+  float* Vect1 = Vect0 + Step;
+  float (*restorePtr)(float) = 0;
+  restorePtr(Vect1[0]);
+}
+int main(void) { return 0; }
+|}
+
+let dxtc = stub "dxtc" {|
+__constant__ float kColorMetric[3];
+template <int BLOCK_SIZE>
+__global__ void compressBlocks(unsigned int* result) {
+  __shared__ float colors[BLOCK_SIZE];
+  colors[threadIdx.x] = kColorMetric[threadIdx.x % 3];
+  result[threadIdx.x] = (unsigned int)colors[threadIdx.x];
+}
+int main(void) { return 0; }
+|}
+
+let eigenvalues = stub "eigenvalues" {|
+template <class T, class S>
+__device__ void writeToGmem(T* g_left, S left_count) {
+  g_left[0] = static_cast<T>(left_count);
+}
+template <unsigned int blockSize>
+__global__ void bisectKernel(float* g_d, unsigned int* converged) {
+  converged[0] = (unsigned int)g_d[blockSize % 7];
+}
+int main(void) { return 0; }
+|}
+
+let interval = stub "Interval" {|
+template <class T>
+class interval_gpu {
+public:
+  __device__ interval_gpu(T lo, T hi);
+  T lower;
+  T upper;
+};
+__global__ void test_interval(float* out) { out[0] = 1.0f; }
+int main(void) { return 0; }
+|}
+
+let mergesort = stub "mergeSort" {|
+__device__ int binarySearchInclusive(int val, int* data, int L, int stride) {
+  int pos = 0;
+  for (; stride > 0; stride >>= 1) {
+    int newPos = pos + stride < L ? pos + stride : L;
+    if (data[newPos - 1] <= val) pos = newPos;
+  }
+  return pos;
+}
+template <unsigned int sortDir>
+__global__ void mergeRanksAndIndicesKernel(int* ranks, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) ranks[i] = binarySearchInclusive(i, ranks, n, (int)sortDir);
+}
+int main(void) { return 0; }
+|}
+
+let montecarlo_cuda = stub "MonteCarlo" {|
+template <int SUM_N>
+__global__ void MonteCarloOneBlockPerOption(float* d_samples, float* d_result) {
+  __shared__ float s_sum[SUM_N];
+  int tid = threadIdx.x;
+  s_sum[tid] = d_samples[tid];
+  __syncthreads();
+  d_result[tid] = s_sum[tid];
+}
+int main(void) { return 0; }
+|}
+
+let montecarlomultigpu = stub "MonteCarloMultiGPU" {|
+template <int SUM_N>
+__global__ void MonteCarloKernel(float* d_samples, float* d_result, int n) {
+  __shared__ float s_sum[SUM_N];
+  int tid = threadIdx.x;
+  s_sum[tid] = tid < n ? d_samples[tid] : 0.0f;
+  __syncthreads();
+  d_result[blockIdx.x] = s_sum[0];
+}
+int main(void) { return 0; }
+|}
+
+(* nbody fails for OpenGL + C++ feature reasons, per the paper *)
+let nbody_cuda = stub "nbody" {|
+template <typename T>
+class BodySystemCUDA {
+public:
+  T* m_pos;
+  __device__ void update(T dt);
+};
+int main(void) {
+  unsigned int pbo = 0;
+  glGenBuffers(1, &pbo);
+  cudaGLRegisterBufferObject(pbo);
+  return 0;
+}
+|}
+
+let functionpointers = stub "FunctionPointers" {|
+__device__ float addOp(float a, float b) { return a + b; }
+__device__ float (*d_pointFunction)(float, float) = addOp;
+__global__ void applyOp(float* data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) data[i] = d_pointFunction(data[i], 1.0f);
+}
+int main(void) { return 0; }
+|}
+
+let transpose_cuda = stub "transpose" {|
+template <int TILE_DIM, int BLOCK_ROWS>
+__global__ void transposeDiagonal(float* odata, float* idata, int width) {
+  __shared__ float tile[TILE_DIM][TILE_DIM + 1];
+  int x = blockIdx.x * TILE_DIM + threadIdx.x;
+  tile[threadIdx.y][threadIdx.x] = idata[x];
+  __syncthreads();
+  odata[x] = tile[threadIdx.x][threadIdx.y];
+}
+int main(void) { return 0; }
+|}
+
+let newdelete = stub "newdelete" {|
+__global__ void vectorCreate(int* container, int n) {
+  int* v = new int[n];
+  v[0] = threadIdx.x;
+  container[threadIdx.x] = v[0];
+  delete v;
+}
+int main(void) { return 0; }
+|}
+
+let reduction_cuda = stub "reduction" {|
+template <unsigned int blockSize>
+__global__ void reduce6(float* g_idata, float* g_odata, unsigned int n) {
+  __shared__ float sdata[256];
+  unsigned int tid = threadIdx.x;
+  sdata[tid] = g_idata[tid];
+  __syncthreads();
+  if (blockSize >= 64) {
+    float v = __shfl_down(sdata[tid], 32);
+    sdata[tid] += v;
+  }
+  g_odata[blockIdx.x] = sdata[0];
+}
+int main(void) { return 0; }
+|}
+
+let simpleprintf = stub "simplePrintf" {|
+__global__ void testKernel(int val) {
+  printf("[%d, %d]:\tValue is:%d\n", blockIdx.x, threadIdx.x, val);
+}
+int main(void) { return 0; }
+|}
+
+let simpletemplates = stub "simpleTemplates" {|
+template <class T>
+class ArrayView {
+public:
+  T* data;
+  __device__ T& at(int i) { return data[i]; }
+};
+template <class T>
+__global__ void testKernel(T* g_idata, T* g_odata) {
+  g_odata[threadIdx.x] = g_idata[threadIdx.x];
+}
+int main(void) { return 0; }
+|}
+
+let threadfencereduction = stub "threadFenceReduction" {|
+template <unsigned int blockSize>
+__global__ void reduceSinglePass(float* g_idata, float* g_odata, unsigned int n) {
+  __shared__ float sdata[blockSize];
+  unsigned int tid = threadIdx.x;
+  sdata[tid] = tid < n ? g_idata[tid] : 0.0f;
+  __threadfence();
+  if (tid == 0) g_odata[blockIdx.x] = sdata[0];
+}
+int main(void) { return 0; }
+|}
+
+let hsopticalflow = stub "HSOpticalFlow" {|
+texture<float, 2, cudaReadModeElementType> texSource;
+template <int bx, int by>
+__global__ void ComputeDerivativesKernel(float* Ix, int w, int h, int s) {
+  int i = blockIdx.x * bx + threadIdx.x;
+  Ix[i] = tex2D(texSource, (float)i, 0.0f);
+}
+int main(void) { return 0; }
+|}
+
+let simplecubemaptexture = stub "simpleCubemapTexture" {|
+texture<float, cudaTextureTypeCubemap> tex_cubemap;
+__global__ void transformKernel(float* g_odata, int width) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  g_odata[x] = texCubemap(tex_cubemap, 0.5f, 0.5f, 0.5f);
+}
+int main(void) { return 0; }
+|}
+
+(* --- row 4: OpenGL binding -------------------------------------------- *)
+
+let gl_stub name extra = stub name (Printf.sprintf {|
+__global__ void renderKernel(float* pixels, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) pixels[i] = %s;
+}
+int main(void) {
+  unsigned int pbo = 0;
+  glGenBuffers(1, &pbo);
+  glBindBuffer(34962, pbo);
+  cudaGLRegisterBufferObject(pbo);
+  float* d_ptr;
+  cudaGLMapBufferObject((void**)&d_ptr, pbo);
+  renderKernel<<<16, 64>>>(d_ptr, 1024);
+  return 0;
+}
+|} extra)
+
+let bilateralfilter = gl_stub "bilateralFilter" "0.1f * (float)i"
+let boxfilter_cuda = gl_stub "boxFilter" "0.2f * (float)i"
+let fluidsgl = gl_stub "fluidsGL" "0.3f * (float)i"
+let imagedenoising = gl_stub "imageDenoising" "0.4f * (float)i"
+let mandelbrot = stub "Mandelbrot" {|
+template <class T>
+__global__ void MandelbrotKernel(int* dst, int imageW, T xOff) {
+  int ix = blockIdx.x * blockDim.x + threadIdx.x;
+  dst[ix] = (int)xOff + ix;
+}
+int main(void) {
+  unsigned int pbo = 0;
+  glGenBuffers(1, &pbo);
+  cudaGLRegisterBufferObject(pbo);
+  return 0;
+}
+|}
+let oceanfft = gl_stub "oceanFFT" "0.5f * (float)i"
+let postprocessgl = gl_stub "postProcessGL" "0.6f * (float)i"
+let recursivegaussian_cuda = gl_stub "recursiveGaussian" "0.7f * (float)i"
+let simplegl = gl_stub "simpleGL" "0.8f * (float)i"
+let simpletexture3d = gl_stub "simpleTexture3D" "0.9f * (float)i"
+let smokeparticles = stub "smokeParticles" {|
+class SmokeRenderer {
+public:
+  float* m_positions;
+  void render();
+};
+int main(void) {
+  unsigned int vbo = 0;
+  glGenBuffers(1, &vbo);
+  cudaGLRegisterBufferObject(vbo);
+  return 0;
+}
+|}
+let sobelfilter_cuda = gl_stub "SobelFilter" "1.0f * (float)i"
+let bicubictexture = gl_stub "bicubicTexture" "1.1f * (float)i"
+let volumerender_cuda = gl_stub "volumeRender" "1.2f * (float)i"
+let volumefiltering = gl_stub "volumeFiltering" "1.3f * (float)i"
+
+(* --- row 5: use of PTX ------------------------------------------------ *)
+
+let matrixmuldrv = stub "matrixMulDrv" {|
+int main(void) {
+  CUmodule module_;
+  cuModuleLoad(&module_, "matrixMul_kernel.ptx");
+  return 0;
+}
+|}
+
+let inlineptx = stub "inlinePTX" {|
+__global__ void sequence_gpu(int* d_ptr, int length) {
+  int elemID = blockIdx.x * blockDim.x + threadIdx.x;
+  if (elemID < length) {
+    unsigned int laneid;
+    asm("mov.u32 %0, %%laneid;" : "=r"(laneid));
+    d_ptr[elemID] = laneid;
+  }
+}
+int main(void) { return 0; }
+|}
+
+let ptxjit = stub "ptxjit" {|
+int main(void) {
+  CUmodule module_;
+  cuModuleLoadDataEx(&module_, 0, 0, 0, 0);
+  return 0;
+}
+|}
+
+let matrixmuldynlinkjit = stub "matrixMulDynlinkJIT" {|
+int main(void) {
+  CUmodule module_;
+  cuModuleLoadData(&module_, 0);
+  return 0;
+}
+|}
+
+let simpletexturedrv = stub "simpleTextureDrv" {|
+int main(void) {
+  CUmodule module_;
+  cuModuleLoad(&module_, "simpleTexture_kernel.ptx");
+  return 0;
+}
+|}
+
+let threadmigration = stub "threadMigration" {|
+int main(void) {
+  CUcontext ctx;
+  CUmodule module_;
+  cuModuleLoad(&module_, "threadMigration.ptx");
+  return 0;
+}
+|}
+
+let vectoradddrv = stub "vectorAddDrv" {|
+int main(void) {
+  CUmodule module_;
+  cuModuleLoad(&module_, "vectorAdd_kernel.ptx");
+  return 0;
+}
+|}
+
+(* --- row 6: unified virtual address space ------------------------------ *)
+
+let simplemulticopy = stub "simpleMultiCopy" {|
+int main(void) {
+  int* h_data;
+  cudaHostAlloc((void**)&h_data, 4096 * sizeof(int), 0);
+  return 0;
+}
+|}
+
+let simplep2p = stub "simpleP2P" {|
+int main(void) {
+  cudaDeviceEnablePeerAccess(1, 0);
+  float* g0;
+  cudaMalloc((void**)&g0, 1024 * sizeof(float));
+  cudaMemcpyPeer(g0, 0, g0, 1, 1024 * sizeof(float));
+  return 0;
+}
+|}
+
+let simplestreams = stub "simpleStreams" {|
+int main(void) {
+  int* h_a;
+  cudaMallocHost((void**)&h_a, 4096 * sizeof(int));
+  cudaStream_t stream;
+  cudaStreamCreate(&stream);
+  return 0;
+}
+|}
+
+let simplezerocopy = stub "simpleZeroCopy" {|
+int main(void) {
+  float* h_a;
+  cudaHostAlloc((void**)&h_a, 4096 * sizeof(float), 4);
+  float* d_a;
+  cudaHostGetDevicePointer((void**)&d_a, h_a, 0);
+  return 0;
+}
+|}
+
+(* exactly the 56 rows of Table 3 *)
+let apps =
+  [ (* no corresponding functions *)
+    clock; concurrentkernels; simpleassert; simpleatomicintrinsics;
+    simplevoteintrinsics; fdtd3d_cuda;
+    (* unsupported libraries *)
+    convolutionfft2d; lineofsight; marchingcubes; particles; radixsortthrust;
+    (* unsupported language extensions *)
+    alignedtypes; convolutiontexture; dct8x8_cuda; dxtc; eigenvalues;
+    interval; mergesort; montecarlo_cuda; montecarlomultigpu; nbody_cuda;
+    functionpointers; transpose_cuda; newdelete; reduction_cuda;
+    simpleprintf; simpletemplates; threadfencereduction; hsopticalflow;
+    simplecubemaptexture;
+    (* OpenGL binding *)
+    bilateralfilter; boxfilter_cuda; fluidsgl; imagedenoising; mandelbrot;
+    oceanfft; postprocessgl; recursivegaussian_cuda; simplegl;
+    simpletexture3d; smokeparticles; sobelfilter_cuda; bicubictexture;
+    volumerender_cuda; volumefiltering;
+    (* use of PTX *)
+    matrixmuldrv; inlineptx; ptxjit; matrixmuldynlinkjit; simpletexturedrv;
+    threadmigration; vectoradddrv;
+    (* unified virtual address space *)
+    simplemulticopy; simplep2p; simplestreams; simplezerocopy ]

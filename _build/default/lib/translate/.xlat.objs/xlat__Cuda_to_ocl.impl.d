@@ -1,0 +1,1 @@
+lib/translate/cuda_to_ocl.ml: Hashtbl List Minic Option Printf String

@@ -1,0 +1,1 @@
+lib/translate/feature.ml: List Minic Printf String

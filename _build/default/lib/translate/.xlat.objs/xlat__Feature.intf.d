@@ -1,0 +1,1 @@
+lib/translate/feature.mli: Minic

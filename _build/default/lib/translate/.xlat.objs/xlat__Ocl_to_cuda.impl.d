@@ -1,0 +1,1 @@
+lib/translate/ocl_to_cuda.ml: Array Hashtbl List Minic Option Printf String Vm

@@ -1,0 +1,1 @@
+lib/translate/ocl_to_cuda.mli: Minic

@@ -1,0 +1,280 @@
+(* Model-specific feature detection (paper §3.7 and Table 3).
+
+   Before translating a CUDA application to OpenCL, the framework scans
+   it for features with no OpenCL counterpart.  Detection combines a
+   source-text scan (for constructs outside the Mini-C subset, e.g. C++
+   classes, function-pointer declarators) with an AST scan (for known
+   built-ins and API calls), mirroring how a clang-based tool flags
+   unsupported constructs wherever it can see them. *)
+
+open Minic.Ast
+
+type category =
+  | No_corresponding_function
+  | Unsupported_library
+  | Unsupported_language_extension
+  | OpenGL_binding
+  | Use_of_ptx
+  | Unified_virtual_address_space
+  | Texture_too_large          (* 1D texture > max 1D image size, §5 *)
+  | Subdevices                 (* OpenCL-only feature, opposite direction *)
+
+let category_name = function
+  | No_corresponding_function -> "No corresponding functions"
+  | Unsupported_library -> "Unsupported libraries"
+  | Unsupported_language_extension -> "Unsupported language extensions"
+  | OpenGL_binding -> "OpenGL binding"
+  | Use_of_ptx -> "Use of PTX"
+  | Unified_virtual_address_space -> "Use of unified virtual address space"
+  | Texture_too_large -> "1D texture larger than max 1D image"
+  | Subdevices -> "Sub-device partitioning"
+
+type finding = {
+  f_category : category;
+  f_construct : string;       (* offending identifier or pattern *)
+}
+
+(* Identifiers whose presence dooms CUDA-to-OpenCL translation. *)
+let no_counterpart_builtins =
+  [ "__shfl"; "__shfl_up"; "__shfl_down"; "__shfl_xor";
+    "__all"; "__any"; "__ballot";
+    "clock"; "clock64"; "assert"; "__prof_trigger";
+    "cudaMemGetInfo"; "cuMemGetInfo" ]
+
+let unsupported_library_prefixes =
+  [ "cufft"; "cublas"; "curand"; "cusparse"; "npp"; "thrust" ]
+
+let opengl_markers =
+  [ "cudaGLSetGLDevice"; "cudaGraphicsGLRegisterBuffer";
+    "cudaGraphicsMapResources"; "cudaGraphicsUnmapResources";
+    "cudaGLRegisterBufferObject"; "cudaGLMapBufferObject";
+    "glBindBuffer"; "glutInit"; "glGenBuffers" ]
+
+let ptx_markers =
+  [ "asm"; "cuModuleLoad"; "cuModuleLoadData"; "cuModuleLoadDataEx";
+    "cuLinkCreate"; "ptxjit" ]
+
+let uva_markers =
+  [ "cudaHostAlloc"; "cudaHostGetDevicePointer"; "cudaMallocHost";
+    "cudaHostRegister"; "cudaDeviceEnablePeerAccess"; "cudaMemcpyPeer";
+    "cudaMemcpyPeerAsync"; "cudaPointerGetAttributes" ]
+
+let language_extension_markers =
+  (* device-side printf/new/delete and friends (Table 3 row 3) *)
+  [ "printf_device"; "__printf"; "new"; "delete" ]
+
+(* --- source-text scan ------------------------------------------------ *)
+
+let contains_word src word =
+  let wl = String.length word and sl = String.length src in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  let rec go i =
+    if i + wl > sl then false
+    else if String.sub src i wl = word
+            && (i = 0 || not (is_ident_char src.[i - 1]))
+            && (i + wl = sl || not (is_ident_char src.[i + wl]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let contains_substr src sub =
+  let n = String.length sub and m = String.length src in
+  let rec go i = i + n <= m && (String.sub src i n = sub || go (i + 1)) in
+  go 0
+
+let scan_source src : finding list =
+  let f = ref [] in
+  let add cat construct = f := { f_category = cat; f_construct = construct } :: !f in
+  if contains_word src "class" && contains_word src "__device__" then
+    add Unsupported_language_extension "C++ class in device code";
+  if contains_word src "__align__" then
+    add Unsupported_language_extension "__align__ attribute";
+  if contains_word src "new" || contains_word src "delete" then
+    add Unsupported_language_extension "device-side new/delete";
+  if contains_substr src "template <int" || contains_substr src "template<int"
+     || contains_substr src "template <unsigned"
+     || contains_substr src "template<unsigned"
+  then add Unsupported_language_extension "non-type template parameter";
+  if contains_word src "cudaTextureTypeCubemap" then
+    add Unsupported_language_extension "cubemap texture";
+  (* library calls can appear in code the frontend cannot even parse *)
+  List.iter
+    (fun p ->
+       if contains_substr src p then
+         add Unsupported_library (p ^ "* library call"))
+    [ "cufft"; "cublas"; "curand"; "thrust_" ];
+  (* function-pointer declarator: "(*name)(" *)
+  let has_fn_ptr =
+    let re_hit = ref false in
+    String.iteri
+      (fun i c ->
+         if c = '(' && i + 1 < String.length src && src.[i + 1] = '*' then begin
+           (* look for ")(" later on the same construct, cheap heuristic *)
+           match String.index_from_opt src i ')' with
+           | Some j when j + 1 < String.length src && src.[j + 1] = '(' ->
+             re_hit := true
+           | _ -> ()
+         end)
+      src;
+    !re_hit
+  in
+  if has_fn_ptr then add Unsupported_language_extension "function pointer";
+  if contains_word src "asm" then add Use_of_ptx "inline PTX (asm)";
+  List.iter
+    (fun m -> if contains_word src m then add OpenGL_binding m)
+    opengl_markers;
+  !f
+
+(* --- AST scan -------------------------------------------------------- *)
+
+let calls_of_program prog =
+  let acc = ref [] in
+  let record e =
+    (match e with
+     | Call (n, _, _) -> acc := n :: !acc
+     | Launch l -> acc := l.l_kernel :: !acc
+     | _ -> ());
+    e
+  in
+  List.iter
+    (function
+      | TFunc { fn_body = Some body; _ } ->
+        List.iter
+          (fun s -> ignore (map_stmt ~expr:record ~stmt:(fun s -> s) s))
+          body
+      | _ -> ())
+    prog;
+  !acc
+
+let scan_ast (prog : Minic.Ast.program) : finding list =
+  let calls = calls_of_program prog in
+  let f = ref [] in
+  let add cat construct = f := { f_category = cat; f_construct = construct } :: !f in
+  List.iter
+    (fun name ->
+       if List.mem name no_counterpart_builtins then
+         add No_corresponding_function name;
+       if List.exists
+            (fun p ->
+               String.length name >= String.length p
+               && String.sub name 0 (String.length p) = p)
+            unsupported_library_prefixes
+       then add Unsupported_library name;
+       if List.mem name opengl_markers then add OpenGL_binding name;
+       if List.mem name ptx_markers then add Use_of_ptx name;
+       if List.mem name uva_markers then add Unified_virtual_address_space name;
+       if List.mem name language_extension_markers then
+         add Unsupported_language_extension name)
+    calls;
+  (* device-side printf counts as an unsupported extension (simplePrintf) *)
+  List.iter
+    (fun fn ->
+       match fn.fn_kind, fn.fn_body with
+       | (FK_kernel | FK_device), Some body ->
+         let uses_printf =
+           fold_body_exprs
+             (fun acc e ->
+                acc || match e with Call ("printf", _, _) -> true | _ -> false)
+             false body
+         in
+         if uses_printf then
+           add Unsupported_language_extension
+             (Printf.sprintf "printf in device function %s" fn.fn_name)
+       | _ -> ())
+    (functions prog);
+  !f
+
+(* A kernel taking a struct that carries pointers relies on the unified
+   virtual address space: the host builds a struct of device pointers and
+   passes it by value (heartwall).  OpenCL 1.2 kernels cannot receive
+   raw pointers inside aggregates. *)
+let scan_struct_pointer_params (prog : Minic.Ast.program) : finding list =
+  let struct_defs = structs prog in
+  let has_ptr_field name =
+    match List.assoc_opt name struct_defs with
+    | Some fields -> List.exists (fun (_, t) -> is_pointer (unqual t)) fields
+    | None -> false
+  in
+  List.concat_map
+    (fun f ->
+       if f.fn_kind <> FK_kernel then []
+       else
+         List.filter_map
+           (fun pa ->
+              match unqual pa.pa_ty with
+              | TNamed n when has_ptr_field n ->
+                Some
+                  { f_category = Unified_virtual_address_space;
+                    f_construct =
+                      Printf.sprintf "kernel %s passes struct %s containing pointers"
+                        f.fn_name n }
+              | _ -> None)
+           f.fn_params)
+    (functions prog)
+
+(* A 1D texture bound to linear memory wider than the OpenCL 1D-image
+   limit cannot be translated (§5; kmeans/leukocyte/hybridsort). *)
+let check_texture_sizes (prog : Minic.Ast.program) ~tex1d_texels ~max_1d_image :
+  finding list =
+  let has_1d_texture =
+    List.exists
+      (function
+        | TVar d -> (match unqual d.d_ty with TTexture (_, 1, _) -> true | _ -> false)
+        | _ -> false)
+      prog
+  in
+  match tex1d_texels with
+  | Some n when has_1d_texture && n > max_1d_image ->
+    [ { f_category = Texture_too_large;
+        f_construct = Printf.sprintf "1D texture of %d texels > %d" n max_1d_image } ]
+  | _ -> []
+
+(* Combined verdict for CUDA-to-OpenCL translation.  When targeting
+   OpenCL 2.0, unified-virtual-address-space uses are translatable via
+   shared virtual memory (clSVMAlloc), as §3.7 anticipates. *)
+type cl_target = CL12 | CL20
+
+let check_cuda_app ?(tex1d_texels = None) ?(max_1d_image = 65536)
+    ?(cl_target = CL12) ~src (prog : Minic.Ast.program option) : finding list =
+  let ast_findings =
+    match prog with
+    | Some p -> scan_ast p @ scan_struct_pointer_params p
+    | None -> []
+  in
+  let tex_findings =
+    match prog with
+    | Some p -> check_texture_sizes p ~tex1d_texels ~max_1d_image
+    | None -> []
+  in
+  let findings = scan_source src @ ast_findings @ tex_findings in
+  match cl_target with
+  | CL12 -> findings
+  | CL20 ->
+    List.filter
+      (fun f -> f.f_category <> Unified_virtual_address_space)
+      findings
+
+(* OpenCL-to-CUDA direction: only sub-devices block translation (§3.7). *)
+let check_opencl_app ~host_uses_subdevices : finding list =
+  if host_uses_subdevices then
+    [ { f_category = Subdevices; f_construct = "clCreateSubDevices" } ]
+  else []
+
+(* --- Table 1: device memory allocation support matrix ---------------- *)
+
+type support = Supported | Not_supported
+
+let allocation_matrix =
+  (* (memory, static, dynamic) as (OpenCL, CUDA) pairs *)
+  [ ("Local/shared memory", "Static", (Supported, Supported));
+    ("Local/shared memory", "Dynamic", (Supported, Supported));
+    ("Constant memory", "Static", (Supported, Supported));
+    ("Constant memory", "Dynamic", (Supported, Not_supported));
+    ("Global memory", "Static", (Not_supported, Supported));
+    ("Global memory", "Dynamic", (Supported, Supported)) ]
+
+let support_str = function Supported -> "O" | Not_supported -> "X"

@@ -1,0 +1,77 @@
+(** Model-specific feature detection (paper §3.7 and Table 3).
+
+    Before translating a CUDA application to OpenCL, the framework scans
+    it for features with no OpenCL counterpart.  Detection combines a
+    source-text scan (for constructs outside the Mini-C subset, e.g. C++
+    classes or function-pointer declarators) with an AST scan (for known
+    built-ins and API calls). *)
+
+(** The failure categories of the paper's Table 3, plus the two cases the
+    paper discusses outside that table: oversized 1D textures (§5) and
+    OpenCL sub-devices (§3.7, the opposite direction's blocker). *)
+type category =
+  | No_corresponding_function
+  | Unsupported_library
+  | Unsupported_language_extension
+  | OpenGL_binding
+  | Use_of_ptx
+  | Unified_virtual_address_space
+  | Texture_too_large
+  | Subdevices
+
+val category_name : category -> string
+
+type finding = {
+  f_category : category;
+  f_construct : string;  (** the offending identifier or pattern *)
+}
+
+(** Identifier lists driving the AST scan; exposed for tests and tools. *)
+
+val no_counterpart_builtins : string list
+val unsupported_library_prefixes : string list
+val opengl_markers : string list
+val ptx_markers : string list
+val uva_markers : string list
+
+(** Text-level scan: catches constructs the frontend cannot even parse
+    (C++ classes, [__align__], non-type template parameters, device-side
+    new/delete, inline [asm], library prefixes). *)
+val scan_source : string -> finding list
+
+(** AST-level scan of calls, launches and device [printf]. *)
+val scan_ast : Minic.Ast.program -> finding list
+
+(** A kernel taking a struct that carries pointers relies on the unified
+    virtual address space (the Rodinia heartwall case). *)
+val scan_struct_pointer_params : Minic.Ast.program -> finding list
+
+(** 1D textures bound to linear memory wider than the largest OpenCL 1D
+    image cannot be translated (§5); [tex1d_texels] is the runtime size
+    hint carried by the application. *)
+val check_texture_sizes :
+  Minic.Ast.program -> tex1d_texels:int option -> max_1d_image:int ->
+  finding list
+
+(** OpenCL version targeted by the translation.  Under {!CL20},
+    unified-virtual-address-space uses translate via shared virtual
+    memory ([clSVMAlloc]), as §3.7 anticipates. *)
+type cl_target = CL12 | CL20
+
+(** Combined verdict for CUDA-to-OpenCL translation: an empty list means
+    translatable.  [prog] is [None] when the source does not parse (the
+    text scan still runs). *)
+val check_cuda_app :
+  ?tex1d_texels:int option -> ?max_1d_image:int -> ?cl_target:cl_target ->
+  src:string -> Minic.Ast.program option -> finding list
+
+(** OpenCL-to-CUDA direction: only sub-device use blocks translation. *)
+val check_opencl_app : host_uses_subdevices:bool -> finding list
+
+(** Table 1 of the paper: which (memory, static/dynamic) allocation pairs
+    each model supports.  The translator's §4 lowering follows it. *)
+
+type support = Supported | Not_supported
+
+val allocation_matrix : (string * string * (support * support)) list
+val support_str : support -> string

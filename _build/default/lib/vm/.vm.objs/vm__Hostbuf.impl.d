@@ -1,0 +1,1 @@
+lib/vm/hostbuf.ml: Array Int64 Memory Value

@@ -1,0 +1,1 @@
+lib/vm/hostbuf.mli: Memory

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Bytes Char Effect Float Fun Hashtbl Int64 Layout List Memory Minic Option Printf String Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Array Format Int32 Int64 Minic Printf String

@@ -1,0 +1,47 @@
+(* Helpers for host-side data living in a memory arena: OCaml-facing
+   applications use these to create and inspect the arrays they pass to
+   the simulated OpenCL/CUDA host APIs (the analogue of malloc'd host
+   memory in a real program). *)
+
+type t = {
+  arena : Memory.arena;
+  addr : int;
+  bytes : int;
+}
+
+let ptr b = Value.make_ptr AS_none b.addr
+
+let alloc arena bytes =
+  { arena; addr = Memory.alloc arena ~align:16 (max 1 bytes); bytes }
+
+let of_floats arena (xs : float array) =
+  let b = alloc arena (4 * Array.length xs) in
+  Array.iteri (fun i x -> Memory.store_float b.arena (b.addr + (4 * i)) 4 x) xs;
+  b
+
+let of_doubles arena (xs : float array) =
+  let b = alloc arena (8 * Array.length xs) in
+  Array.iteri (fun i x -> Memory.store_float b.arena (b.addr + (8 * i)) 8 x) xs;
+  b
+
+let of_ints arena (xs : int array) =
+  let b = alloc arena (4 * Array.length xs) in
+  Array.iteri
+    (fun i x -> Memory.store_int b.arena (b.addr + (4 * i)) 4 (Int64.of_int x))
+    xs;
+  b
+
+let to_floats b n =
+  Array.init n (fun i -> Memory.load_float b.arena (b.addr + (4 * i)) 4)
+
+let to_doubles b n =
+  Array.init n (fun i -> Memory.load_float b.arena (b.addr + (8 * i)) 8)
+
+let to_ints b n =
+  Array.init n (fun i ->
+      Int64.to_int (Memory.load_int b.arena (b.addr + (4 * i)) 4))
+
+let float_get b i = Memory.load_float b.arena (b.addr + (4 * i)) 4
+let float_set b i x = Memory.store_float b.arena (b.addr + (4 * i)) 4 x
+let int_get b i = Int64.to_int (Memory.load_int b.arena (b.addr + (4 * i)) 4)
+let int_set b i x = Memory.store_int b.arena (b.addr + (4 * i)) 4 (Int64.of_int x)

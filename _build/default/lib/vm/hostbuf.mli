@@ -1,0 +1,35 @@
+(** Host-side data living in a memory arena.
+
+    OCaml-facing applications use these helpers to create and inspect the
+    arrays they pass to the simulated OpenCL/CUDA host APIs — the
+    analogue of [malloc]'d host memory in a real program. *)
+
+type t = {
+  arena : Memory.arena;
+  addr : int;
+  bytes : int;
+}
+
+(** Encoded host pointer to the buffer, as host API calls expect it. *)
+val ptr : t -> int64
+
+val alloc : Memory.arena -> int -> t
+
+(** Allocate and fill: 4-byte floats, 8-byte doubles, 4-byte ints. *)
+
+val of_floats : Memory.arena -> float array -> t
+val of_doubles : Memory.arena -> float array -> t
+val of_ints : Memory.arena -> int array -> t
+
+(** Read back the first [n] elements. *)
+
+val to_floats : t -> int -> float array
+val to_doubles : t -> int -> float array
+val to_ints : t -> int -> int array
+
+(** Element accessors (4-byte elements). *)
+
+val float_get : t -> int -> float
+val float_set : t -> int -> float -> unit
+val int_get : t -> int -> int
+val int_set : t -> int -> int -> unit

@@ -1,0 +1,113 @@
+(* Data layout for Mini-C types on the simulated 64-bit target.
+
+   Vector types are packed (float3 = 12 bytes, as in CUDA); struct fields
+   are aligned to their natural scalar alignment.  Opaque runtime handle
+   types (cl_mem, cudaStream_t, ...) occupy one 8-byte word. *)
+
+open Minic.Ast
+
+type env = {
+  structs : (string, (string * ty) list) Hashtbl.t;
+  typedefs : (string, ty) Hashtbl.t;
+}
+
+let make_env prog =
+  let structs = Hashtbl.create 17 in
+  let typedefs = Hashtbl.create 17 in
+  List.iter
+    (function
+      | TStruct (n, fs) -> Hashtbl.replace structs n fs
+      | TTypedef (n, t) -> Hashtbl.replace typedefs n t
+      | TFunc _ | TVar _ -> ())
+    prog;
+  (* built-in composite types available to host code *)
+  let u = TScalar UInt in
+  Hashtbl.replace structs "dim3" [ ("x", u); ("y", u); ("z", u) ];
+  Hashtbl.replace structs "cl_image_format"
+    [ ("image_channel_order", u); ("image_channel_data_type", u) ];
+  Hashtbl.replace structs "cl_image_desc"
+    [ ("image_type", u);
+      ("image_width", TScalar SizeT);
+      ("image_height", TScalar SizeT);
+      ("image_depth", TScalar SizeT);
+      ("image_row_pitch", TScalar SizeT) ];
+  Hashtbl.replace structs "cudaChannelFormatDesc"
+    [ ("x", TScalar Int); ("y", TScalar Int); ("z", TScalar Int);
+      ("w", TScalar Int); ("f", TScalar Int) ];
+  Hashtbl.replace structs "cudaDeviceProp"
+    [ ("major", TScalar Int); ("minor", TScalar Int);
+      ("multiProcessorCount", TScalar Int);
+      ("totalGlobalMem", TScalar SizeT);
+      ("sharedMemPerBlock", TScalar SizeT);
+      ("regsPerBlock", TScalar Int);
+      ("warpSize", TScalar Int);
+      ("clockRate", TScalar Int);
+      ("maxThreadsPerBlock", TScalar Int) ];
+  { structs; typedefs }
+
+let empty_env () = make_env []
+
+let rec resolve env t =
+  match t with
+  | TNamed n ->
+    (match Hashtbl.find_opt env.typedefs n with
+     | Some t' -> resolve env t'
+     | None -> t)
+  | TQual (_, t) | TConst t -> resolve env t
+  | t -> t
+
+let rec sizeof env t =
+  match resolve env t with
+  | TScalar s -> max 1 (scalar_size s)
+  | TVec (s, n) -> scalar_size s * n
+  | TPtr _ | TRef _ | TFun _ -> 8
+  | TArr (u, Some n) -> sizeof env u * n
+  | TArr (_, None) -> 8                      (* decayed *)
+  | TNamed n ->
+    (match Hashtbl.find_opt env.structs n with
+     | Some fields ->
+       let off, al =
+         List.fold_left
+           (fun (off, al) (_, ft) ->
+              let fa = alignof env ft in
+              let off = Memory.align_up off fa in
+              (off + sizeof env ft, max al fa))
+           (0, 1) fields
+       in
+       Memory.align_up off al
+     | None -> 8)                            (* opaque handle *)
+  | TTexture _ | TImage _ | TSampler -> 8    (* handle-sized *)
+  | TQual _ | TConst _ -> assert false
+
+and alignof env t =
+  match resolve env t with
+  | TScalar s -> max 1 (scalar_size s)
+  | TVec (s, _) -> scalar_size s
+  | TPtr _ | TRef _ | TFun _ -> 8
+  | TArr (u, _) -> alignof env u
+  | TNamed n ->
+    (match Hashtbl.find_opt env.structs n with
+     | Some fields ->
+       List.fold_left (fun al (_, ft) -> max al (alignof env ft)) 1 fields
+     | None -> 8)
+  | TTexture _ | TImage _ | TSampler -> 8
+  | TQual _ | TConst _ -> assert false
+
+(* Byte offset and type of a struct field. *)
+let field_offset env struct_name field =
+  match Hashtbl.find_opt env.structs struct_name with
+  | None -> None
+  | Some fields ->
+    let rec go off = function
+      | [] -> None
+      | (fn, ft) :: rest ->
+        let off = Memory.align_up off (alignof env ft) in
+        if fn = field then Some (off, ft)
+        else go (off + sizeof env ft) rest
+    in
+    go 0 fields
+
+let is_struct env t =
+  match resolve env t with
+  | TNamed n -> Hashtbl.mem env.structs n
+  | _ -> false

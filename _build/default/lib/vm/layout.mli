@@ -1,0 +1,29 @@
+(** Data layout for Mini-C types on the simulated 64-bit target.
+
+    Vector types are packed (float3 = 12 bytes, as in CUDA); struct
+    fields are aligned to their natural scalar alignment.  Opaque runtime
+    handle types (cl_mem, cudaStream_t, ...) occupy one 8-byte word. *)
+
+type env = {
+  structs : (string, (string * Minic.Ast.ty) list) Hashtbl.t;
+  typedefs : (string, Minic.Ast.ty) Hashtbl.t;
+}
+
+(** Build a layout environment from a program's struct and typedef
+    declarations; the built-in host composites (dim3, cudaDeviceProp,
+    cl_image_format, ...) are always present. *)
+val make_env : Minic.Ast.program -> env
+
+val empty_env : unit -> env
+
+(** Resolve typedefs and strip qualifiers down to a representable type. *)
+val resolve : env -> Minic.Ast.ty -> Minic.Ast.ty
+
+val sizeof : env -> Minic.Ast.ty -> int
+val alignof : env -> Minic.Ast.ty -> int
+
+(** [field_offset env s f] is the byte offset and type of field [f] in
+    struct [s], or [None]. *)
+val field_offset : env -> string -> string -> (int * Minic.Ast.ty) option
+
+val is_struct : env -> Minic.Ast.ty -> bool

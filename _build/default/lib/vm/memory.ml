@@ -1,0 +1,108 @@
+(* Byte-addressable growable memory arenas with a bump allocator.
+
+   Each simulated address space (host, device global, constant, one local
+   arena per live work-group, one private arena per live work-item) is an
+   [arena].  Loads and stores go through an optional access hook so the
+   GPU timing model can observe traffic without the interpreter knowing
+   about it. *)
+
+type access_kind = Load | Store
+
+type arena = {
+  mutable data : Bytes.t;
+  mutable brk : int;                       (* bump pointer *)
+  mutable high_water : int;
+  name : string;
+}
+
+exception Out_of_memory of string
+exception Fault of string * int
+
+let create ?(initial = 4096) name =
+  { data = Bytes.make initial '\000'; brk = 16; high_water = 16; name }
+  (* offset 0 is reserved so that a zero offset is never a valid address *)
+
+let size a = a.brk
+
+let reset a =
+  a.brk <- 16;
+  a.high_water <- 16;
+  Bytes.fill a.data 0 (Bytes.length a.data) '\000'
+
+let ensure a n =
+  if n > Bytes.length a.data then begin
+    let cap = ref (Bytes.length a.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Bytes.make !cap '\000' in
+    Bytes.blit a.data 0 data 0 (Bytes.length a.data);
+    a.data <- data
+  end
+
+let align_up n a = (n + a - 1) land lnot (a - 1)
+
+let alloc a ?(align = 16) bytes =
+  let bytes = max bytes 1 in
+  let addr = align_up a.brk align in
+  ensure a (addr + bytes);
+  a.brk <- addr + bytes;
+  a.high_water <- max a.high_water a.brk;
+  addr
+
+(* Stack-style deallocation used for call frames. *)
+let mark a = a.brk
+let release a m = a.brk <- m
+
+(* Any address outside [0, brk) is a fault: the allocator's frontier is
+   the boundary of valid memory, so wild stores cannot silently grow an
+   arena. *)
+let check a addr bytes =
+  if addr < 0 || addr + bytes > a.brk then raise (Fault (a.name, addr))
+
+let load_bytes a addr n =
+  check a addr n;
+  Bytes.sub a.data addr n
+
+let store_bytes a addr b =
+  let n = Bytes.length b in
+  check a addr n;
+  Bytes.blit b 0 a.data addr n
+
+let blit ~src ~src_addr ~dst ~dst_addr ~len =
+  check src src_addr len;
+  check dst dst_addr len;
+  Bytes.blit src.data src_addr dst.data dst_addr len
+
+(* Fixed-width integer loads/stores, little-endian. *)
+let load_int a addr bytes =
+  check a addr bytes;
+  match bytes with
+  | 1 -> Int64.of_int (Char.code (Bytes.get a.data addr))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le a.data addr)
+  | 4 -> Int64.of_int32 (Bytes.get_int32_le a.data addr)
+  | 8 -> Bytes.get_int64_le a.data addr
+  | n -> invalid_arg (Printf.sprintf "load_int: width %d" n)
+
+let store_int a addr bytes v =
+  check a addr bytes;
+  match bytes with
+  | 1 -> Bytes.set a.data addr (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | 2 -> Bytes.set_uint16_le a.data addr (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> Bytes.set_int32_le a.data addr (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le a.data addr v
+  | n -> invalid_arg (Printf.sprintf "store_int: width %d" n)
+
+let load_float a addr bytes =
+  check a addr bytes;
+  match bytes with
+  | 4 -> Int32.float_of_bits (Bytes.get_int32_le a.data addr)
+  | 8 -> Int64.float_of_bits (Bytes.get_int64_le a.data addr)
+  | n -> invalid_arg (Printf.sprintf "load_float: width %d" n)
+
+let store_float a addr bytes v =
+  check a addr bytes;
+  match bytes with
+  | 4 -> Bytes.set_int32_le a.data addr (Int32.bits_of_float v)
+  | 8 -> Bytes.set_int64_le a.data addr (Int64.bits_of_float v)
+  | n -> invalid_arg (Printf.sprintf "store_float: width %d" n)

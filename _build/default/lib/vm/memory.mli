@@ -1,0 +1,55 @@
+(** Byte-addressable growable memory arenas with a bump allocator.
+
+    Each simulated address space (host, device global, constant, one
+    local arena per live work-group, one private arena per live
+    work-item) is an {!arena}.  Offset 0 is reserved so that a zero
+    offset is never a valid address. *)
+
+type access_kind = Load | Store
+
+type arena = {
+  mutable data : Bytes.t;
+  mutable brk : int;         (** bump pointer *)
+  mutable high_water : int;
+  name : string;             (** used in fault messages *)
+}
+
+exception Out_of_memory of string
+
+(** Raised on out-of-bounds access: arena name and offending address. *)
+exception Fault of string * int
+
+val create : ?initial:int -> string -> arena
+
+(** Current allocation frontier (bytes in use). *)
+val size : arena -> int
+
+(** Reset the bump pointer and zero the arena (used per work-group for
+    local memory and per work-item for private memory). *)
+val reset : arena -> unit
+
+val align_up : int -> int -> int
+
+(** [alloc a ~align bytes] bump-allocates and returns the offset. *)
+val alloc : arena -> ?align:int -> int -> int
+
+(** Stack-style deallocation used for call frames: [release a (mark a)]
+    frees everything allocated in between. *)
+val mark : arena -> int
+
+val release : arena -> int -> unit
+
+val load_bytes : arena -> int -> int -> Bytes.t
+val store_bytes : arena -> int -> Bytes.t -> unit
+
+(** Copy between arenas (grows the destination if needed). *)
+val blit :
+  src:arena -> src_addr:int -> dst:arena -> dst_addr:int -> len:int -> unit
+
+(** Fixed-width little-endian accessors; width is 1, 2, 4 or 8 bytes for
+    integers and 4 or 8 for floats. *)
+
+val load_int : arena -> int -> int -> int64
+val store_int : arena -> int -> int -> int64 -> unit
+val load_float : arena -> int -> int -> float
+val store_float : arena -> int -> int -> float -> unit

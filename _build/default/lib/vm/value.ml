@@ -1,0 +1,103 @@
+(* Runtime values of the Mini-C interpreter.
+
+   Pointers are plain 63-bit integers with the address space encoded in
+   the top bits, so they round-trip through raw memory (this is exactly
+   what the paper's wrapper approach relies on: an OpenCL [cl_mem] handle
+   is cast to [void*] and back at run time). *)
+
+type t =
+  | VInt of int64          (* all integer types and pointers *)
+  | VFloat of float        (* float and double *)
+  | VVec of t array        (* vector values, component-typed by context *)
+  | VUnit
+
+let space_shift = 44
+
+let space_tag : Minic.Ast.addr_space -> int64 = function
+  | AS_none -> 1L       (* host memory *)
+  | AS_global -> 2L
+  | AS_constant -> 3L
+  | AS_local -> 4L
+  | AS_private -> 5L
+
+let make_ptr space offset =
+  Int64.logor (Int64.shift_left (space_tag space) space_shift)
+    (Int64.of_int offset)
+
+let ptr_space v : Minic.Ast.addr_space =
+  match Int64.shift_right_logical v space_shift with
+  | 1L -> AS_none
+  | 2L -> AS_global
+  | 3L -> AS_constant
+  | 4L -> AS_local
+  | 5L -> AS_private
+  | _ -> invalid_arg (Printf.sprintf "not a pointer: %Ld" v)
+
+let ptr_offset v =
+  Int64.to_int (Int64.logand v (Int64.sub (Int64.shift_left 1L space_shift) 1L))
+
+let is_null v = v = 0L
+
+let null = VInt 0L
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_int = function
+  | VInt n -> n
+  | VFloat f -> Int64.of_float f
+  | VVec a when Array.length a > 0 ->
+    (match a.(0) with VInt n -> n | VFloat f -> Int64.of_float f | _ -> 0L)
+  | _ -> 0L
+
+let to_float = function
+  | VFloat f -> f
+  | VInt n -> Int64.to_float n
+  | VVec a when Array.length a > 0 ->
+    (match a.(0) with VFloat f -> f | VInt n -> Int64.to_float n | _ -> 0.)
+  | _ -> 0.
+
+let to_bool v = to_int v <> 0L
+
+let of_bool b = VInt (if b then 1L else 0L)
+
+(* Wrap an integer to the width/signedness of a scalar type, as a store
+   into a variable of that type would. *)
+let wrap_int (sc : Minic.Ast.scalar) n =
+  let open Minic.Ast in
+  let bits = 8 * scalar_size sc in
+  if bits >= 64 then n
+  else begin
+    let mask = Int64.sub (Int64.shift_left 1L bits) 1L in
+    let low = Int64.logand n mask in
+    if is_unsigned sc then low
+    else begin
+      let sign_bit = Int64.shift_left 1L (bits - 1) in
+      if Int64.logand low sign_bit <> 0L then
+        Int64.logor low (Int64.lognot mask)
+      else low
+    end
+  end
+
+let round_float (sc : Minic.Ast.scalar) f =
+  match sc with
+  | Float -> Int32.float_of_bits (Int32.bits_of_float f)  (* fp32 rounding *)
+  | _ -> f
+
+let pp fmt = function
+  | VInt n -> Format.fprintf fmt "%Ld" n
+  | VFloat f -> Format.fprintf fmt "%g" f
+  | VVec a ->
+    Format.fprintf fmt "(%s)"
+      (String.concat ", "
+         (Array.to_list
+            (Array.map
+               (function
+                 | VInt n -> Int64.to_string n
+                 | VFloat f -> string_of_float f
+                 | _ -> "?")
+               a)))
+  | VUnit -> Format.fprintf fmt "()"
+
+let to_string v = Format.asprintf "%a" pp v

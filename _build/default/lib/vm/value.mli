@@ -1,0 +1,53 @@
+(** Runtime values of the Mini-C interpreter.
+
+    Pointers are plain 63-bit integers with the address space encoded in
+    the top bits, so they survive round trips through raw memory — which
+    is exactly what the paper's wrapper approach relies on: an OpenCL
+    [cl_mem] handle is cast to [void*] and back at run time (§2, §4). *)
+
+type t =
+  | VInt of int64    (** all integer types and encoded pointers *)
+  | VFloat of float  (** float and double (fp32 rounding happens on store) *)
+  | VVec of t array  (** vector values; component type comes from context *)
+  | VUnit
+
+(** Bit position where the address-space tag starts inside a pointer. *)
+val space_shift : int
+
+(** Numeric tag of an address space (host = 1, global = 2, ...). *)
+val space_tag : Minic.Ast.addr_space -> int64
+
+(** [make_ptr space offset] encodes a pointer into [space] at byte
+    [offset] of that space's arena. *)
+val make_ptr : Minic.Ast.addr_space -> int -> int64
+
+(** Address space of an encoded pointer.
+    @raise Invalid_argument on a value that is not an encoded pointer. *)
+val ptr_space : int64 -> Minic.Ast.addr_space
+
+(** Byte offset of an encoded pointer within its arena. *)
+val ptr_offset : int64 -> int
+
+val is_null : int64 -> bool
+
+(** The C null pointer. *)
+val null : t
+
+(** Coercions used pervasively by the interpreter and the runtimes; a
+    vector coerces through its first component. *)
+
+val to_int : t -> int64
+val to_float : t -> float
+val to_bool : t -> bool
+val of_bool : bool -> t
+
+(** [wrap_int sc n] truncates and sign- or zero-extends [n] to the width
+    and signedness of scalar type [sc], as a C store into a variable of
+    that type would. *)
+val wrap_int : Minic.Ast.scalar -> int64 -> int64
+
+(** [round_float sc f] rounds [f] to fp32 when [sc] is [Float]. *)
+val round_float : Minic.Ast.scalar -> float -> float
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

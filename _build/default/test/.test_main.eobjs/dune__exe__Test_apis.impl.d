@@ -1,0 +1,1 @@
+test/test_apis.ml: Alcotest Array Cuda Gpusim Hashtbl Minic Opencl Vm

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Bridge List Printf String Suite

@@ -1,0 +1,1 @@
+test/test_bridge.ml: Alcotest Bridge Gpusim List Minic String Suite Xlat

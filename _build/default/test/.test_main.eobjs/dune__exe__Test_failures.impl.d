@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bridge Cuda Gpusim Hashtbl Minic Opencl Option Vm

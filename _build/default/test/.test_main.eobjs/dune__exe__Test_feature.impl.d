@@ -1,0 +1,1 @@
+test/test_feature.ml: Alcotest List Minic Suite Xlat

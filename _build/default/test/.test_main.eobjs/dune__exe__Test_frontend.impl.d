@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Int64 List Minic Option QCheck QCheck_alcotest

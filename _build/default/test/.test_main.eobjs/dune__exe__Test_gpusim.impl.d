@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Float Gpusim Hashtbl Int Int64 List Minic Option Printf QCheck QCheck_alcotest Set Vm

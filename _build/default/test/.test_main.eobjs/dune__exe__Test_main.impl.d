@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apis Test_apps Test_bridge Test_failures Test_feature Test_frontend Test_gpusim Test_svm Test_translate Test_vm

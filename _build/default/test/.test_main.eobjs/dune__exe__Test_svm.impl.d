@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Bridge Gpusim List Minic Opencl Suite Vm Xlat

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Array Bridge Gpusim Int64 List Opencl Printf QCheck QCheck_alcotest String Vm Xlat

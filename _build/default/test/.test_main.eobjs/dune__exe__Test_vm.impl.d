@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bridge Int32 Int64 List Minic Printf QCheck QCheck_alcotest Vm

@@ -1,0 +1,250 @@
+(* Host API tests: simulated OpenCL 1.2 and CUDA runtime/driver. *)
+
+open Minic.Ast
+
+let fresh_cl () =
+  Opencl.Cl.create
+    (Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.opencl_on_nvidia)
+
+let fresh_cu () =
+  Cuda.Cudart.create
+    (Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.cuda_on_nvidia)
+
+let with_floats cl xs =
+  let hb = Vm.Hostbuf.of_floats cl.Opencl.Cl.host xs in
+  Vm.Hostbuf.ptr hb
+
+(* --- OpenCL ------------------------------------------------------------ *)
+
+let opencl_tests =
+  [ Alcotest.test_case "buffer write/read round trip" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let b = Opencl.Cl.create_buffer cl 64 in
+        let data = Array.init 16 float_of_int in
+        ignore
+          (Opencl.Cl.enqueue_write_buffer cl b ~size:64
+             ~host_ptr:(with_floats cl data) ());
+        let back = Vm.Hostbuf.alloc cl.Opencl.Cl.host 64 in
+        ignore
+          (Opencl.Cl.enqueue_read_buffer cl b ~size:64
+             ~host_ptr:(Vm.Hostbuf.ptr back) ());
+        Alcotest.(check (array (float 0.0))) "round trip" data
+          (Vm.Hostbuf.to_floats back 16));
+    Alcotest.test_case "buffer offset semantics" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let b = Opencl.Cl.create_buffer cl 64 in
+        ignore
+          (Opencl.Cl.enqueue_write_buffer cl b ~offset:16 ~size:8
+             ~host_ptr:(with_floats cl [| 1.5; 2.5 |]) ());
+        let back = Vm.Hostbuf.alloc cl.Opencl.Cl.host 8 in
+        ignore
+          (Opencl.Cl.enqueue_read_buffer cl b ~offset:16 ~size:8
+             ~host_ptr:(Vm.Hostbuf.ptr back) ());
+        Alcotest.(check (float 0.0)) "offset write" 2.5
+          (Vm.Hostbuf.float_get back 1));
+    Alcotest.test_case "out-of-bounds transfer rejected" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let b = Opencl.Cl.create_buffer cl 16 in
+        Alcotest.(check bool) "raises CL error" true
+          (try
+             ignore
+               (Opencl.Cl.enqueue_write_buffer cl b ~offset:8 ~size:16
+                  ~host_ptr:(with_floats cl (Array.make 4 0.0)) ());
+             false
+           with Opencl.Cl.Cl_error (_, _) -> true));
+    Alcotest.test_case "build failure carries a log" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let p = Opencl.Cl.create_program_with_source cl "__kernel void f( {" in
+        Alcotest.(check bool) "build error" true
+          (try
+             Opencl.Cl.build_program cl p;
+             false
+           with Opencl.Cl.Cl_error (code, _) ->
+             code = Opencl.Cl.cl_build_program_failure));
+    Alcotest.test_case "unset kernel argument is an error" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let p =
+          Opencl.Cl.create_program_with_source cl
+            "__kernel void f(__global int* p, int n) { p[0] = n; }"
+        in
+        Opencl.Cl.build_program cl p;
+        let k = Opencl.Cl.create_kernel cl p "f" in
+        Opencl.Cl.set_arg_int cl k 1 5;
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Opencl.Cl.enqueue_nd_range cl k ~gws:[| 1; 1; 1 |] ());
+             false
+           with Opencl.Cl.Cl_error (code, _) ->
+             code = Opencl.Cl.cl_invalid_kernel_args));
+    Alcotest.test_case "image write + kernel read + host readback" `Quick
+      (fun () ->
+         let cl = fresh_cl () in
+         let w = 4 and h = 4 in
+         let img =
+           Opencl.Cl.create_image cl ~dim:2 ~width:w ~height:h
+             ~order:Gpusim.Imagelib.CO_r ~chtype:Gpusim.Imagelib.CT_float ()
+         in
+         let data = Array.init (w * h) (fun i -> float_of_int i *. 0.5) in
+         ignore
+           (Opencl.Cl.enqueue_write_image cl img ~host_ptr:(with_floats cl data) ());
+         let smp =
+           Opencl.Cl.create_sampler cl ~normalized:false
+             ~address:Gpusim.Imagelib.AM_clamp_to_edge
+             ~filter:Gpusim.Imagelib.FM_nearest
+         in
+         let p =
+           Opencl.Cl.create_program_with_source cl
+             {|
+__kernel void grab(__read_only image2d_t img, sampler_t s, __global float* out, int w) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float4 t = read_imagef(img, s, (int2)(x, y));
+  out[y * w + x] = t.x;
+}
+|}
+         in
+         Opencl.Cl.build_program cl p;
+         let k = Opencl.Cl.create_kernel cl p "grab" in
+         let out = Opencl.Cl.create_buffer cl (w * h * 4) in
+         Opencl.Cl.set_arg_image cl k 0 img;
+         Opencl.Cl.set_arg_sampler cl k 1 smp;
+         Opencl.Cl.set_arg_buffer cl k 2 out;
+         Opencl.Cl.set_arg_int cl k 3 w;
+         ignore
+           (Opencl.Cl.enqueue_nd_range cl k ~gws:[| w; h; 1 |]
+              ~lws:[| w; h; 1 |] ());
+         let back = Vm.Hostbuf.alloc cl.Opencl.Cl.host (w * h * 4) in
+         ignore
+           (Opencl.Cl.enqueue_read_buffer cl out ~size:(w * h * 4)
+              ~host_ptr:(Vm.Hostbuf.ptr back) ());
+         Alcotest.(check (array (float 0.0))) "texels" data
+           (Vm.Hostbuf.to_floats back (w * h)));
+    Alcotest.test_case "oversized image rejected" `Quick (fun () ->
+        let cl = fresh_cl () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Opencl.Cl.create_image cl ~dim:2 ~width:100000 ~height:2
+                  ~order:Gpusim.Imagelib.CO_r ~chtype:Gpusim.Imagelib.CT_float ());
+             false
+           with Opencl.Cl.Cl_error (_, _) -> true));
+    Alcotest.test_case "device info queries" `Quick (fun () ->
+        let cl = fresh_cl () in
+        Alcotest.(check int64) "compute units" 14L
+          (Opencl.Cl.get_device_info cl "CL_DEVICE_MAX_COMPUTE_UNITS");
+        Alcotest.(check bool) "name" true
+          (Opencl.Cl.get_device_name cl <> ""));
+    Alcotest.test_case "clCreateSubDevices unsupported (§3.7)" `Quick (fun () ->
+        let cl = fresh_cl () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Opencl.Cl.create_sub_devices cl
+           with Opencl.Cl.Cl_error (_, _) -> true));
+    Alcotest.test_case "simulated time advances with work" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let t0 = cl.Opencl.Cl.dev.Gpusim.Device.sim_time_ns in
+        let b = Opencl.Cl.create_buffer cl 65536 in
+        ignore
+          (Opencl.Cl.enqueue_write_buffer cl b ~size:65536
+             ~host_ptr:(with_floats cl (Array.make 16384 1.0)) ());
+        Alcotest.(check bool) "time moved" true
+          (cl.Opencl.Cl.dev.Gpusim.Device.sim_time_ns > t0 +. 5000.0)) ]
+
+(* --- CUDA ---------------------------------------------------------------- *)
+
+let cuda_tests =
+  [ Alcotest.test_case "malloc/memcpy round trip and mem info" `Quick (fun () ->
+        let cu = fresh_cu () in
+        let p = Cuda.Cudart.malloc cu 256 in
+        let hb = Vm.Hostbuf.of_floats cu.Cuda.Cudart.host (Array.init 64 float_of_int) in
+        Cuda.Cudart.memcpy cu ~dst:p ~src:(Vm.Hostbuf.ptr hb) ~bytes:256;
+        let back = Vm.Hostbuf.alloc cu.Cuda.Cudart.host 256 in
+        Cuda.Cudart.memcpy cu ~dst:(Vm.Hostbuf.ptr back) ~src:p ~bytes:256;
+        Alcotest.(check (float 0.0)) "copied" 63.0 (Vm.Hostbuf.float_get back 63);
+        let free0, total = Cuda.Cudart.mem_get_info cu in
+        Alcotest.(check int) "allocation accounted" 256 (total - free0);
+        Cuda.Cudart.free cu p;
+        let free1, _ = Cuda.Cudart.mem_get_info cu in
+        Alcotest.(check int) "freed" total free1);
+    Alcotest.test_case "module load materialises globals and symbols" `Quick
+      (fun () ->
+         let cu = fresh_cu () in
+         let prog =
+           Minic.Parser.program ~dialect:Minic.Parser.Cuda
+             "__constant__ int table[4] = {10, 20, 30, 40};\n\
+              __device__ float bias;\n\
+              __global__ void k(int* p) { p[0] = table[2]; }"
+         in
+         let m = Cuda.Cudart.load_module cu prog in
+         ignore m;
+         let b = Hashtbl.find cu.dev.Gpusim.Device.symbols "table" in
+         Alcotest.(check bool) "constant space" true
+           (b.Vm.Interp.b_space = AS_constant);
+         Alcotest.(check int64) "initialised" 30L
+           (Vm.Memory.load_int cu.dev.Gpusim.Device.constant
+              (b.Vm.Interp.b_addr + 8) 4));
+    Alcotest.test_case "memcpy to/from symbol" `Quick (fun () ->
+        let cu = fresh_cu () in
+        let prog =
+          Minic.Parser.program ~dialect:Minic.Parser.Cuda
+            "__device__ float weights[8];"
+        in
+        ignore (Cuda.Cudart.load_module cu prog);
+        let hb = Vm.Hostbuf.of_floats cu.Cuda.Cudart.host (Array.make 8 2.5) in
+        Cuda.Cudart.memcpy_to_symbol cu "weights" ~src:(Vm.Hostbuf.ptr hb)
+          ~bytes:32 ();
+        let back = Vm.Hostbuf.alloc cu.Cuda.Cudart.host 32 in
+        Cuda.Cudart.memcpy_from_symbol cu "weights" ~dst:(Vm.Hostbuf.ptr back)
+          ~bytes:32 ();
+        Alcotest.(check (float 0.0)) "symbol data" 2.5
+          (Vm.Hostbuf.float_get back 7));
+    Alcotest.test_case "1D linear texture limit enforced" `Quick (fun () ->
+        let cu = fresh_cu () in
+        let prog =
+          Minic.Parser.program ~dialect:Minic.Parser.Cuda
+            "texture<float, 1, cudaReadModeElementType> t;"
+        in
+        ignore (Cuda.Cudart.load_module cu prog);
+        let p = Cuda.Cudart.malloc cu 1024 in
+        (* 2^27 texels is the CUDA limit *)
+        Alcotest.(check bool) "too large rejected" true
+          (try
+             Cuda.Cudart.bind_texture cu "t" ~ptr:p ~bytes:(4 * ((1 lsl 27) + 4))
+               ~elem:Float;
+             false
+           with Cuda.Cudart.Cuda_error _ -> true);
+        Cuda.Cudart.bind_texture cu "t" ~ptr:p ~bytes:1024 ~elem:Float);
+    Alcotest.test_case "driver API launch (Fig. 4(d) path)" `Quick (fun () ->
+        let cu = fresh_cu () in
+        let prog =
+          Minic.Parser.program ~dialect:Minic.Parser.Cuda
+            "__global__ void fill(int* p, int v) {\n\
+             p[blockIdx.x * blockDim.x + threadIdx.x] = v;\n\
+             }"
+        in
+        let m = Cuda.Cudart.load_module cu prog in
+        let f = Cuda.Cudart.module_get_function m "fill" in
+        let p = Cuda.Cudart.malloc cu (16 * 4) in
+        ignore
+          (Cuda.Cudart.launch_kernel cu ~m ~kernel:f ~grid:(4, 1, 1)
+             ~block:(4, 1, 1)
+             ~args:
+               [ Arg_val (Vm.Interp.tv (VInt p) (TPtr (TScalar Int)));
+                 Arg_val (Vm.Interp.tint 9) ]
+             ());
+        let v =
+          Vm.Memory.load_int cu.dev.Gpusim.Device.global
+            (Vm.Value.ptr_offset p + 60) 4
+        in
+        Alcotest.(check int64) "filled" 9L v);
+    Alcotest.test_case "events measure simulated time" `Quick (fun () ->
+        let cu = fresh_cu () in
+        let e0 = Cuda.Cudart.event_create cu in
+        let e1 = Cuda.Cudart.event_create cu in
+        Cuda.Cudart.event_record cu e0;
+        Gpusim.Device.add_time cu.dev 2_000_000.0;
+        Cuda.Cudart.event_record cu e1;
+        let ms = Cuda.Cudart.event_elapsed_ms cu e0 e1 in
+        Alcotest.(check bool) "about 2ms" true (ms >= 2.0 && ms < 2.1)) ]
+
+let suites = [ ("opencl-api", opencl_tests); ("cuda-api", cuda_tests) ]

@@ -1,0 +1,128 @@
+(* Translatability detection (Table 3, §3.7). *)
+
+let detect ?(tex1d = None) src =
+  let prog =
+    match Minic.Parser.program ~dialect:Minic.Parser.Cuda src with
+    | p -> Some p
+    | exception _ -> None
+  in
+  Xlat.Feature.check_cuda_app ~tex1d_texels:tex1d ~max_1d_image:65536 ~src prog
+
+let has cat findings =
+  List.exists (fun f -> f.Xlat.Feature.f_category = cat) findings
+
+let check_cat name src cat () =
+  Alcotest.(check bool) name true (has cat (detect src))
+
+let feature_tests =
+  [ Alcotest.test_case "clean kernel has no findings" `Quick (fun () ->
+        Alcotest.(check int) "no findings" 0
+          (List.length
+             (detect
+                "__global__ void k(int* p) { p[threadIdx.x] = 1; }\n\
+                 int main(void) { return 0; }")));
+    Alcotest.test_case "__shfl detected" `Quick
+      (check_cat "shfl"
+         "__global__ void k(int* p) { p[0] = __shfl(p[1], 0); }"
+         Xlat.Feature.No_corresponding_function);
+    Alcotest.test_case "clock detected" `Quick
+      (check_cat "clock"
+         "__global__ void k(long* t) { t[0] = clock(); }"
+         Xlat.Feature.No_corresponding_function);
+    Alcotest.test_case "cudaMemGetInfo detected" `Quick
+      (check_cat "memgetinfo"
+         "int main(void) { size_t f; size_t t; cudaMemGetInfo(&f, &t); return 0; }"
+         Xlat.Feature.No_corresponding_function);
+    Alcotest.test_case "thrust library detected" `Quick
+      (check_cat "thrust"
+         "int main(void) { int* p; thrust_sort(p, 10); return 0; }"
+         Xlat.Feature.Unsupported_library);
+    Alcotest.test_case "OpenGL binding detected" `Quick
+      (check_cat "gl"
+         "int main(void) { unsigned int b; glGenBuffers(1, &b); return 0; }"
+         Xlat.Feature.OpenGL_binding);
+    Alcotest.test_case "inline PTX detected" `Quick
+      (check_cat "asm"
+         "__global__ void k(int* p) { asm(\"mov.u32\"); }"
+         Xlat.Feature.Use_of_ptx);
+    Alcotest.test_case "driver-module PTX detected" `Quick
+      (check_cat "cuModuleLoad"
+         "int main(void) { CUmodule m; cuModuleLoad(&m, \"x.ptx\"); return 0; }"
+         Xlat.Feature.Use_of_ptx);
+    Alcotest.test_case "UVA via cudaHostAlloc detected" `Quick
+      (check_cat "uva"
+         "int main(void) { int* p; cudaHostAlloc((void**)&p, 64, 0); return 0; }"
+         Xlat.Feature.Unified_virtual_address_space);
+    Alcotest.test_case "C++ class in device code detected" `Quick
+      (check_cat "class"
+         "class V { public: __device__ int f(); };\nint main(void) { return 0; }"
+         Xlat.Feature.Unsupported_language_extension);
+    Alcotest.test_case "device printf detected" `Quick
+      (check_cat "printf"
+         "__global__ void k(int v) { printf(\"%d\", v); }"
+         Xlat.Feature.Unsupported_language_extension);
+    Alcotest.test_case "struct of pointers to a kernel detected (heartwall)"
+      `Quick
+      (check_cat "struct-ptr"
+         "typedef struct { float* data; int n; } P;\n\
+          __global__ void k(P p) { p.data[0] = 1.0f; }"
+         Xlat.Feature.Unified_virtual_address_space);
+    Alcotest.test_case "plain struct param is fine" `Quick (fun () ->
+        Alcotest.(check int) "no findings" 0
+          (List.length
+             (detect
+                "typedef struct { float a; float b; } P;\n\
+                 __global__ void k(P p, float* out) { out[0] = p.a + p.b; }")));
+    Alcotest.test_case "1D texture over the image limit (§5)" `Quick (fun () ->
+        let src =
+          "texture<float, 1, cudaReadModeElementType> t;\n\
+           __global__ void k(float* o) { o[0] = tex1Dfetch(t, 0); }"
+        in
+        Alcotest.(check bool) "too large flagged" true
+          (has Xlat.Feature.Texture_too_large
+             (detect ~tex1d:(Some 100000) src));
+        Alcotest.(check bool) "small one fine" false
+          (has Xlat.Feature.Texture_too_large (detect ~tex1d:(Some 4096) src)));
+    Alcotest.test_case "2D texture is translatable regardless of size" `Quick
+      (fun () ->
+         let src =
+           "texture<float, 2, cudaReadModeElementType> t;\n\
+            __global__ void k(float* o) { o[0] = tex2D(t, 0.0f, 0.0f); }"
+         in
+         Alcotest.(check bool) "no size finding" false
+           (has Xlat.Feature.Texture_too_large (detect ~tex1d:(Some 100000) src)));
+    Alcotest.test_case "whole corpus: expected translatability" `Quick (fun () ->
+        List.iter
+          (fun (a : Suite.Registry.cuda_app) ->
+             let findings =
+               Xlat.Feature.check_cuda_app ~tex1d_texels:a.cu_tex1d_texels
+                 ~max_1d_image:65536 ~src:a.cu_src
+                 (match Minic.Parser.program ~dialect:Minic.Parser.Cuda a.cu_src with
+                  | p -> Some p
+                  | exception _ -> None)
+             in
+             Alcotest.(check bool)
+               (a.cu_name ^ " translatability")
+               a.cu_expect_translatable (findings = []))
+          Suite.Registry.all_cuda);
+    Alcotest.test_case "Table 3 has exactly 56 failures" `Quick (fun () ->
+        Alcotest.(check int) "count" 56
+          (List.length Suite.Registry.toolkit_cuda_failing);
+        Alcotest.(check int) "81 samples total" 81
+          (List.length Suite.Registry.toolkit_cuda));
+    Alcotest.test_case "corpus sizes match the paper (§6.1)" `Quick (fun () ->
+        Alcotest.(check int) "54 OpenCL apps" 54
+          (List.length Suite.Registry.all_opencl);
+        Alcotest.(check int) "20 Rodinia OpenCL" 20
+          (List.length Suite.Registry.rodinia_opencl);
+        Alcotest.(check int) "7 NPB" 7 (List.length Suite.Registry.npb_opencl);
+        Alcotest.(check int) "27 Toolkit OpenCL" 27
+          (List.length Suite.Registry.toolkit_opencl);
+        Alcotest.(check int) "21 Rodinia CUDA" 21
+          (List.length Suite.Registry.rodinia_cuda);
+        Alcotest.(check int) "14 translatable Rodinia" 14
+          (List.length Suite.Rodinia_cuda.translatable);
+        Alcotest.(check int) "25 translatable Toolkit" 25
+          (List.length Suite.Registry.toolkit_cuda_ok)) ]
+
+let suites = [ ("feature-detection", feature_tests) ]

@@ -1,0 +1,261 @@
+(* Mini-C frontend: lexer, parser, pretty-printer, and the
+   print-then-reparse round trip (hand cases + qcheck-generated ASTs). *)
+
+open Minic.Ast
+
+let parse_cuda src = Minic.Parser.program ~dialect:Minic.Parser.Cuda src
+let parse_ocl src = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src
+
+let check_parses ?(dialect = Minic.Parser.Cuda) name src n_decls () =
+  let prog = Minic.Parser.program ~dialect src in
+  Alcotest.(check int) (name ^ ": topdecl count") n_decls (List.length prog)
+
+(* --- lexer ------------------------------------------------------------ *)
+
+let lexer_tests =
+  [ Alcotest.test_case "numbers and suffixes" `Quick (fun () ->
+        let toks = Minic.Lexer.all "42 0x1F 3.5 1.0f 2e3 7ul 9ll" in
+        Alcotest.(check int) "token count (incl. EOF)" 8 (List.length toks);
+        match toks with
+        | INT (n, Int) :: INT (h, Int) :: FLOATLIT (f, Double)
+          :: FLOATLIT (g, Float) :: FLOATLIT (e, Double) :: INT (_, ULong)
+          :: INT (_, LongLong) :: _ ->
+          Alcotest.(check int64) "42" 42L n;
+          Alcotest.(check int64) "0x1F" 31L h;
+          Alcotest.(check (float 1e-9)) "3.5" 3.5 f;
+          Alcotest.(check (float 1e-9)) "1.0f" 1.0 g;
+          Alcotest.(check (float 1e-9)) "2e3" 2000.0 e
+        | _ -> Alcotest.fail "unexpected token stream");
+    Alcotest.test_case "launch tokens" `Quick (fun () ->
+        let toks = Minic.Lexer.all "k<<<1, 2>>>(x)" in
+        let has t = List.mem t toks in
+        Alcotest.(check bool) "<<<" true (has Minic.Token.LAUNCH_OPEN);
+        Alcotest.(check bool) ">>>" true (has Minic.Token.LAUNCH_CLOSE));
+    Alcotest.test_case "comments and preprocessor skipped" `Quick (fun () ->
+        let toks =
+          Minic.Lexer.all "#include <x.h>\n// c1\nint /* c2 */ y;"
+        in
+        Alcotest.(check int) "tokens" 4 (List.length toks));
+    Alcotest.test_case "string escapes" `Quick (fun () ->
+        match Minic.Lexer.all {|"a\nb"|} with
+        | [ STRING s; EOF ] -> Alcotest.(check string) "escaped" "a\nb" s
+        | _ -> Alcotest.fail "expected one string token");
+    Alcotest.test_case "unterminated comment fails" `Quick (fun () ->
+        Alcotest.check_raises "error"
+          (Minic.Lexer.Error ("unterminated comment", 1))
+          (fun () -> ignore (Minic.Lexer.all "/* oops"))) ]
+
+(* --- parser ------------------------------------------------------------ *)
+
+let parser_tests =
+  [ Alcotest.test_case "kernel with qualifiers" `Quick
+      (check_parses ~dialect:Minic.Parser.OpenCL "k"
+         "__kernel void f(__global float* a, __local int* b, __constant int* c) {}"
+         1);
+    Alcotest.test_case "cuda qualifiers and launch" `Quick (fun () ->
+        let prog =
+          parse_cuda
+            "__global__ void k(int* p) {}\n\
+             int main(void) { int* d; k<<<4, 64, 128>>>(d); return 0; }"
+        in
+        let main = Option.get (find_function prog "main") in
+        let launches =
+          fold_body_exprs
+            (fun acc e -> match e with Launch l -> l :: acc | _ -> acc)
+            [] (Option.get main.fn_body)
+        in
+        match launches with
+        | [ l ] ->
+          Alcotest.(check string) "kernel name" "k" l.l_kernel;
+          Alcotest.(check bool) "shmem present" true (l.l_shmem <> None)
+        | _ -> Alcotest.fail "expected exactly one launch");
+    Alcotest.test_case "dim3 constructor" `Quick (fun () ->
+        let prog = parse_cuda "int main(void) { dim3 g(2, 3); return 0; }" in
+        match find_function prog "main" with
+        | Some { fn_body = Some (SDecl d :: _); _ } ->
+          Alcotest.(check bool) "ctor init" true
+            (match d.d_init with
+             | Some (IExpr (Call ("dim3", [], [ _; _ ]))) -> true
+             | _ -> false)
+        | _ -> Alcotest.fail "main not parsed");
+    Alcotest.test_case "texture declaration" `Quick (fun () ->
+        let prog =
+          parse_cuda "texture<float, 2, cudaReadModeElementType> tex;"
+        in
+        match prog with
+        | [ TVar d ] ->
+          Alcotest.(check bool) "texture type" true
+            (match unqual d.d_ty with TTexture (Float, 2, RM_element) -> true | _ -> false)
+        | _ -> Alcotest.fail "expected one var");
+    Alcotest.test_case "template function" `Quick (fun () ->
+        let prog =
+          parse_cuda "template <typename T> __global__ void f(T* a) { a[0] = a[1]; }"
+        in
+        match functions prog with
+        | [ f ] -> Alcotest.(check (list string)) "params" [ "T" ] f.fn_tmpl
+        | _ -> Alcotest.fail "expected one function");
+    Alcotest.test_case "vector literal vs cast" `Quick (fun () ->
+        let e = Minic.Parser.expr_of_string ~dialect:Minic.Parser.OpenCL
+            "(float4)(1.0f, 2.0f, 3.0f, 4.0f)" in
+        Alcotest.(check bool) "veclit" true
+          (match e with VecLit (TVec (Float, 4), [ _; _; _; _ ]) -> true | _ -> false);
+        let c = Minic.Parser.expr_of_string "(float)(x + y)" in
+        Alcotest.(check bool) "cast" true
+          (match c with Cast (TScalar Float, _) -> true | _ -> false));
+    Alcotest.test_case "swizzles parse as members" `Quick (fun () ->
+        let e = Minic.Parser.expr_of_string ~dialect:Minic.Parser.OpenCL "v.lo" in
+        Alcotest.(check bool) "member" true
+          (match e with Member (Ident "v", "lo") -> true | _ -> false));
+    Alcotest.test_case "precedence" `Quick (fun () ->
+        let e = Minic.Parser.expr_of_string "1 + 2 * 3" in
+        Alcotest.(check bool) "mul binds tighter" true
+          (match e with Binary (Add, _, Binary (Mul, _, _)) -> true | _ -> false);
+        let s = Minic.Parser.expr_of_string "a >> 2 & 3" in
+        Alcotest.(check bool) "shift above band" true
+          (match s with Binary (Band, Binary (Shr, _, _), _) -> true | _ -> false));
+    Alcotest.test_case "ternary and assignment chain" `Quick (fun () ->
+        let e = Minic.Parser.expr_of_string "a = b < c ? b : c" in
+        Alcotest.(check bool) "shape" true
+          (match e with Assign (None, Ident "a", Cond (_, _, _)) -> true | _ -> false));
+    Alcotest.test_case "arrow member" `Quick (fun () ->
+        let e = Minic.Parser.expr_of_string "p->x" in
+        Alcotest.(check bool) "deref member" true
+          (match e with Member (Unary (Deref, Ident "p"), "x") -> true | _ -> false));
+    Alcotest.test_case "struct typedef and use" `Quick
+      (check_parses "s"
+         "typedef struct { float x; float y; } Point;\n\
+          __global__ void k(Point* p) { p[0].x = p[0].y; }"
+         2);
+    Alcotest.test_case "multi declarator statement" `Quick (fun () ->
+        let prog = parse_cuda "void f(void) { int a = 1, b = 2; }" in
+        match functions prog with
+        | [ { fn_body = Some [ SBlock l ]; _ } ] ->
+          Alcotest.(check int) "two decls" 2 (List.length l)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "2D array declarations" `Quick (fun () ->
+        let prog = parse_cuda "__global__ void k(void) { __shared__ float t[4][8]; }" in
+        match functions prog with
+        | [ { fn_body = Some (SDecl d :: _); _ } ] ->
+          Alcotest.(check bool) "nested array" true
+            (match d.d_ty with
+             | TQual (AS_local, TArr (TArr (TScalar Float, Some 8), Some 4)) -> true
+             | TArr (TArr _, Some 4) -> true
+             | _ -> false)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "parse error has line number" `Quick (fun () ->
+        match parse_cuda "int main(void) {\n  @;\n}" with
+        | exception Minic.Parser.Error (_, line) ->
+          Alcotest.(check int) "line" 2 line
+        | exception Minic.Lexer.Error (_, line) ->
+          Alcotest.(check int) "line" 2 line
+        | _ -> Alcotest.fail "expected a parse error") ]
+
+(* --- printer round trip ------------------------------------------------ *)
+
+let roundtrip ?(dialect = Minic.Parser.Cuda) src =
+  let pdialect =
+    match dialect with
+    | Minic.Parser.OpenCL -> Minic.Pretty.OpenCL
+    | _ -> Minic.Pretty.Cuda
+  in
+  let p1 = Minic.Parser.program ~dialect src in
+  let printed = Minic.Pretty.program_str pdialect p1 in
+  let p2 = Minic.Parser.program ~dialect printed in
+  let printed2 = Minic.Pretty.program_str pdialect p2 in
+  Alcotest.(check string) "print(parse(print)) is stable" printed printed2
+
+let roundtrip_tests =
+  [ Alcotest.test_case "roundtrip: saxpy cuda" `Quick (fun () ->
+        roundtrip
+          "__constant__ float c[4];\n\
+           __global__ void k(float* x, float* y, int n, float a) {\n\
+           int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+           extern __shared__ float tile[];\n\
+           if (i < n) y[i] = a * x[i] + c[1];\n\
+           }");
+    Alcotest.test_case "roundtrip: opencl vectors" `Quick (fun () ->
+        roundtrip ~dialect:Minic.Parser.OpenCL
+          "__kernel void k(__global float4* v) {\n\
+           float4 a = v[get_global_id(0)];\n\
+           a.lo = a.hi;\n\
+           v[get_global_id(0)] = a;\n\
+           }");
+    Alcotest.test_case "roundtrip: control flow" `Quick (fun () ->
+        roundtrip
+          "int f(int n) {\n\
+           int s = 0;\n\
+           for (int i = 0; i < n; i++) {\n\
+           if (i % 2 == 0) s += i; else s -= i;\n\
+           while (s > 100) s /= 2;\n\
+           do { s++; } while (s < 0);\n\
+           }\n\
+           return s;\n\
+           }") ]
+
+(* --- qcheck: generated expressions survive print/parse ----------------- *)
+
+let gen_expr : expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> IntLit (Int64.of_int n, Int)) (int_range 0 1000);
+        map (fun f -> FloatLit (float_of_int f /. 8.0, Double)) (int_range 0 100);
+        oneofl [ Ident "a"; Ident "b"; Ident "c" ] ]
+  in
+  let binops = [ Add; Sub; Mul; Div; Lt; Gt; Eq; Band; Bor; Shl ] in
+  fix
+    (fun self depth ->
+       if depth = 0 then leaf
+       else
+         frequency
+           [ (2, leaf);
+             (4,
+              map3
+                (fun op l r -> Binary (op, l, r))
+                (oneofl binops) (self (depth - 1)) (self (depth - 1)));
+             (1, map (fun e -> Unary (Neg, e)) (self (depth - 1)));
+             (1, map (fun e -> Unary (Bnot, e)) (self (depth - 1)));
+             (1,
+              map3 (fun c a b -> Cond (c, a, b))
+                (self (depth - 1)) (self (depth - 1)) (self (depth - 1)));
+             (1, map (fun e -> Cast (TScalar Float, e)) (self (depth - 1))) ])
+    4
+
+let arb_expr = QCheck.make ~print:(Minic.Pretty.expr_str Minic.Pretty.Cuda) gen_expr
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ QCheck.Test.make ~count:300 ~name:"expr print/parse round trip" arb_expr
+        (fun e ->
+           let s = Minic.Pretty.expr_str Minic.Pretty.Cuda e in
+           let e' = Minic.Parser.expr_of_string s in
+           let s' = Minic.Pretty.expr_str Minic.Pretty.Cuda e' in
+           s = s');
+      QCheck.Test.make ~count:200 ~name:"specialisation removes template params"
+        arb_expr
+        (fun e ->
+           (* embed e in a templated function and specialise *)
+           let f =
+             { fn_name = "f"; fn_kind = FK_device; fn_ret = TScalar Int;
+               fn_params =
+                 [ { pa_name = "a"; pa_ty = TNamed "T"; pa_space = AS_none;
+                     pa_const = false };
+                   { pa_name = "b"; pa_ty = TScalar Int; pa_space = AS_none;
+                     pa_const = false };
+                   { pa_name = "c"; pa_ty = TScalar Int; pa_space = AS_none;
+                     pa_const = false } ];
+               fn_body = Some [ SReturn (Some e) ];
+               fn_tmpl = [ "T" ]; fn_launch_bounds = None }
+           in
+           let g = Minic.Specialize.func f [ TScalar Float ] in
+           g.fn_tmpl = []
+           && List.for_all (fun pa -> pa.pa_ty <> TNamed "T") g.fn_params) ]
+
+let suites =
+  [ ("lexer", lexer_tests);
+    ("parser", parser_tests);
+    ("roundtrip", roundtrip_tests);
+    ("frontend-qcheck", qcheck_tests) ]
+
+(* sanity check referenced by the OpenCL dialect parser tests *)
+let () = ignore parse_ocl

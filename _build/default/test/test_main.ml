@@ -1,0 +1,8 @@
+(* Aggregated alcotest runner for the whole repository. *)
+
+let () =
+  Alcotest.run "oclcuda"
+    (Test_frontend.suites @ Test_vm.suites @ Test_gpusim.suites
+     @ Test_apis.suites @ Test_translate.suites @ Test_feature.suites
+     @ Test_bridge.suites @ Test_svm.suites @ Test_failures.suites
+     @ Test_apps.suites)

@@ -1,0 +1,101 @@
+(* Extension E1: OpenCL 2.0 shared virtual memory recovers the paper's
+   unified-virtual-address-space failures (§3.7's anticipated fix). *)
+
+open Bridge.Framework
+
+let zero_copy = {|
+__global__ void square(float* p, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) p[i] = p[i] * p[i];
+}
+int main(void) {
+  int n = 128;
+  float* h;
+  cudaHostAlloc((void**)&h, n * sizeof(float), 4);
+  for (int i = 0; i < n; i++) h[i] = (float)(i % 8);
+  float* d;
+  cudaHostGetDevicePointer((void**)&d, h, 0);
+  square<<<n / 64, 64>>>(d, n);
+  cudaDeviceSynchronize();
+  float sum = 0.0f;
+  for (int i = 0; i < n; i++) sum += h[i];
+  printf("zerocopy sum %.1f\n", sum);
+  cudaFreeHost(h);
+  return 0;
+}
+|}
+
+let svm_tests =
+  [ Alcotest.test_case "CL1.2 target rejects zero copy" `Quick (fun () ->
+        match translate_cuda zero_copy with
+        | Failed findings ->
+          Alcotest.(check bool) "UVA category" true
+            (List.exists
+               (fun f ->
+                  f.Xlat.Feature.f_category
+                  = Xlat.Feature.Unified_virtual_address_space)
+               findings)
+        | Translated _ -> Alcotest.fail "must be rejected under OpenCL 1.2");
+    Alcotest.test_case "CL2.0 target translates and agrees" `Quick (fun () ->
+        let native = run_cuda_native zero_copy in
+        match translate_cuda ~cl_target:Xlat.Feature.CL20 zero_copy with
+        | Failed _ -> Alcotest.fail "must translate under OpenCL 2.0"
+        | Translated res ->
+          let r = run_translated_cuda res in
+          Alcotest.(check bool) "agree" true
+            (outputs_agree native.r_output r.r_output));
+    Alcotest.test_case "svm_alloc returns a host-dereferencable pointer"
+      `Quick (fun () ->
+          let cl =
+            Opencl.Cl.create
+              (Gpusim.Device.create Gpusim.Device.titan
+                 Gpusim.Device.opencl_on_nvidia)
+          in
+          let p = Opencl.Cl.svm_alloc cl 64 in
+          Alcotest.(check bool) "global space" true
+            (Vm.Value.ptr_space p = Minic.Ast.AS_global);
+          Vm.Memory.store_float cl.Opencl.Cl.dev.Gpusim.Device.global
+            (Vm.Value.ptr_offset p) 4 7.5;
+          Alcotest.(check (float 0.0)) "round trip" 7.5
+            (Vm.Memory.load_float cl.Opencl.Cl.dev.Gpusim.Device.global
+               (Vm.Value.ptr_offset p) 4));
+    Alcotest.test_case "heartwall translates under CL2.0 (struct of pointers)"
+      `Slow (fun () ->
+          let hw =
+            List.find
+              (fun (c : Suite.Registry.cuda_app) -> c.cu_name = "heartwall")
+              Suite.Registry.rodinia_cuda
+          in
+          let native = run_cuda_native hw.cu_src in
+          match translate_cuda ~cl_target:Xlat.Feature.CL20 hw.cu_src with
+          | Failed _ -> Alcotest.fail "heartwall must translate under CL2.0"
+          | Translated res ->
+            let r = run_translated_cuda res in
+            Alcotest.(check bool) "agree" true
+              (outputs_agree native.r_output r.r_output));
+    Alcotest.test_case "CL2.0 recovers exactly the UVA failures" `Quick
+      (fun () ->
+         let recovered =
+           List.filter
+             (fun (c : Suite.Registry.cuda_app) ->
+                (match
+                   translate_cuda ~tex1d_texels:c.cu_tex1d_texels c.cu_src
+                 with
+                 | Failed _ -> true
+                 | Translated _ -> false)
+                && (match
+                      translate_cuda ~tex1d_texels:c.cu_tex1d_texels
+                        ~cl_target:Xlat.Feature.CL20 c.cu_src
+                    with
+                    | Failed _ -> false
+                    | Translated _ -> true))
+             Suite.Registry.all_cuda
+           |> List.map (fun (c : Suite.Registry.cuda_app) -> c.cu_name)
+           |> List.sort compare
+         in
+         Alcotest.(check (list string)) "recovered set"
+           [ "heartwall"; "simpleMultiCopy"; "simpleP2P"; "simpleStreams";
+             "simpleZeroCopy" ]
+           recovered) ]
+
+let suites = [ ("svm-extension", svm_tests) ]

@@ -1,0 +1,522 @@
+(* Translator unit tests: every §3-§5 technique in both directions, plus
+   qcheck semantic equivalence of translated kernels. *)
+
+
+let ocl2cu src = Xlat.Ocl_to_cuda.translate_source src
+let cu2ocl src = Xlat.Cuda_to_ocl.translate_source src
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains name hay needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: output contains %S" name needle)
+    true (contains hay needle)
+
+let check_absent name hay needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: output lacks %S" name needle)
+    false (contains hay needle)
+
+(* --- OpenCL -> CUDA ------------------------------------------------------ *)
+
+let o2c_tests =
+  [ Alcotest.test_case "qualifiers and index builtins" `Quick (fun () ->
+        let cuda, _ =
+          ocl2cu
+            {|
+__kernel void k(__global float* a, int n) {
+  int i = get_global_id(0);
+  __local float tile[32];
+  tile[get_local_id(0)] = a[i];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i < n) a[i] = tile[0];
+}
+|}
+        in
+        check_contains "kernel" cuda "__global__ void k(float *a, int n)";
+        check_contains "shared" cuda "__shared__ float tile[32]";
+        check_contains "sync" cuda "__syncthreads()";
+        check_contains "gid" cuda "__oc2cu_get_global_id(0)";
+        check_absent "no __global left" cuda "__global float");
+    Alcotest.test_case "dynamic __local params become sizes (Fig. 5)" `Quick
+      (fun () ->
+         let cuda, r =
+           ocl2cu
+             {|
+__kernel void k(int n, __local int* s1, __local int* s2) {
+  s1[get_local_id(0)] = n;
+  s2[get_local_id(0)] = n;
+}
+|}
+         in
+         check_contains "pool decl" cuda "extern __shared__ char __OC2CU_shared_mem[]";
+         check_contains "size params" cuda "size_t s1__size";
+         check_contains "offset by previous size" cuda "__OC2CU_shared_mem + s1__size";
+         match r.Xlat.Ocl_to_cuda.kernels with
+         | [ ki ] ->
+           Alcotest.(check bool) "roles" true
+             (ki.Xlat.Ocl_to_cuda.ki_roles
+              = [ Xlat.Ocl_to_cuda.P_keep; P_local_size; P_local_size ])
+         | _ -> Alcotest.fail "one kernel expected");
+    Alcotest.test_case "dynamic __constant params use the pool (§4.2)" `Quick
+      (fun () ->
+         let cuda, r =
+           ocl2cu
+             {|
+__kernel void k(__constant float* taps, __global float* out) {
+  out[get_global_id(0)] = taps[0];
+}
+|}
+         in
+         check_contains "const pool" cuda "__constant__ char __OC2CU_const_mem[65536]";
+         check_contains "size param" cuda "size_t taps__size";
+         match r.Xlat.Ocl_to_cuda.kernels with
+         | [ ki ] ->
+           Alcotest.(check bool) "role" true
+             (List.hd ki.Xlat.Ocl_to_cuda.ki_roles = Xlat.Ocl_to_cuda.P_const_size)
+         | _ -> Alcotest.fail "one kernel expected");
+    Alcotest.test_case "vector literals become make_*" `Quick (fun () ->
+        let cuda, _ =
+          ocl2cu
+            {|
+__kernel void k(__global float4* v) {
+  v[get_global_id(0)] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+}
+|}
+        in
+        check_contains "make" cuda "make_float4(1.0f, 2.0f, 3.0f, 4.0f)");
+    Alcotest.test_case "multi-component assignment splits (§3.6)" `Quick
+      (fun () ->
+         let cuda, _ =
+           ocl2cu
+             {|
+__kernel void k(__global float4* p) {
+  float4 v1 = p[0];
+  float4 v2 = p[1];
+  v1.lo = v2.lo;
+  v1.hi = v2.lo;
+  p[0] = v1;
+}
+|}
+         in
+         check_contains "x" cuda "v1.x = v2.x;";
+         check_contains "y" cuda "v1.y = v2.y;";
+         check_contains "hi-z" cuda "v1.z = v2.x;";
+         check_contains "hi-w" cuda "v1.w = v2.y;";
+         check_absent "no .lo survives" cuda ".lo");
+    Alcotest.test_case "swizzle rvalues become make_* expressions" `Quick
+      (fun () ->
+         let cuda, _ =
+           ocl2cu
+             {|
+__kernel void k(__global float2* out, __global float4* in) {
+  float4 v = in[0];
+  out[0] = v.even;
+  out[1] = v.xx;
+}
+|}
+         in
+         check_contains "even" cuda "make_float2(v.x, v.z)";
+         check_contains "xx" cuda "make_float2(v.x, v.x)");
+    Alcotest.test_case "8-wide vectors become structs (§3.6)" `Quick (fun () ->
+        let cuda, _ =
+          ocl2cu
+            {|
+__kernel void k(__global float8* p) {
+  float8 v = p[0];
+  v.s0 = v.s7;
+  p[0] = v;
+}
+|}
+        in
+        check_contains "struct def" cuda "} __oc2cu_float8;";
+        check_contains "decl uses struct" cuda "__oc2cu_float8 v";
+        check_contains "component names survive" cuda "v.s0 = v.s7");
+    Alcotest.test_case "atomic_inc maps to bounded atomicInc (§3.7)" `Quick
+      (fun () ->
+         let cuda, _ =
+           ocl2cu
+             "__kernel void k(__global int* c) { atomic_inc(c); atomic_add(c, 2); }"
+         in
+         check_contains "inc with bound" cuda "atomicInc(c, 4294967295u)";
+         check_contains "add" cuda "atomicAdd(c, 2)") ]
+
+(* --- CUDA -> OpenCL ------------------------------------------------------ *)
+
+let c2o_tests =
+  [ Alcotest.test_case "kernel split and host rewrite (Fig. 3)" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+__global__ void k(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) a[i] *= 2.0f;
+}
+int main(void) {
+  float* d;
+  cudaMalloc((void**)&d, 64);
+  k<<<4, 16>>>(d, 16);
+  return 0;
+}
+|}
+         in
+         let cl = Xlat.Cuda_to_ocl.cl_source r in
+         let host = Xlat.Cuda_to_ocl.host_source r in
+         check_contains "kernel qualifier" cl "__kernel void k(__global float *a, int n)";
+         check_contains "group id" cl "get_group_id(0)";
+         check_absent "no kernels in host" host "__kernel";
+         check_contains "launch became setargs" host "__c2o_set_arg(__k_k, 0, d)";
+         check_contains "ndrange call" host "clEnqueueNDRangeKernel";
+         check_contains "grid conversion" host "__c2o_fill_dims(4, 16, __gws, __lws)";
+         check_absent "no <<< left" host "<<<");
+    Alcotest.test_case "extern shared becomes __local param (§4.1)" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+__global__ void k(float* a) {
+  extern __shared__ float tile[];
+  tile[threadIdx.x] = a[threadIdx.x];
+}
+int main(void) {
+  float* d;
+  cudaMalloc((void**)&d, 64);
+  k<<<1, 16, 16 * sizeof(float)>>>(d);
+  return 0;
+}
+|}
+         in
+         let cl = Xlat.Cuda_to_ocl.cl_source r in
+         let host = Xlat.Cuda_to_ocl.host_source r in
+         check_contains "local param" cl "__local float *tile";
+         check_contains "NULL setarg with size" host
+           "clSetKernelArg(__k_k, 1, 16 * sizeof(float), 0)");
+    Alcotest.test_case "cudaMemcpyToSymbol rewrites; __device__ global becomes param (§4.2/4.3)"
+      `Quick (fun () ->
+          let r =
+            cu2ocl
+              {|
+__constant__ float taps[4];
+__device__ float bias[2];
+__global__ void k(float* out) {
+  out[threadIdx.x] = taps[0] + bias[1];
+}
+int main(void) {
+  float h[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  cudaMemcpyToSymbol(taps, h, 4 * sizeof(float));
+  cudaMemcpyToSymbol(bias, h, 2 * sizeof(float));
+  cudaMemcpyFromSymbol(h, bias, 2 * sizeof(float));
+  float* d;
+  cudaMalloc((void**)&d, 64);
+  k<<<1, 4>>>(d);
+  return 0;
+}
+|}
+          in
+          let cl = Xlat.Cuda_to_ocl.cl_source r in
+          let host = Xlat.Cuda_to_ocl.host_source r in
+          check_contains "constant param" cl "__constant float *taps";
+          check_contains "global param" cl "__global float *bias";
+          check_contains "to_symbol helper" host
+            "__c2o_memcpy_to_symbol(\"taps\", h, 4 * sizeof(float))";
+          check_contains "from_symbol helper" host
+            "__c2o_memcpy_from_symbol(h, \"bias\", 2 * sizeof(float))";
+          check_contains "symbol setarg" host "__c2o_set_symbol_arg";
+          Alcotest.(check int) "two symbols" 2
+            (List.length r.Xlat.Cuda_to_ocl.symbols));
+    Alcotest.test_case "statically initialised __constant__ stays (§4.2)" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+__constant__ int lut[4] = {1, 2, 3, 4};
+__global__ void k(int* out) { out[threadIdx.x] = lut[threadIdx.x]; }
+int main(void) { return 0; }
+|}
+         in
+         let cl = Xlat.Cuda_to_ocl.cl_source r in
+         check_contains "stays a global" cl "__constant int lut[4] = {1, 2, 3, 4}";
+         Alcotest.(check int) "no runtime symbols" 0
+           (List.length r.Xlat.Cuda_to_ocl.symbols));
+    Alcotest.test_case "textures become image+sampler params (§5)" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+texture<float, 2, cudaReadModeElementType> tex;
+__global__ void k(float* out, int w) {
+  int x = threadIdx.x;
+  out[x] = tex2D(tex, (float)x, 1.0f);
+}
+int main(void) { return 0; }
+|}
+         in
+         let cl = Xlat.Cuda_to_ocl.cl_source r in
+         check_contains "image param" cl "image2d_t tex_img";
+         check_contains "sampler param" cl "sampler_t tex_smp";
+         check_contains "read_imagef with coord" cl "read_imagef(tex_img, tex_smp";
+         check_contains "scalar channel" cl ").x");
+    Alcotest.test_case "templates specialised, refs to pointers, casts (§3.6)"
+      `Quick (fun () ->
+          let r =
+            cu2ocl
+              {|
+__device__ void add_to(float& acc, float v) { acc = acc + v; }
+template <typename T>
+__global__ void scale(T* p, T s) { p[threadIdx.x] = static_cast<T>(p[threadIdx.x] * s); }
+int main(void) {
+  float* d;
+  cudaMalloc((void**)&d, 64);
+  scale<float><<<1, 4>>>(d, 2.0f);
+  return 0;
+}
+|}
+          in
+          let cl = Xlat.Cuda_to_ocl.cl_source r in
+          let host = Xlat.Cuda_to_ocl.host_source r in
+          check_contains "specialised kernel" cl "scale__float";
+          check_absent "no template syntax" cl "template";
+          check_contains "float substituted" cl "__global float *p";
+          check_contains "ref became pointer" cl "float *acc";
+          check_contains "deref in body" cl "*acc = *acc + v";
+          check_absent "no static_cast" cl "static_cast";
+          check_contains "host launches mangled name" host "__c2o_kernel(\"scale__float\")");
+    Alcotest.test_case "one-component vectors and longlong (§3.6)" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+__global__ void k(float1* a, longlong2* b) {
+  float1 v = a[threadIdx.x];
+  a[threadIdx.x] = make_float1(v.x * 2.0f);
+  b[threadIdx.x].x = 7;
+}
+int main(void) { return 0; }
+|}
+         in
+         let cl = Xlat.Cuda_to_ocl.cl_source r in
+         check_contains "scalar param" cl "__global float *a";
+         check_contains "long2 param" cl "__global long2 *b";
+         check_absent "no float1" cl "float1";
+         check_absent "no longlong" cl "longlong");
+    Alcotest.test_case "pointer address-space inference with cloning (§3.6)"
+      `Quick (fun () ->
+          let r =
+            cu2ocl
+              {|
+__global__ void k(float* g, int pick) {
+  __shared__ float tile[32];
+  tile[threadIdx.x] = g[threadIdx.x];
+  __syncthreads();
+  float* p;
+  if (pick == 1) {
+    p = tile;
+    g[threadIdx.x] = p[0];
+  } else {
+    p = g;
+    g[threadIdx.x] = p[1];
+  }
+}
+int main(void) { return 0; }
+|}
+          in
+          let cl = Xlat.Cuda_to_ocl.cl_source r in
+          check_contains "local clone" cl "__local float *p__loc";
+          check_contains "global clone" cl "__global float *p__glb";
+          check_contains "local use follows local assign" cl "p__loc[0]";
+          check_contains "global use follows global assign" cl "p__glb[1]");
+    Alcotest.test_case "atomicInc keeps wrap-around semantics via CAS helper"
+      `Quick (fun () ->
+          let r =
+            cu2ocl
+              {|
+__global__ void k(unsigned int* c) { atomicInc(c, 16u); }
+int main(void) { return 0; }
+|}
+          in
+          let cl = Xlat.Cuda_to_ocl.cl_source r in
+          check_contains "helper emitted" cl "__c2o_atomic_inc_bounded";
+          check_contains "helper uses cmpxchg" cl "atomic_cmpxchg") ]
+
+(* --- qcheck: semantic equivalence of translated kernels ------------------ *)
+
+(* Generate a small OpenCL kernel body operating on ints, run it natively
+   and through OpenCL->CUDA translation, and require identical outputs. *)
+let gen_kernel_body : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y" ] in
+  let atom =
+    oneof [ map string_of_int (int_range 1 9); var ]
+  in
+  let expr =
+    map3 (fun a op b -> Printf.sprintf "(%s %s %s)" a op b) atom
+      (oneofl [ "+"; "-"; "*"; "|"; "&"; "^" ])
+      atom
+  in
+  let stmt =
+    oneof
+      [ map (fun e -> Printf.sprintf "x = %s;" e) expr;
+        map (fun e -> Printf.sprintf "y = y + %s;" e) expr;
+        map2 (fun e1 e2 -> Printf.sprintf "if (x > %s) y = %s;" e1 e2) atom expr;
+        map (fun e -> Printf.sprintf "for (int j = 0; j < 3; j++) x = x + %s;" e)
+          expr ]
+  in
+  map
+    (fun stmts -> String.concat "\n  " stmts)
+    (list_size (int_range 1 6) stmt)
+
+let run_generated_both_ways body =
+  let src =
+    Printf.sprintf
+      {|
+__kernel void gen(__global int* out) {
+  int i = get_global_id(0);
+  int x = i + 1;
+  int y = 2 * i;
+  %s
+  out[i] = x ^ y;
+}
+|}
+      body
+  in
+  let n = 16 in
+  let run_native () =
+    let cl =
+      Opencl.Cl.create
+        (Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.opencl_on_nvidia)
+    in
+    let p = Opencl.Cl.create_program_with_source cl src in
+    Opencl.Cl.build_program cl p;
+    let k = Opencl.Cl.create_kernel cl p "gen" in
+    let b = Opencl.Cl.create_buffer cl (n * 4) in
+    Opencl.Cl.set_arg_buffer cl k 0 b;
+    ignore (Opencl.Cl.enqueue_nd_range cl k ~gws:[| n; 1; 1 |] ~lws:[| n; 1; 1 |] ());
+    Array.init n (fun i ->
+        Int64.to_int
+          (Vm.Memory.load_int cl.Opencl.Cl.dev.Gpusim.Device.global
+             (b.Opencl.Cl.b_addr + (4 * i)) 4))
+  in
+  let run_on_cuda () =
+    let c =
+      Bridge.Cl_on_cuda.Api.make
+        (Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.cuda_on_nvidia)
+    in
+    let module C = Bridge.Cl_on_cuda.Api in
+    C.build_program c src;
+    let k = C.create_kernel c "gen" in
+    let b = C.create_buffer c (n * 4) in
+    C.set_arg_buffer c k 0 b;
+    C.enqueue_nd_range c k ~gws:[| n; 1; 1 |] ~lws:[| n; 1; 1 |];
+    let hb = Vm.Hostbuf.alloc (C.host c) (n * 4) in
+    C.read_buffer c b ~size:(n * 4) ~ptr:(Vm.Hostbuf.ptr hb) ();
+    Vm.Hostbuf.to_ints hb n
+  in
+  run_native () = run_on_cuda ()
+
+let qcheck_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60
+         ~name:"generated kernels agree after OpenCL->CUDA translation"
+         (QCheck.make ~print:(fun s -> s) gen_kernel_body)
+         run_generated_both_ways) ]
+
+let suites =
+  [ ("ocl-to-cuda", o2c_tests);
+    ("cuda-to-ocl", c2o_tests);
+    ("translate-qcheck", qcheck_tests) ]
+
+(* --- further edge cases --------------------------------------------------- *)
+
+let edge_tests =
+  [ Alcotest.test_case "gridDim and fences map over (CUDA->OpenCL)" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+__global__ void k(int* out) {
+  out[0] = gridDim.x + gridDim.y;
+  __threadfence();
+  atomicDec((unsigned int*)out, 7u);
+}
+int main(void) { return 0; }
+|}
+         in
+         let cl = Xlat.Cuda_to_ocl.cl_source r in
+         check_contains "num groups" cl "get_num_groups(0) + get_num_groups(1)";
+         check_contains "mem_fence" cl "mem_fence(CLK_GLOBAL_MEM_FENCE)";
+         check_contains "bounded dec helper" cl "__c2o_atomic_dec_bounded");
+    Alcotest.test_case "16-wide vectors become structs" `Quick (fun () ->
+        let cuda, _ =
+          ocl2cu
+            {|
+__kernel void k(__global float16* p) {
+  float16 v = p[0];
+  v.s0 = v.sf;
+  p[0] = v;
+}
+|}
+        in
+        check_contains "struct" cuda "} __oc2cu_float16;";
+        check_contains "sf field" cuda "v.s0 = v.sf");
+    Alcotest.test_case "helper functions translate too" `Quick (fun () ->
+        let cuda, _ =
+          ocl2cu
+            {|
+float helper(__global float* p, int i) { return p[i] * 2.0f; }
+__kernel void k(__global float* p) {
+  p[get_global_id(0)] = helper(p, get_global_id(0));
+}
+|}
+        in
+        check_contains "helper survives" cuda "float helper(float *p, int i)";
+        check_contains "body kept" cuda "return p[i] * 2.0f");
+    Alcotest.test_case "kernel launch with dim3 variables rewrites" `Quick
+      (fun () ->
+         let r =
+           cu2ocl
+             {|
+__global__ void k(float* p) { p[threadIdx.x] = 1.0f; }
+int main(void) {
+  float* d;
+  cudaMalloc((void**)&d, 64);
+  dim3 grid(2, 2);
+  dim3 block(4, 4);
+  k<<<grid, block>>>(d);
+  return 0;
+}
+|}
+         in
+         let host = Xlat.Cuda_to_ocl.host_source r in
+         check_contains "dim3 decls stay" host "dim3 grid(2, 2);";
+         check_contains "fill dims with dim3 vars" host
+           "__c2o_fill_dims(grid, block, __gws, __lws)");
+    Alcotest.test_case "sub-device use blocks OpenCL->CUDA (§3.7)" `Quick
+      (fun () ->
+         let findings =
+           Xlat.Feature.check_opencl_app ~host_uses_subdevices:true
+         in
+         Alcotest.(check bool) "flagged" true
+           (List.exists
+              (fun f -> f.Xlat.Feature.f_category = Xlat.Feature.Subdevices)
+              findings);
+         Alcotest.(check (list string)) "clean app passes" []
+           (List.map
+              (fun f -> f.Xlat.Feature.f_construct)
+              (Xlat.Feature.check_opencl_app ~host_uses_subdevices:false)));
+    Alcotest.test_case "longlong scalars become long" `Quick (fun () ->
+        let r =
+          cu2ocl
+            {|
+__global__ void k(long long* p) { p[threadIdx.x] = p[threadIdx.x] + 1; }
+int main(void) { return 0; }
+|}
+        in
+        let cl = Xlat.Cuda_to_ocl.cl_source r in
+        check_contains "long param" cl "__global long *p";
+        check_absent "no long long" cl "long long") ]
+
+let suites = suites @ [ ("translate-edges", edge_tests) ]
