@@ -358,6 +358,69 @@ let svm () =
       (outputs_agree native.r_output r.r_output)
 
 (* ------------------------------------------------------------------ *)
+(* Extension: kernel analyzer + translation validation over the corpus *)
+(* ------------------------------------------------------------------ *)
+
+let analyze () =
+  header "Extension E2: kernel analyzer / translation validation sweep";
+  (* corpus capture is application execution, which we keep off the clock *)
+  let cuda_apps =
+    List.filter
+      (fun (c : Suite.Registry.cuda_app) -> c.cu_expect_translatable)
+      Suite.Registry.all_cuda
+  in
+  let ocl_srcs =
+    List.concat_map
+      (fun (a : ocl_app) -> Suite.Capture.kernel_sources a)
+      Suite.Registry.all_opencl
+  in
+  let t0 = Sys.time () in
+  let cu_outcomes =
+    List.filter_map
+      (fun (c : Suite.Registry.cuda_app) ->
+         match Xlat_analysis.Validate.validate_cuda_source c.cu_src with
+         | Ok o -> Some (c.cu_name, o)
+         | Error _ -> None)
+      cuda_apps
+  in
+  let cl_outcomes =
+    List.filter_map
+      (fun src ->
+         match Xlat_analysis.Validate.validate_opencl_source src with
+         | Ok o -> Some o
+         | Error _ -> None)
+      ocl_srcs
+  in
+  let elapsed = Sys.time () -. t0 in
+  let count sel outs =
+    List.fold_left (fun n o -> n + List.length (sel o)) 0 outs
+  in
+  let open Xlat_analysis.Validate in
+  let cu = List.map snd cu_outcomes in
+  Printf.printf
+    "CUDA->OpenCL: %3d programs, %3d diags before, %3d after, %d introduced\n"
+    (List.length cu)
+    (count (fun o -> o.v_before) cu)
+    (count (fun o -> o.v_after) cu)
+    (count (fun o -> o.v_introduced) cu);
+  Printf.printf
+    "OpenCL->CUDA: %3d programs, %3d diags before, %3d after, %d introduced\n"
+    (List.length cl_outcomes)
+    (count (fun o -> o.v_before) cl_outcomes)
+    (count (fun o -> o.v_after) cl_outcomes)
+    (count (fun o -> o.v_introduced) cl_outcomes);
+  List.iter
+    (fun (name, o) ->
+       List.iter
+         (fun d ->
+            Printf.printf "  %s introduced: %s\n" name
+              (Xlat_analysis.Diag.to_string d))
+         o.v_introduced)
+    cu_outcomes;
+  Printf.printf "analysis+validation wall time: %.3f s (capture excluded)\n"
+    elapsed
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -438,6 +501,7 @@ let experiments =
     ("ablation-occupancy", ablation_occupancy);
     ("wrappers", wrappers);
     ("svm", svm);
+    ("analyze", analyze);
     ("bechamel", bechamel) ]
 
 let () =

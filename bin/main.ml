@@ -2,7 +2,9 @@
 
      oclcu translate file.cu          -> file.cu.cl + file.cu.cpp (Fig. 3)
      oclcu translate kernel.cl        -> kernel.cl.cu             (Fig. 2)
+     oclcu translate --validate ...   -> also diff analyzer diagnostics
      oclcu check file.cu              -> Table-3 translatability report
+     oclcu analyze file.{cu,cl}       -> kernel static analysis report
      oclcu run file.cu [--device ...] -> execute on a simulated device
      oclcu devices                    -> list simulated devices *)
 
@@ -27,12 +29,42 @@ let ends_with ~suffix s =
 
 (* --- translate --------------------------------------------------------- *)
 
+(* Translation validation: analyze the program before and after the
+   translation and fail if the translation introduced any diagnostic
+   absent from the source. *)
+let report_validation = function
+  | Error msg -> `Error (false, "validate: " ^ msg)
+  | Ok o ->
+    if Xlat_analysis.Validate.clean o then begin
+      Printf.printf
+        "validated: no diagnostics introduced (%d before, %d after)\n"
+        (List.length o.Xlat_analysis.Validate.v_before)
+        (List.length o.Xlat_analysis.Validate.v_after);
+      `Ok ()
+    end
+    else begin
+      List.iter
+        (fun d ->
+           Printf.eprintf "introduced: %s\n" (Xlat_analysis.Diag.to_string d))
+        o.Xlat_analysis.Validate.v_introduced;
+      `Error
+        ( false,
+          Printf.sprintf "translation introduced %d diagnostic(s)"
+            (List.length o.Xlat_analysis.Validate.v_introduced) )
+    end
+
 let translate_cmd =
   let input =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"FILE" ~doc:"CUDA (.cu) or OpenCL (.cl) source file")
   in
-  let run input =
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Analyze the kernels before and after translation and fail \
+                   if the translation introduces a diagnostic")
+  in
+  let run input validate =
     let src = read_file input in
     if ends_with ~suffix:".cl" input then begin
       (* OpenCL -> CUDA device translation (kernel.cl -> kernel.cl.cu) *)
@@ -50,7 +82,9 @@ let translate_cmd =
              Printf.printf "kernel %-24s %d dynamic-memory parameter(s)\n"
                ki.Xlat.Ocl_to_cuda.ki_name dyn)
           result.Xlat.Ocl_to_cuda.kernels;
-        `Ok ()
+        if validate then
+          report_validation (Xlat_analysis.Validate.validate_opencl_source src)
+        else `Ok ()
       | exception Xlat.Ocl_to_cuda.Untranslatable msg ->
         `Error (false, "untranslatable: " ^ msg)
       | exception Minic.Parser.Error (msg, line) ->
@@ -81,7 +115,9 @@ let translate_cmd =
                 | Some _ -> " + dynamic __local"
                 | None -> ""))
           result.Xlat.Cuda_to_ocl.kmetas;
-        `Ok ()
+        if validate then
+          report_validation (Xlat_analysis.Validate.validate_cuda_source src)
+        else `Ok ()
       | exception Minic.Parser.Error (msg, line) ->
         `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
     end
@@ -89,7 +125,7 @@ let translate_cmd =
   Cmd.v
     (Cmd.info "translate"
        ~doc:"Translate between CUDA (.cu) and OpenCL (.cl) source")
-    Term.(ret (const run $ input))
+    Term.(ret (const run $ input $ validate))
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -125,6 +161,44 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Report model-specific features (Table 3 categories)")
     Term.(ret (const run $ input $ tex1d))
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"Kernel source to analyze; .cl parses as OpenCL, anything \
+                   else as CUDA")
+  in
+  let run input =
+    let src = read_file input in
+    let dialect =
+      if ends_with ~suffix:".cl" input then Minic.Parser.OpenCL
+      else Minic.Parser.Cuda
+    in
+    match Minic.Parser.program ~dialect src with
+    | prog ->
+      (match Xlat_analysis.Checks.analyze_program prog with
+       | [] ->
+         print_endline "clean: no barrier-divergence, race or address-space \
+                        diagnostics";
+         `Ok ()
+       | diags ->
+         List.iter
+           (fun d -> print_endline (Xlat_analysis.Diag.to_string d))
+           diags;
+         `Error (false, Printf.sprintf "%d diagnostic(s)" (List.length diags)))
+    | exception Minic.Parser.Error (msg, line) ->
+      `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+    | exception Minic.Lexer.Error (msg, line) ->
+      `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis of kernels: barrier divergence, local-memory \
+             races, address-space misuse")
+    Term.(ret (const run $ input))
 
 (* --- run ---------------------------------------------------------------- *)
 
@@ -201,4 +275,7 @@ let () =
     Cmd.info "oclcu" ~version:"1.0.0"
       ~doc:"Bidirectional OpenCL/CUDA translation framework (SC '15 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ translate_cmd; check_cmd; run_cmd; devices_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ translate_cmd; check_cmd; analyze_cmd; run_cmd; devices_cmd ]))

@@ -1,0 +1,296 @@
+(* Control-flow graphs over Mini-C statement lists, with dominance,
+   postdominance and control-dependence information.
+
+   A node is a basic block: a sequence of straight-line instructions
+   (declarations and expression statements) optionally terminated by a
+   two-way branch condition.  Successor order is significant for branch
+   nodes: the first successor is the true edge.  Loops are lowered to
+   head/body/exit blocks with explicit back edges, so the dataflow
+   engine ({!Dataflow}) and the dominance queries below need no special
+   cases for structured control flow. *)
+
+open Minic.Ast
+
+type instr =
+  | I_decl of decl
+  | I_expr of expr
+
+type node = {
+  id : int;
+  mutable instrs : instr list;
+  mutable branch : expr option;  (* condition evaluated at block end *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable blocks : node list;  (* reversed *)
+  mutable count : int;
+}
+
+let new_block b =
+  let nd = { id = b.count; instrs = []; branch = None; succs = []; preds = [] } in
+  b.count <- b.count + 1;
+  b.blocks <- nd :: b.blocks;
+  nd
+
+let add_edge (a : node) (c : node) =
+  if not (List.mem c.id a.succs) then begin
+    a.succs <- a.succs @ [ c.id ];
+    c.preds <- c.preds @ [ a.id ]
+  end
+
+type env = {
+  break_to : node option;
+  continue_to : node option;
+  exit_node : node;
+}
+
+(* Build [s] into the graph starting at block [cur]; returns the block
+   where control continues.  Code after a return/break/continue lands in
+   a fresh block with no predecessors, which reachability filtering
+   later discards. *)
+let rec build_stmt b env (cur : node) (s : stmt) : node =
+  match s with
+  | SDecl d ->
+    cur.instrs <- I_decl d :: cur.instrs;
+    cur
+  | SExpr e ->
+    cur.instrs <- I_expr e :: cur.instrs;
+    cur
+  | SBlock l -> List.fold_left (build_stmt b env) cur l
+  | SIf (c, then_s, else_s) ->
+    cur.branch <- Some c;
+    let then_b = new_block b in
+    add_edge cur then_b;
+    (match else_s with
+     | Some else_s ->
+       let else_b = new_block b in
+       add_edge cur else_b;
+       let join = new_block b in
+       add_edge (build_stmt b env then_b then_s) join;
+       add_edge (build_stmt b env else_b else_s) join;
+       join
+     | None ->
+       let join = new_block b in
+       add_edge cur join;
+       add_edge (build_stmt b env then_b then_s) join;
+       join)
+  | SWhile (c, body) ->
+    let head = new_block b in
+    add_edge cur head;
+    head.branch <- Some c;
+    let body_b = new_block b in
+    let exit_b = new_block b in
+    add_edge head body_b;
+    add_edge head exit_b;
+    let done_ =
+      build_stmt b
+        { env with break_to = Some exit_b; continue_to = Some head }
+        body_b body
+    in
+    add_edge done_ head;
+    exit_b
+  | SDoWhile (body, c) ->
+    let body_b = new_block b in
+    add_edge cur body_b;
+    let cond_b = new_block b in
+    let exit_b = new_block b in
+    let done_ =
+      build_stmt b
+        { env with break_to = Some exit_b; continue_to = Some cond_b }
+        body_b body
+    in
+    add_edge done_ cond_b;
+    cond_b.branch <- Some c;
+    add_edge cond_b body_b;
+    add_edge cond_b exit_b;
+    exit_b
+  | SFor (init, cond, update, body) ->
+    let cur = match init with Some i -> build_stmt b env cur i | None -> cur in
+    let head = new_block b in
+    add_edge cur head;
+    let body_b = new_block b in
+    let update_b = new_block b in
+    let exit_b = new_block b in
+    (match cond with
+     | Some c ->
+       head.branch <- Some c;
+       add_edge head body_b;
+       add_edge head exit_b
+     | None -> add_edge head body_b);
+    let done_ =
+      build_stmt b
+        { env with break_to = Some exit_b; continue_to = Some update_b }
+        body_b body
+    in
+    add_edge done_ update_b;
+    (match update with
+     | Some u -> update_b.instrs <- [ I_expr u ]
+     | None -> ());
+    add_edge update_b head;
+    exit_b
+  | SReturn e ->
+    (match e with
+     | Some e -> cur.instrs <- I_expr e :: cur.instrs
+     | None -> ());
+    add_edge cur env.exit_node;
+    new_block b
+  | SBreak ->
+    (match env.break_to with
+     | Some t -> add_edge cur t
+     | None -> add_edge cur env.exit_node);
+    new_block b
+  | SContinue ->
+    (match env.continue_to with
+     | Some t -> add_edge cur t
+     | None -> add_edge cur env.exit_node);
+    new_block b
+
+let of_body (body : stmt list) : t =
+  let b = { blocks = []; count = 0 } in
+  let entry = new_block b in
+  let exit_node = new_block b in
+  let env = { break_to = None; continue_to = None; exit_node } in
+  let last = List.fold_left (build_stmt b env) entry body in
+  add_edge last exit_node;
+  let nodes = Array.of_list (List.rev b.blocks) in
+  Array.iter (fun nd -> nd.instrs <- List.rev nd.instrs) nodes;
+  { nodes; entry = entry.id; exit_ = exit_node.id }
+
+(* ------------------------------------------------------------------ *)
+(* Orderings and reachability                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reverse postorder of the nodes reachable from [root] following
+   [next]; generic so the same code orders the reversed graph. *)
+let rpo_from nodes ~root ~next =
+  let n = Array.length nodes in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs (next nodes.(i));
+      order := i :: !order
+    end
+  in
+  dfs root;
+  Array.of_list !order
+
+let rpo (cfg : t) = rpo_from cfg.nodes ~root:cfg.entry ~next:(fun nd -> nd.succs)
+
+let reachable (cfg : t) =
+  let r = Array.make (Array.length cfg.nodes) false in
+  Array.iter (fun i -> r.(i) <- true) (rpo cfg);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Dominance (Cooper-Harvey-Kennedy iterative algorithm)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Immediate-dominator array for the graph rooted at [root] with the
+   given edge functions; [idom.(root) = root], unreachable nodes -1. *)
+let idoms nodes ~root ~next ~prev =
+  let n = Array.length nodes in
+  let order = rpo_from nodes ~root ~next in
+  let rpo_num = Array.make n (-1) in
+  Array.iteri (fun i id -> rpo_num.(id) <- i) order;
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  let rec intersect a c =
+    if a = c then a
+    else if rpo_num.(a) > rpo_num.(c) then intersect idom.(a) c
+    else intersect a idom.(c)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun id ->
+         if id <> root then begin
+           let preds =
+             List.filter
+               (fun p -> rpo_num.(p) >= 0 && idom.(p) <> -1)
+               (prev nodes.(id))
+           in
+           match preds with
+           | [] -> ()
+           | p :: rest ->
+             let d = List.fold_left intersect p rest in
+             if idom.(id) <> d then begin
+               idom.(id) <- d;
+               changed := true
+             end
+         end)
+      order
+  done;
+  idom
+
+let dominators (cfg : t) =
+  idoms cfg.nodes ~root:cfg.entry ~next:(fun nd -> nd.succs)
+    ~prev:(fun nd -> nd.preds)
+
+let postdominators (cfg : t) =
+  idoms cfg.nodes ~root:cfg.exit_ ~next:(fun nd -> nd.preds)
+    ~prev:(fun nd -> nd.succs)
+
+(* Does [a] (post)dominate [c] under idom array [dom]?  Reflexive. *)
+let dominates ~dom a c =
+  if dom.(c) = -1 && c <> a then false
+  else begin
+    let rec up x = x = a || (dom.(x) <> x && dom.(x) <> -1 && up dom.(x)) in
+    up c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Control dependence                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Transitive control dependence: [deps.(b)] lists the branch nodes
+   whose outcome decides whether [b] executes.  Direct dependence is
+   the classical definition (b postdominates a successor of branch c
+   but not c itself); the transitive closure folds in the conditions
+   controlling the controlling branches, so a barrier nested two ifs
+   deep sees both conditions. *)
+let control_deps (cfg : t) : int list array =
+  let n = Array.length cfg.nodes in
+  let pdom = postdominators cfg in
+  let live = reachable cfg in
+  let direct = Array.make n [] in
+  Array.iter
+    (fun (c : node) ->
+       if live.(c.id) && List.length c.succs > 1 then
+         for b = 0 to n - 1 do
+           if live.(b)
+              && List.exists (fun s -> dominates ~dom:pdom b s) c.succs
+              && not (b <> c.id && dominates ~dom:pdom b c.id)
+           then direct.(b) <- c.id :: direct.(b)
+         done)
+    cfg.nodes;
+  let deps = Array.map (List.sort_uniq compare) direct in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      let extended =
+        List.sort_uniq compare
+          (List.concat (deps.(b) :: List.map (fun c -> deps.(c)) deps.(b)))
+      in
+      if extended <> deps.(b) then begin
+        deps.(b) <- extended;
+        changed := true
+      end
+    done
+  done;
+  deps

@@ -1,0 +1,51 @@
+(* A small generic forward-dataflow fixpoint engine.
+
+   The solver iterates a monotone transfer function over the CFG in
+   reverse postorder until the in/out facts stabilise.  Lattices are
+   expected to be finite-height (all the analyzer's lattices are sets
+   of program identifiers or barrier ids), so termination follows from
+   monotonicity. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Forward (L : LATTICE) = struct
+  (* [solve cfg ~init ~bottom ~transfer] returns the (in, out) fact
+     arrays indexed by node id.  [init] is the fact on entry to the
+     entry node; [bottom] seeds every other node. *)
+  let solve (cfg : Cfg.t) ~(init : L.t) ~(bottom : L.t)
+      ~(transfer : Cfg.node -> L.t -> L.t) : L.t array * L.t array =
+    let n = Array.length cfg.nodes in
+    let in_facts = Array.make n bottom in
+    let out_facts = Array.make n bottom in
+    let order = Cfg.rpo cfg in
+    in_facts.(cfg.entry) <- init;
+    out_facts.(cfg.entry) <- transfer cfg.nodes.(cfg.entry) init;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun id ->
+           let nd = cfg.nodes.(id) in
+           let inf =
+             if id = cfg.entry then init
+             else
+               List.fold_left
+                 (fun acc p -> L.join acc out_facts.(p))
+                 bottom nd.preds
+           in
+           let outf = transfer nd inf in
+           if not (L.equal inf in_facts.(id) && L.equal outf out_facts.(id))
+           then begin
+             in_facts.(id) <- inf;
+             out_facts.(id) <- outf;
+             changed := true
+           end)
+        order
+    done;
+    (in_facts, out_facts)
+end

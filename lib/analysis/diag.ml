@@ -1,0 +1,56 @@
+(* Diagnostics produced by the kernel analyzer.
+
+   A diagnostic's identity is (check, kernel, subject): the subject is a
+   stable name (an array or pointer variable, or "barrier") that both
+   translation directions preserve, so diagnostic sets can be diffed
+   across a translation for validation.  The human-readable detail is
+   free to mention pretty-printed expressions, which DO change spelling
+   across a translation (threadIdx.x vs get_local_id(0)), and is
+   therefore excluded from the identity. *)
+
+type check =
+  | Barrier_divergence   (* barrier under thread-id-dependent control flow *)
+  | Local_race           (* conflicting local/shared accesses, no barrier *)
+  | Addr_space_misuse    (* pointer used against its declared space *)
+
+let check_name = function
+  | Barrier_divergence -> "barrier-divergence"
+  | Local_race -> "local-memory-race"
+  | Addr_space_misuse -> "address-space-misuse"
+
+let check_rank = function
+  | Barrier_divergence -> 0
+  | Local_race -> 1
+  | Addr_space_misuse -> 2
+
+type t = {
+  dg_check : check;
+  dg_kernel : string;   (* enclosing kernel *)
+  dg_subject : string;  (* stable key: variable/array name, or "barrier" *)
+  dg_detail : string;   (* human text; not part of the identity *)
+}
+
+let make check ~kernel ~subject ~detail =
+  { dg_check = check; dg_kernel = kernel; dg_subject = subject;
+    dg_detail = detail }
+
+let key d = (check_rank d.dg_check, d.dg_kernel, d.dg_subject)
+
+let same_key a b = key a = key b
+
+let compare_key a b = compare (key a) (key b)
+
+(* Same (check, kernel, subject) reported once, in a deterministic
+   order; the first detail encountered wins. *)
+let dedup_sort ds =
+  let sorted = List.stable_sort compare_key ds in
+  let rec uniq = function
+    | a :: b :: rest when same_key a b -> uniq (a :: rest)
+    | a :: rest -> a :: uniq rest
+    | [] -> []
+  in
+  uniq sorted
+
+let to_string d =
+  Printf.sprintf "[%s] kernel %s: %s" (check_name d.dg_check) d.dg_kernel
+    d.dg_detail

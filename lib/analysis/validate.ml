@@ -1,0 +1,56 @@
+(* Translation validation: analyze a kernel program before and after
+   translation and report any diagnostic the translation *introduced* —
+   i.e. present in the translated program but absent (by (check, kernel,
+   subject) identity) from the source.  A clean translation may fix
+   problems, never add them. *)
+
+type outcome = {
+  v_before : Diag.t list;      (* diagnostics of the source program *)
+  v_after : Diag.t list;       (* diagnostics of the translation *)
+  v_introduced : Diag.t list;  (* after-diags with no before-counterpart *)
+}
+
+let introduced ~before ~after =
+  List.filter
+    (fun d -> not (List.exists (Diag.same_key d) before))
+    after
+
+let make_outcome ~before ~after =
+  { v_before = before; v_after = after;
+    v_introduced = introduced ~before ~after }
+
+let clean o = o.v_introduced = []
+
+(* CUDA program -> its OpenCL translation. *)
+let validate_cuda (prog : Minic.Ast.program) : outcome =
+  let before = Checks.analyze_program prog in
+  let r = Xlat.Cuda_to_ocl.translate prog in
+  let after = Checks.analyze_program r.Xlat.Cuda_to_ocl.cl_prog in
+  make_outcome ~before ~after
+
+(* OpenCL program -> its CUDA translation. *)
+let validate_opencl (prog : Minic.Ast.program) : outcome =
+  let before = Checks.analyze_program prog in
+  let r = Xlat.Ocl_to_cuda.translate prog in
+  let after = Checks.analyze_program r.Xlat.Ocl_to_cuda.cuda_prog in
+  make_outcome ~before ~after
+
+let validate_cuda_source (src : string) : (outcome, string) result =
+  match Minic.Parser.program ~dialect:Minic.Parser.Cuda src with
+  | prog ->
+    (match validate_cuda prog with
+     | o -> Ok o
+     | exception Xlat.Cuda_to_ocl.Untranslatable msg ->
+       Error (Printf.sprintf "untranslatable: %s" msg))
+  | exception Minic.Parser.Error (msg, line) ->
+    Error (Printf.sprintf "parse error at line %d: %s" line msg)
+
+let validate_opencl_source (src : string) : (outcome, string) result =
+  match Minic.Parser.program ~dialect:Minic.Parser.OpenCL src with
+  | prog ->
+    (match validate_opencl prog with
+     | o -> Ok o
+     | exception Xlat.Ocl_to_cuda.Untranslatable msg ->
+       Error (Printf.sprintf "untranslatable: %s" msg))
+  | exception Minic.Parser.Error (msg, line) ->
+    Error (Printf.sprintf "parse error at line %d: %s" line msg)

@@ -301,6 +301,16 @@ let build_program cl (p : program) =
    with
    | ast ->
      p.p_ast <- Some ast;
+     if !Xlat_analysis.Checks.pipeline_warnings then
+       List.iter
+         (fun d ->
+            let line =
+              Printf.sprintf "clBuildProgram warning: %s"
+                (Xlat_analysis.Diag.to_string d)
+            in
+            p.p_log <- p.p_log ^ line ^ "\n";
+            prerr_endline line)
+         (Xlat_analysis.Checks.analyze_program ast);
      materialize_globals cl ast p.p_globals;
      Gpusim.Device.add_time cl.dev
        (cl.dev.Gpusim.Device.fw.build_ns_per_byte

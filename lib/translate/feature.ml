@@ -34,6 +34,26 @@ type finding = {
   f_construct : string;       (* offending identifier or pattern *)
 }
 
+let category_rank = function
+  | No_corresponding_function -> 0
+  | Unsupported_library -> 1
+  | Unsupported_language_extension -> 2
+  | OpenGL_binding -> 3
+  | Use_of_ptx -> 4
+  | Unified_virtual_address_space -> 5
+  | Texture_too_large -> 6
+  | Subdevices -> 7
+
+let compare_finding a b =
+  compare
+    (category_rank a.f_category, a.f_construct)
+    (category_rank b.f_category, b.f_construct)
+
+(* Each (category, construct) pair reported once, in a stable order, so
+   repeated uses of one construct do not multiply findings and reports
+   are reproducible across scans. *)
+let dedup_findings fs = List.sort_uniq compare_finding fs
+
 (* Identifiers whose presence dooms CUDA-to-OpenCL translation. *)
 let no_counterpart_builtins =
   [ "__shfl"; "__shfl_up"; "__shfl_down"; "__shfl_xor";
@@ -127,7 +147,7 @@ let scan_source src : finding list =
   List.iter
     (fun m -> if contains_word src m then add OpenGL_binding m)
     opengl_markers;
-  !f
+  dedup_findings !f
 
 (* --- AST scan -------------------------------------------------------- *)
 
@@ -186,7 +206,7 @@ let scan_ast (prog : Minic.Ast.program) : finding list =
              (Printf.sprintf "printf in device function %s" fn.fn_name)
        | _ -> ())
     (functions prog);
-  !f
+  dedup_findings !f
 
 (* A kernel taking a struct that carries pointers relies on the unified
    virtual address space: the host builds a struct of device pointers and
@@ -250,7 +270,9 @@ let check_cuda_app ?(tex1d_texels = None) ?(max_1d_image = 65536)
     | Some p -> check_texture_sizes p ~tex1d_texels ~max_1d_image
     | None -> []
   in
-  let findings = scan_source src @ ast_findings @ tex_findings in
+  let findings =
+    dedup_findings (scan_source src @ ast_findings @ tex_findings)
+  in
   match cl_target with
   | CL12 -> findings
   | CL20 ->

@@ -26,6 +26,13 @@ type finding = {
   f_construct : string;  (** the offending identifier or pattern *)
 }
 
+(** Total order on findings: category rank, then construct. *)
+val compare_finding : finding -> finding -> int
+
+(** Each (category, construct) pair once, deterministically ordered.
+    Applied by {!scan_source}, {!scan_ast} and {!check_cuda_app}. *)
+val dedup_findings : finding list -> finding list
+
 (** Identifier lists driving the AST scan; exposed for tests and tools. *)
 
 val no_counterpart_builtins : string list

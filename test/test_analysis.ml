@@ -1,0 +1,375 @@
+(* Tests for the kernel analyzer (lib/analysis): CFG construction,
+   the three checks, and the translation-validation sweep over the
+   whole suite corpus in both directions. *)
+
+open Xlat_analysis
+
+let body_of ?(dialect = Minic.Parser.OpenCL) src =
+  let prog = Minic.Parser.program ~dialect src in
+  match Minic.Ast.kernels prog with
+  | f :: _ -> Option.get f.Minic.Ast.fn_body
+  | [] -> Alcotest.fail "no kernel in source"
+
+let analyze ?(dialect = Minic.Parser.OpenCL) src =
+  Checks.analyze_program (Minic.Parser.program ~dialect src)
+
+let count check diags =
+  List.length (List.filter (fun d -> d.Diag.dg_check = check) diags)
+
+let has check diags = count check diags > 0
+
+let check_clean name src =
+  Alcotest.(check int) name 0 (List.length (analyze src))
+
+(* --- CFG construction ------------------------------------------------- *)
+
+let test_cfg_straight () =
+  let cfg =
+    Cfg.of_body
+      (body_of {| __kernel void k(__global int* a) { int x = 1; a[0] = x; } |})
+  in
+  Alcotest.(check int) "two nodes (entry+exit)" 2 (Array.length cfg.Cfg.nodes);
+  let entry = cfg.Cfg.nodes.(cfg.Cfg.entry) in
+  Alcotest.(check int) "two instrs" 2 (List.length entry.Cfg.instrs);
+  Alcotest.(check bool) "no branch" true (entry.Cfg.branch = None);
+  Alcotest.(check (list int)) "falls to exit" [ cfg.Cfg.exit_ ] entry.Cfg.succs
+
+let test_cfg_if () =
+  let cfg =
+    Cfg.of_body
+      (body_of
+         {| __kernel void k(__global int* a) {
+              if (a[0]) { a[1] = 1; } else { a[1] = 2; }
+              a[2] = 3;
+            } |})
+  in
+  let entry = cfg.Cfg.nodes.(cfg.Cfg.entry) in
+  Alcotest.(check bool) "entry branches" true (entry.Cfg.branch <> None);
+  Alcotest.(check int) "two successors" 2 (List.length entry.Cfg.succs);
+  let doms = Cfg.dominators cfg in
+  List.iter
+    (fun s ->
+       Alcotest.(check int)
+         (Printf.sprintf "entry idoms arm %d" s)
+         cfg.Cfg.entry doms.(s))
+    entry.Cfg.succs;
+  let deps = Cfg.control_deps cfg in
+  List.iter
+    (fun s ->
+       Alcotest.(check bool)
+         (Printf.sprintf "arm %d control-dependent on entry" s)
+         true
+         (List.mem cfg.Cfg.entry deps.(s)))
+    entry.Cfg.succs;
+  (* the statement after the join is not controlled by the branch *)
+  let pdoms = Cfg.postdominators cfg in
+  Alcotest.(check bool) "exit postdominates entry" true
+    (Cfg.dominates ~dom:pdoms cfg.Cfg.exit_ cfg.Cfg.entry)
+
+let test_cfg_while () =
+  let cfg =
+    Cfg.of_body
+      (body_of
+         {| __kernel void k(__global int* a) {
+              while (a[0]) { a[1] = a[1] + 1; }
+              a[2] = 3;
+            } |})
+  in
+  (* find the loop head: the branch node with two successors *)
+  let head =
+    Array.to_list cfg.Cfg.nodes
+    |> List.find (fun nd -> nd.Cfg.branch <> None)
+  in
+  let body_id = List.hd head.Cfg.succs in
+  Alcotest.(check bool) "back edge from body to head" true
+    (List.mem head.Cfg.id cfg.Cfg.nodes.(body_id).Cfg.succs);
+  let deps = Cfg.control_deps cfg in
+  Alcotest.(check bool) "loop body control-dependent on head" true
+    (List.mem head.Cfg.id deps.(body_id));
+  (* the code after the loop runs regardless of the loop condition *)
+  let after_id = List.nth head.Cfg.succs 1 in
+  Alcotest.(check bool) "loop exit not control-dependent on head" false
+    (List.mem head.Cfg.id deps.(after_id))
+
+(* --- barrier divergence ----------------------------------------------- *)
+
+let test_divergence_if () =
+  let diags =
+    analyze
+      {| __kernel void k(__global float* out) {
+           int tid = get_local_id(0);
+           if (tid == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+           out[tid] = 1.0f;
+         } |}
+  in
+  Alcotest.(check bool) "divergent barrier flagged" true
+    (has Diag.Barrier_divergence diags)
+
+let test_divergence_loop_cuda () =
+  let diags =
+    analyze ~dialect:Minic.Parser.Cuda
+      {| __global__ void k(float* out, int n) {
+           for (int i = threadIdx.x; i < n; i += 32) {
+             __syncthreads();
+             out[i] = 1.0f;
+           }
+         } |}
+  in
+  Alcotest.(check bool) "barrier in thread-dependent loop flagged" true
+    (has Diag.Barrier_divergence diags)
+
+let test_divergence_negative () =
+  (* barrier after the divergent region has converged again *)
+  check_clean "barrier after rejoin is clean"
+    {| __kernel void k(__global float* out, __local float* tmp) {
+         int tid = get_local_id(0);
+         if (tid == 0) { tmp[0] = 1.0f; }
+         barrier(CLK_LOCAL_MEM_FENCE);
+         out[tid] = tmp[0];
+       } |};
+  (* uniform (group-id) conditions do not diverge within a group *)
+  check_clean "barrier under group-uniform condition is clean"
+    {| __kernel void k(__global float* out, __local float* tmp) {
+         int tid = get_local_id(0);
+         if (get_group_id(0) == 0) {
+           tmp[tid] = 1.0f;
+           barrier(CLK_LOCAL_MEM_FENCE);
+           out[tid] = tmp[tid];
+         }
+       } |}
+
+(* --- local-memory races ------------------------------------------------ *)
+
+let test_race_missing_barrier () =
+  let diags =
+    analyze
+      {| __kernel void k(__global float* out, __local float* tmp) {
+           int tid = get_local_id(0);
+           tmp[tid] = out[tid];
+           out[tid] = tmp[tid + 1];
+         } |}
+  in
+  Alcotest.(check bool) "cross-thread race flagged" true
+    (has Diag.Local_race diags)
+
+let test_race_uniform_write () =
+  let diags =
+    analyze
+      {| __kernel void k(__local float* tmp) {
+           int tid = get_local_id(0);
+           tmp[0] = (float)tid;
+         } |}
+  in
+  Alcotest.(check bool) "unguarded uniform write flagged" true
+    (has Diag.Local_race diags)
+
+let test_race_negative () =
+  check_clean "barrier separates the conflicting accesses"
+    {| __kernel void k(__global float* out, __local float* tmp) {
+         int tid = get_local_id(0);
+         tmp[tid] = out[tid];
+         barrier(CLK_LOCAL_MEM_FENCE);
+         out[tid] = tmp[tid + 1];
+       } |};
+  check_clean "guarded single-writer is clean"
+    {| __kernel void k(__global float* out, __local float* tmp) {
+         int tid = get_local_id(0);
+         if (tid == 0) { tmp[0] = 1.0f; }
+         barrier(CLK_LOCAL_MEM_FENCE);
+         out[tid] = tmp[0];
+       } |};
+  (* the pervasive guarded tree-reduction idiom must stay clean *)
+  check_clean "guarded tree reduction is clean"
+    {| __kernel void reduce(__global float* in, __global float* out,
+                            __local float* partial) {
+         int tid = get_local_id(0);
+         partial[tid] = in[get_global_id(0)];
+         barrier(CLK_LOCAL_MEM_FENCE);
+         for (int s = get_local_size(0) / 2; s > 0; s = s / 2) {
+           if (tid < s) { partial[tid] += partial[tid + s]; }
+           barrier(CLK_LOCAL_MEM_FENCE);
+         }
+         if (tid == 0) { out[get_group_id(0)] = partial[0]; }
+       } |}
+
+let test_race_static_shared_cuda () =
+  let diags =
+    analyze ~dialect:Minic.Parser.Cuda
+      {| __global__ void k(float* out) {
+           __shared__ float tmp[64];
+           int tid = threadIdx.x;
+           tmp[tid] = out[tid];
+           out[tid] = tmp[63 - tid];
+         } |}
+  in
+  Alcotest.(check bool) "race on static __shared__ array flagged" true
+    (has Diag.Local_race diags)
+
+(* --- address-space misuse ---------------------------------------------- *)
+
+let test_space_assign () =
+  let diags =
+    analyze
+      {| __kernel void k(__global float* g, __local float* l) {
+           __local float* p;
+           p = g;
+           l[get_local_id(0)] = *p;
+         } |}
+  in
+  Alcotest.(check bool) "local := global assignment flagged" true
+    (has Diag.Addr_space_misuse diags)
+
+let test_space_init_and_cast () =
+  let diags =
+    analyze
+      {| __kernel void k(__global float* g) {
+           __local float* p = g;
+           float x = *((__local float*)g);
+           g[0] = x + *p;
+         } |}
+  in
+  Alcotest.(check bool) "misqualified init flagged" true
+    (has Diag.Addr_space_misuse diags);
+  Alcotest.(check bool) "misqualified cast flagged" true
+    (List.exists
+       (fun d ->
+          d.Diag.dg_check = Diag.Addr_space_misuse && d.Diag.dg_subject = "g")
+       diags)
+
+let test_space_negative () =
+  (* unqualified (generic) CUDA pointers may take any address *)
+  check_clean "generic pointer assignment is clean"
+    {| __kernel void k(__global float* g) {
+         float x = g[0];
+         g[1] = x;
+       } |};
+  let diags =
+    analyze ~dialect:Minic.Parser.Cuda
+      {| __global__ void k(float* g, int n) {
+           float* q = g + n;
+           q[0] = 1.0f;
+         } |}
+  in
+  Alcotest.(check int) "CUDA generic pointers are clean" 0 (List.length diags)
+
+(* --- diagnostics ------------------------------------------------------- *)
+
+let test_diag_dedup () =
+  let mk detail =
+    Diag.make Diag.Local_race ~kernel:"k" ~subject:"tmp" ~detail
+  in
+  let ds = Diag.dedup_sort [ mk "second"; mk "first"; mk "second" ] in
+  Alcotest.(check int) "one diagnostic per key" 1 (List.length ds);
+  let d2 =
+    Diag.dedup_sort
+      [ mk "x";
+        Diag.make Diag.Barrier_divergence ~kernel:"k" ~subject:"barrier"
+          ~detail:"y" ]
+  in
+  Alcotest.(check bool) "divergence ordered before races" true
+    ((List.hd d2).Diag.dg_check = Diag.Barrier_divergence)
+
+(* --- translation validation over the corpus ----------------------------- *)
+
+let translatable_cuda =
+  lazy
+    (List.filter
+       (fun (c : Suite.Registry.cuda_app) -> c.cu_expect_translatable)
+       Suite.Registry.all_cuda)
+
+let captured_opencl =
+  lazy
+    (List.concat_map
+       (fun (a : Bridge.Framework.ocl_app) ->
+          List.map
+            (fun src -> (a.Bridge.Framework.oa_name, src))
+            (Suite.Capture.kernel_sources a))
+       Suite.Registry.all_opencl)
+
+let test_validate_cuda_corpus () =
+  let apps = Lazy.force translatable_cuda in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length apps > 20);
+  List.iter
+    (fun (c : Suite.Registry.cuda_app) ->
+       match Validate.validate_cuda_source c.cu_src with
+       | Error msg -> Alcotest.failf "%s: %s" c.cu_name msg
+       | Ok o ->
+         Alcotest.(check int)
+           (Printf.sprintf "%s: no introduced diagnostics" c.cu_name)
+           0
+           (List.length o.Validate.v_introduced))
+    apps
+
+let test_validate_opencl_corpus () =
+  let srcs = Lazy.force captured_opencl in
+  Alcotest.(check bool) "captured kernel sources" true (List.length srcs > 30);
+  List.iter
+    (fun (name, src) ->
+       match Validate.validate_opencl_source src with
+       | Error msg -> Alcotest.failf "%s: %s" name msg
+       | Ok o ->
+         Alcotest.(check int)
+           (Printf.sprintf "%s: no introduced diagnostics" name)
+           0
+           (List.length o.Validate.v_introduced))
+    srcs
+
+(* Property: translating never *adds* barrier-divergence findings (it
+   may remove them, never introduce them). *)
+let prop_no_new_divergence =
+  let corpus =
+    lazy
+      (Array.of_list
+         (List.map
+            (fun (c : Suite.Registry.cuda_app) -> (`Cuda, c.cu_name, c.cu_src))
+            (Lazy.force translatable_cuda)
+          @ List.map
+              (fun (name, src) -> (`Ocl, name, src))
+              (Lazy.force captured_opencl)))
+  in
+  QCheck.Test.make ~count:60 ~name:"translation adds no barrier divergence"
+    QCheck.(int_range 0 10000)
+    (fun i ->
+       let corpus = Lazy.force corpus in
+       let kind, _, src = corpus.(i mod Array.length corpus) in
+       let outcome =
+         match kind with
+         | `Cuda -> Validate.validate_cuda_source src
+         | `Ocl -> Validate.validate_opencl_source src
+       in
+       match outcome with
+       | Error _ -> QCheck.assume_fail ()
+       | Ok o ->
+         count Diag.Barrier_divergence o.Validate.v_after
+         <= count Diag.Barrier_divergence o.Validate.v_before)
+
+let suites =
+  [ ( "analysis.cfg",
+      [ Alcotest.test_case "straight-line body" `Quick test_cfg_straight;
+        Alcotest.test_case "if/else diamond" `Quick test_cfg_if;
+        Alcotest.test_case "while loop" `Quick test_cfg_while ] );
+    ( "analysis.checks",
+      [ Alcotest.test_case "divergence: guarded barrier" `Quick
+          test_divergence_if;
+        Alcotest.test_case "divergence: thread-dependent loop" `Quick
+          test_divergence_loop_cuda;
+        Alcotest.test_case "divergence: negatives" `Quick
+          test_divergence_negative;
+        Alcotest.test_case "race: missing barrier" `Quick
+          test_race_missing_barrier;
+        Alcotest.test_case "race: unguarded uniform write" `Quick
+          test_race_uniform_write;
+        Alcotest.test_case "race: negatives" `Quick test_race_negative;
+        Alcotest.test_case "race: static __shared__" `Quick
+          test_race_static_shared_cuda;
+        Alcotest.test_case "spaces: assignment" `Quick test_space_assign;
+        Alcotest.test_case "spaces: init and cast" `Quick
+          test_space_init_and_cast;
+        Alcotest.test_case "spaces: negatives" `Quick test_space_negative;
+        Alcotest.test_case "diag dedup and order" `Quick test_diag_dedup ] );
+    ( "analysis.validate",
+      [ Alcotest.test_case "CUDA->OpenCL corpus sweep" `Slow
+          test_validate_cuda_corpus;
+        Alcotest.test_case "OpenCL->CUDA corpus sweep" `Slow
+          test_validate_opencl_corpus;
+        QCheck_alcotest.to_alcotest prop_no_new_divergence ] ) ]

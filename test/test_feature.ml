@@ -105,6 +105,27 @@ let feature_tests =
                (a.cu_name ^ " translatability")
                a.cu_expect_translatable (findings = []))
           Suite.Registry.all_cuda);
+    Alcotest.test_case "repeated constructs reported once, in order" `Quick
+      (fun () ->
+         let findings =
+           detect
+             "__global__ void k(int* p) {\n\
+             \  p[0] = __shfl(p[1], 0);\n\
+             \  p[2] = __shfl(p[3], 1);\n\
+             \  p[4] = clock();\n\
+             \  printf(\"%d\", p[0]);\n\
+             \  printf(\"%d\", p[4]);\n\
+              }"
+         in
+         let shfl =
+           List.filter (fun f -> f.Xlat.Feature.f_construct = "__shfl") findings
+         in
+         Alcotest.(check int) "one __shfl finding" 1 (List.length shfl);
+         Alcotest.(check bool) "deterministically sorted" true
+           (List.sort Xlat.Feature.compare_finding findings = findings);
+         Alcotest.(check int) "dedup is idempotent"
+           (List.length findings)
+           (List.length (Xlat.Feature.dedup_findings (findings @ findings))));
     Alcotest.test_case "Table 3 has exactly 56 failures" `Quick (fun () ->
         Alcotest.(check int) "count" 56
           (List.length Suite.Registry.toolkit_cuda_failing);
