@@ -5,10 +5,15 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe fig7a      -- one experiment
      (table1 table2 fig7a fig7b fig7c fig8a fig8b table3
-      ablation-banks ablation-occupancy wrappers bechamel)
+      ablation-banks ablation-occupancy wrappers svm analyze smoke
+      bechamel)
 
    Times are simulated nanoseconds from the GPU model; figures print the
-   same normalised series as the paper's charts. *)
+   same normalised series as the paper's charts.  Besides the tables, a
+   machine-readable BENCH_results.json (schema oclcu-bench-results/1) is
+   written with each experiment's ratios, geomeans, and per-app counters
+   harvested from metrics-only tracing.  Rows whose outputs fail
+   verification are excluded from geomeans and reported. *)
 
 open Bridge.Framework
 
@@ -22,6 +27,69 @@ let geomean xs =
   | [] -> nan
   | _ ->
     exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module J = Trace.Json
+
+(* Each experiment records one JSON section; the driver writes them all
+   to BENCH_results.json at the end of the run. *)
+let json_results : (string * J.t) list ref = ref []
+
+let record key section = json_results := (key, section) :: !json_results
+
+(* Run [f] with metrics-only tracing (no spans) and hand back its
+   per-launch metrics records alongside the result. *)
+let with_metrics f =
+  Trace.Sink.enable ~spans:false ();
+  let finish () =
+    let ms = Trace.Sink.metrics () in
+    Trace.Sink.disable ();
+    ms
+  in
+  match f () with
+  | r -> (r, finish ())
+  | exception e -> ignore (finish ()); raise e
+
+(* Aggregate one run's launch records into the per-app counter object. *)
+let counters_json (ms : Trace.Metrics.t list) =
+  let sum f = List.fold_left (fun a m -> a + f m) 0 ms in
+  let sumf f = List.fold_left (fun a m -> a +. f m) 0.0 ms in
+  let open Trace.Metrics in
+  J.Obj
+    [ ("kernel_launches", J.Int (List.length ms));
+      ("kernels",
+       J.List
+         (List.sort_uniq compare (List.map (fun m -> m.m_kernel) ms)
+          |> List.map (fun k -> J.Str k)));
+      ("ops", J.Int (sum total_ops));
+      ("barriers", J.Int (sum (fun m -> m.m_barriers)));
+      ("gmem_transactions", J.Int (sum (fun m -> m.m_gmem_transactions)));
+      ("gmem_bytes", J.Int (sum (fun m -> m.m_gmem_bytes)));
+      ("smem_transactions", J.Int (sum (fun m -> m.m_smem_transactions)));
+      ("smem_bank_conflict_extra",
+       J.Int (sum (fun m -> m.m_smem_bank_conflict_extra)));
+      ("kernel_sim_ns", J.Float (sumf (fun m -> m.m_sim_ns))) ]
+
+let write_results () =
+  if !json_results <> [] then begin
+    let doc =
+      J.Obj
+        [ ("schema", J.Str "oclcu-bench-results/1");
+          ("device", J.Str Gpusim.Device.titan.Gpusim.Device.hw_name);
+          ("experiments", J.Obj (List.rev !json_results)) ]
+    in
+    let oc = open_out "BENCH_results.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+         output_string oc (J.to_string_pretty doc);
+         output_char oc '\n');
+    Printf.printf "\nwrote BENCH_results.json (%d experiment section(s))\n"
+      (List.length !json_results)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Tables 1 and 2                                                      *)
@@ -55,8 +123,8 @@ let table2 () =
 (* ------------------------------------------------------------------ *)
 
 let fig7_row ~third_bar (a : ocl_app) =
-  let native = run_app_native a () in
-  let on_cuda = run_app_on_cuda a () in
+  let native, m_native = with_metrics (fun () -> run_app_native a ()) in
+  let on_cuda, m_xlat = with_metrics (fun () -> run_app_on_cuda a ()) in
   let agree = outputs_agree native.r_output on_cuda.r_output in
   let ratio = on_cuda.r_time_ns /. native.r_time_ns in
   let cuda_orig =
@@ -70,34 +138,63 @@ let fig7_row ~third_bar (a : ocl_app) =
          with _ -> None)
       | None -> None
   in
-  (a.oa_name, ratio, cuda_orig, agree)
+  (a.oa_name, a.oa_suite, ratio, cuda_orig, agree, m_native, m_xlat)
 
-let print_fig7 title apps ~third_bar =
+let print_fig7 ~key title apps ~third_bar =
   header title;
   Printf.printf "%-26s %9s %9s %9s %7s\n" "application" "origOCL" "xlatCUDA"
     (if third_bar then "origCUDA" else "") "agree";
-  let ratios = ref [] in
+  let ratios = ref [] and rows = ref [] and excluded = ref [] in
   List.iter
     (fun a ->
-       let name, ratio, cuda_orig, agree = fig7_row ~third_bar a in
-       ratios := ratio :: !ratios;
+       let name, suite, ratio, cuda_orig, agree, m_native, m_xlat =
+         fig7_row ~third_bar a
+       in
+       (* a mismatching app is a broken translation, not a slow one: it
+          must not contribute to the geomean *)
+       if agree then ratios := ratio :: !ratios
+       else excluded := name :: !excluded;
+       rows :=
+         J.Obj
+           [ ("app", J.Str name);
+             ("suite", J.Str suite);
+             ("ratio_xlat_cuda", J.Float ratio);
+             ("ratio_orig_cuda",
+              (match cuda_orig with Some r -> J.Float r | None -> J.Null));
+             ("outputs_agree", J.Bool agree);
+             ("counters",
+              J.Obj
+                [ ("native", counters_json m_native);
+                  ("translated", counters_json m_xlat) ]) ]
+         :: !rows;
        Printf.printf "%-26s %9.3f %9.3f %9s %7b\n%!" name 1.0 ratio
          (match cuda_orig with Some r -> Printf.sprintf "%.3f" r | None -> "-")
          agree)
     apps;
-  Printf.printf "%-26s %9s %9.3f\n" "geomean" "" (geomean !ratios)
+  Printf.printf "%-26s %9s %9.3f   (%d verified app(s))\n" "geomean" ""
+    (geomean !ratios) (List.length !ratios);
+  if !excluded <> [] then
+    Printf.printf "excluded from geomean (outputs mismatch): %s\n"
+      (String.concat ", " (List.rev !excluded));
+  record key
+    (J.Obj
+       [ ("rows", J.List (List.rev !rows));
+         ("geomean_xlat_cuda", J.Float (geomean !ratios));
+         ("verified_apps", J.Int (List.length !ratios));
+         ("excluded_outputs_mismatch",
+          J.List (List.rev_map (fun n -> J.Str n) !excluded)) ])
 
 let fig7a () =
-  print_fig7
+  print_fig7 ~key:"fig7a"
     "Figure 7(a): OpenCL->CUDA, Rodinia (normalised to original OpenCL on Titan)"
     Suite.Registry.rodinia_opencl ~third_bar:true
 
 let fig7b () =
-  print_fig7 "Figure 7(b): OpenCL->CUDA, SNU NPB" Suite.Registry.npb_opencl
-    ~third_bar:false
+  print_fig7 ~key:"fig7b" "Figure 7(b): OpenCL->CUDA, SNU NPB"
+    Suite.Registry.npb_opencl ~third_bar:false
 
 let fig7c () =
-  print_fig7 "Figure 7(c): OpenCL->CUDA, NVIDIA Toolkit samples"
+  print_fig7 ~key:"fig7c" "Figure 7(c): OpenCL->CUDA, NVIDIA Toolkit samples"
     Suite.Registry.toolkit_opencl ~third_bar:false
 
 (* ------------------------------------------------------------------ *)
@@ -108,8 +205,8 @@ let fig8_row (c : Suite.Registry.cuda_app) =
   match translate_cuda ~tex1d_texels:c.cu_tex1d_texels c.cu_src with
   | Failed findings -> Error findings
   | Translated res ->
-    let cuda = run_cuda_native c.cu_src in
-    let xlat_titan = run_translated_cuda res in
+    let cuda, m_cuda = with_metrics (fun () -> run_cuda_native c.cu_src) in
+    let xlat_titan, m_xlat = with_metrics (fun () -> run_translated_cuda res) in
     let xlat_amd = run_translated_cuda ~dev:(device_of Amd_opencl) res in
     let ocl_orig =
       match Suite.Registry.opencl_twin c with
@@ -120,13 +217,14 @@ let fig8_row (c : Suite.Registry.cuda_app) =
       ( xlat_titan.r_time_ns /. cuda.r_time_ns,
         ocl_orig,
         xlat_amd.r_time_ns /. cuda.r_time_ns,
-        outputs_agree cuda.r_output xlat_titan.r_output )
+        outputs_agree cuda.r_output xlat_titan.r_output,
+        m_cuda, m_xlat )
 
-let print_fig8 title apps ~with_ocl_orig =
+let print_fig8 ~key title apps ~with_ocl_orig =
   header title;
   Printf.printf "%-26s %9s %9s %9s %9s %7s\n" "application" "origCUDA"
     "xlatOCL" (if with_ocl_orig then "origOCL" else "") "xlatAMD" "agree";
-  let ratios = ref [] in
+  let ratios = ref [] and rows = ref [] and excluded = ref [] in
   let failures = ref [] in
   List.iter
     (fun (c : Suite.Registry.cuda_app) ->
@@ -139,28 +237,64 @@ let print_fig8 title apps ~with_ocl_orig =
                 findings)
          in
          failures := (c.cu_name, cats) :: !failures
-       | Ok (xlat, ocl_orig, amd, agree) ->
-         ratios := xlat :: !ratios;
+       | Ok (xlat, ocl_orig, amd, agree, m_cuda, m_xlat) ->
+         (* same rule as fig7: unverified rows stay out of the geomean *)
+         if agree then ratios := xlat :: !ratios
+         else excluded := c.cu_name :: !excluded;
+         rows :=
+           J.Obj
+             [ ("app", J.Str c.cu_name);
+               ("suite", J.Str c.cu_suite);
+               ("ratio_xlat_ocl", J.Float xlat);
+               ("ratio_orig_ocl",
+                (match ocl_orig with Some r -> J.Float r | None -> J.Null));
+               ("ratio_xlat_amd", J.Float amd);
+               ("outputs_agree", J.Bool agree);
+               ("counters",
+                J.Obj
+                  [ ("native", counters_json m_cuda);
+                    ("translated", counters_json m_xlat) ]) ]
+           :: !rows;
          Printf.printf "%-26s %9.3f %9.3f %9s %9.3f %7b\n%!" c.cu_name 1.0 xlat
            (match ocl_orig with Some r -> Printf.sprintf "%.3f" r | None -> "-")
            amd agree)
     apps;
-  Printf.printf "%-26s %9s %9.3f\n" "geomean (xlatOCL)" "" (geomean !ratios);
+  Printf.printf "%-26s %9s %9.3f   (%d verified app(s))\n" "geomean (xlatOCL)"
+    "" (geomean !ratios) (List.length !ratios);
+  if !excluded <> [] then
+    Printf.printf "excluded from geomean (outputs mismatch): %s\n"
+      (String.concat ", " (List.rev !excluded));
   if !failures <> [] then begin
     Printf.printf "\nuntranslatable (%d):\n" (List.length !failures);
     List.iter
       (fun (n, cats) ->
          Printf.printf "  %-24s %s\n" n (String.concat "; " cats))
       (List.rev !failures)
-  end
+  end;
+  record key
+    (J.Obj
+       [ ("rows", J.List (List.rev !rows));
+         ("geomean_xlat_ocl", J.Float (geomean !ratios));
+         ("verified_apps", J.Int (List.length !ratios));
+         ("excluded_outputs_mismatch",
+          J.List (List.rev_map (fun n -> J.Str n) !excluded));
+         ("untranslatable",
+          J.List
+            (List.rev_map
+               (fun (n, cats) ->
+                  J.Obj
+                    [ ("app", J.Str n);
+                      ("categories",
+                       J.List (List.map (fun c -> J.Str c) cats)) ])
+               !failures)) ])
 
 let fig8a () =
-  print_fig8
+  print_fig8 ~key:"fig8a"
     "Figure 8(a): CUDA->OpenCL, Rodinia (normalised to original CUDA on Titan)"
     Suite.Registry.rodinia_cuda ~with_ocl_orig:true
 
 let fig8b () =
-  print_fig8 "Figure 8(b): CUDA->OpenCL, NVIDIA Toolkit samples"
+  print_fig8 ~key:"fig8b" "Figure 8(b): CUDA->OpenCL, NVIDIA Toolkit samples"
     Suite.Registry.toolkit_cuda ~with_ocl_orig:false
 
 (* ------------------------------------------------------------------ *)
@@ -227,10 +361,16 @@ let ablation_banks () =
     let xlat = run_app_on_cuda ft ~dev:dev_cuda () in
     xlat.r_time_ns /. native.r_time_ns
   in
-  Printf.printf "conflicts modelled:  xlatCUDA/origOCL = %.3f\n%!" (run ~model:true);
-  Printf.printf "conflicts disabled:  xlatCUDA/origOCL = %.3f\n" (run ~model:false);
+  let on = run ~model:true in
+  Printf.printf "conflicts modelled:  xlatCUDA/origOCL = %.3f\n%!" on;
+  let off = run ~model:false in
+  Printf.printf "conflicts disabled:  xlatCUDA/origOCL = %.3f\n" off;
   Printf.printf "(without the 32-bit vs 64-bit addressing-mode model the\n\
-                \ translated-CUDA advantage on FT disappears)\n"
+                \ translated-CUDA advantage on FT disappears)\n";
+  record "ablation-banks"
+    (J.Obj
+       [ ("ratio_conflicts_modelled", J.Float on);
+         ("ratio_conflicts_disabled", J.Float off) ])
 
 let ablation_occupancy () =
   header "Ablation A2: occupancy model and Rodinia cfd (§6.3)";
@@ -251,8 +391,11 @@ let ablation_occupancy () =
       let xlat = run_translated_cuda ~dev:dev_ocl res in
       xlat.r_time_ns /. cuda.r_time_ns
   in
-  Printf.printf "occupancy modelled:  xlatOCL/origCUDA = %.3f\n%!" (run ~model:true);
-  Printf.printf "occupancy disabled:  xlatOCL/origCUDA = %.3f\n" (run ~model:false);
+  let on = run ~model:true in
+  Printf.printf "occupancy modelled:  xlatOCL/origCUDA = %.3f\n%!" on;
+  let off = run ~model:false in
+  Printf.printf "occupancy disabled:  xlatOCL/origCUDA = %.3f\n" off;
+  let occs = ref [] in
   let prog = Minic.Parser.program ~dialect:Minic.Parser.Cuda cfd.cu_src in
   (match Minic.Ast.find_function prog "compute_flux" with
    | Some f ->
@@ -264,12 +407,28 @@ let ablation_occupancy () =
             Gpusim.Occupancy.of_kernel dev layout f ~block_threads:192
               ~dyn_shared:0
           in
+          occs := (label, r) :: !occs;
           Printf.printf "%-16s regs/thread %3d -> occupancy %.3f (%s)\n" label
             r.Gpusim.Occupancy.regs_per_thread r.Gpusim.Occupancy.occupancy
             r.Gpusim.Occupancy.limited_by)
        [ ("CUDA compiler", Gpusim.Device.cuda_on_nvidia);
          ("OpenCL compiler", Gpusim.Device.opencl_on_nvidia) ]
-   | None -> ())
+   | None -> ());
+  record "ablation-occupancy"
+    (J.Obj
+       [ ("ratio_occupancy_modelled", J.Float on);
+         ("ratio_occupancy_disabled", J.Float off);
+         ("compute_flux",
+          J.List
+            (List.rev_map
+               (fun (label, r) ->
+                  J.Obj
+                    [ ("compiler", J.Str label);
+                      ("regs_per_thread",
+                       J.Int r.Gpusim.Occupancy.regs_per_thread);
+                      ("occupancy", J.Float r.Gpusim.Occupancy.occupancy);
+                      ("limited_by", J.Str r.Gpusim.Occupancy.limited_by) ])
+               !occs)) ])
 
 let wrappers () =
   header "Ablation A3: wrapper-function overhead (paper: negligible)";
@@ -421,6 +580,59 @@ let analyze () =
     elapsed
 
 (* ------------------------------------------------------------------ *)
+(* Smoke: tracing pipeline end-to-end                                  *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  header "Smoke: tracing (one app per suite, Chrome trace validated)";
+  let apps =
+    [ List.hd Suite.Registry.rodinia_opencl;
+      List.hd Suite.Registry.npb_opencl;
+      List.hd Suite.Registry.toolkit_opencl ]
+  in
+  let runs =
+    List.map
+      (fun (a : ocl_app) ->
+         Trace.Sink.enable ();
+         ignore (run_app_native a ());
+         let spans = Trace.Sink.events () in
+         Trace.Sink.disable ();
+         (Printf.sprintf "%s @ OpenCL/Titan" a.oa_name, spans))
+      apps
+  in
+  List.iter
+    (fun (label, spans) ->
+       Printf.printf "  %-38s %4d span(s)\n" label (List.length spans))
+    runs;
+  let doc = Trace.Chrome.to_string runs in
+  let n_events =
+    match Trace.Json.member "traceEvents" (Trace.Json.of_string doc) with
+    | Some (J.List l) -> List.length l
+    | _ -> 0
+  in
+  match Trace.Chrome.validate_string doc with
+  | Ok () ->
+    Printf.printf
+      "chrome trace: %d event(s), well-formed JSON, matched B/E, monotone ts\n"
+      n_events;
+    record "smoke"
+      (J.Obj
+         [ ("runs",
+            J.List
+              (List.map
+                 (fun (label, spans) ->
+                    J.Obj
+                      [ ("label", J.Str label);
+                        ("spans", J.Int (List.length spans)) ])
+                 runs));
+           ("chrome_events", J.Int n_events);
+           ("valid", J.Bool true) ])
+  | Error e ->
+    Printf.printf "chrome trace INVALID: %s\n" e;
+    record "smoke" (J.Obj [ ("valid", J.Bool false); ("error", J.Str e) ]);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -466,9 +678,20 @@ let bechamel () =
              ignore
                (Xlat.Feature.check_cuda_app ~src:vadd_cu
                   (Some (Minic.Parser.program ~dialect:Minic.Parser.Cuda vadd_cu)))));
+      (* tracing overhead: the same fig7 pipeline with the sink off/on
+         (the off run's probes cost one bool load each) *)
+      Test.make ~name:"trace.off.fig7-pipeline"
+        (Staged.stage (fun () ->
+             if Trace.Sink.is_enabled () then Trace.Sink.disable ();
+             ignore (run_app_on_cuda vadd_cl ())));
+      Test.make ~name:"trace.on.fig7-pipeline"
+        (Staged.stage (fun () ->
+             if not (Trace.Sink.is_enabled ()) then Trace.Sink.enable ();
+             ignore (run_app_on_cuda vadd_cl ())));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
+  let estimates = ref [] in
   List.iter
     (fun test ->
        let cfg =
@@ -484,10 +707,31 @@ let bechamel () =
        Hashtbl.iter
          (fun name result ->
             match Bechamel.Analyze.OLS.estimates result with
-            | Some [ est ] -> Printf.printf "%-34s %14.1f ns/run\n%!" name est
+            | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Printf.printf "%-34s %14.1f ns/run\n%!" name est
             | _ -> Printf.printf "%-34s (no estimate)\n" name)
          results)
-    tests
+    tests;
+  Trace.Sink.disable ();
+  let overhead =
+    match
+      ( List.assoc_opt "trace.off.fig7-pipeline" !estimates,
+        List.assoc_opt "trace.on.fig7-pipeline" !estimates )
+    with
+    | Some off, Some on when off > 0.0 ->
+      let pct = 100.0 *. (on -. off) /. off in
+      Printf.printf
+        "tracing enabled vs disabled on the fig7 pipeline: %+.2f%%\n" pct;
+      Some pct
+    | _ -> None
+  in
+  record "bechamel"
+    (J.Obj
+       [ ("estimates_ns",
+          J.Obj (List.rev_map (fun (n, e) -> (n, J.Float e)) !estimates));
+         ("tracing_overhead_pct",
+          (match overhead with Some p -> J.Float p | None -> J.Null)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -502,19 +746,21 @@ let experiments =
     ("wrappers", wrappers);
     ("svm", svm);
     ("analyze", analyze);
+    ("smoke", smoke);
     ("bechamel", bechamel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [] -> List.iter (fun (_, f) -> f ()) experiments
-  | names ->
-    List.iter
-      (fun n ->
-         match List.assoc_opt n experiments with
-         | Some f -> f ()
-         | None ->
-           Printf.eprintf "unknown experiment %s; available: %s\n" n
-             (String.concat " " (List.map fst experiments));
-           exit 1)
-      names
+  (match args with
+   | [] -> List.iter (fun (_, f) -> f ()) experiments
+   | names ->
+     List.iter
+       (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" n
+              (String.concat " " (List.map fst experiments));
+            exit 1)
+       names);
+  write_results ()

@@ -6,6 +6,8 @@
      oclcu check file.cu              -> Table-3 translatability report
      oclcu analyze file.{cu,cl}       -> kernel static analysis report
      oclcu run file.cu [--device ...] -> execute on a simulated device
+     oclcu run --trace out.json --profile ... -> trace/profile the run
+     oclcu prof FT|cfd|deviceQuery|file.cu -> profile on every framework
      oclcu devices                    -> list simulated devices *)
 
 open Cmdliner
@@ -19,9 +21,18 @@ let read_file path =
 
 let write_file path contents =
   let oc = open_out path in
-  output_string oc contents;
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
   Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+
+(* Run a command body that writes output files, turning failures to
+   open/write them into a Cmdliner error instead of an uncaught
+   Sys_error. *)
+let catching_sys_error f =
+  match f () with
+  | r -> r
+  | exception Sys_error msg -> `Error (false, msg)
 
 let ends_with ~suffix s =
   let n = String.length suffix and m = String.length s in
@@ -65,6 +76,7 @@ let translate_cmd =
                    if the translation introduces a diagnostic")
   in
   let run input validate =
+    catching_sys_error @@ fun () ->
     let src = read_file input in
     if ends_with ~suffix:".cl" input then begin
       (* OpenCL -> CUDA device translation (kernel.cl -> kernel.cl.cu) *)
@@ -208,6 +220,51 @@ let device_conv =
       ("titan-opencl", Bridge.Framework.Titan_opencl);
       ("amd-opencl", Bridge.Framework.Amd_opencl) ]
 
+(* One labelled, traced run: enable the sink around [f], harvest spans
+   and metrics, and leave the sink cleared for the next run. *)
+type traced_run = {
+  tr_label : string;
+  tr_spans : Trace.Event.span list;
+  tr_metrics : Trace.Metrics.t list;
+}
+
+let traced_run label f =
+  if not (Trace.Sink.is_enabled ()) then Trace.Sink.enable ();
+  Trace.Sink.clear ();
+  let finish () =
+    let r =
+      { tr_label = label;
+        tr_spans = Trace.Sink.events ();
+        tr_metrics = Trace.Sink.metrics () }
+    in
+    Trace.Sink.clear ();
+    r
+  in
+  match f () with
+  | v -> (finish (), Ok v)
+  | exception e -> (finish (), Error e)
+
+let print_profile (tr : traced_run) =
+  print_string (Trace.Summary.to_string ~label:tr.tr_label tr.tr_spans);
+  print_string (Trace.Summary.metrics_to_string tr.tr_metrics);
+  let amps = Trace.Summary.amplifications tr.tr_spans in
+  if amps <> [] then print_string (Trace.Summary.amplification_to_string amps)
+
+let chrome_runs trs =
+  List.map (fun tr -> (tr.tr_label, tr.tr_spans)) trs
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"OUT.json"
+           ~doc:"Write a Chrome trace-event JSON of the run (load it at \
+                 $(b,https://ui.perfetto.dev) or chrome://tracing); the \
+                 timeline is the simulated clock")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"OUT.csv"
+           ~doc:"Write the per-kernel metrics records as CSV")
+
 let run_cmd =
   let input =
     Arg.(required & pos 0 (some file) None
@@ -219,40 +276,183 @@ let run_cmd =
              ~doc:"Target: $(b,titan-cuda) (native), $(b,titan-opencl) or \
                    $(b,amd-opencl) (via translation)")
   in
-  let run input device =
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print an nvprof-style profile (GPU activities / API \
+                   calls, per-kernel metrics) after the run")
+  in
+  let run input device trace profile =
+    catching_sys_error @@ fun () ->
     let src = read_file input in
-    match device with
-    | Bridge.Framework.Titan_cuda ->
-      let r = Bridge.Framework.run_cuda_native src in
+    let tracing = trace <> None || profile in
+    let execute () =
+      match device with
+      | Bridge.Framework.Titan_cuda -> Ok (Bridge.Framework.run_cuda_native src)
+      | target ->
+        (match Bridge.Framework.translate_cuda src with
+         | Failed findings ->
+           List.iter
+             (fun f ->
+                Printf.eprintf "untranslatable: %s [%s]\n"
+                  f.Xlat.Feature.f_construct
+                  (Xlat.Feature.category_name f.Xlat.Feature.f_category))
+             findings;
+           Error "cannot run on an OpenCL device: translation rejected"
+         | Translated result ->
+           Ok
+             (Bridge.Framework.run_translated_cuda
+                ~dev:(Bridge.Framework.device_of target) result))
+    in
+    let finish (r : Bridge.Framework.run) =
       print_string r.r_output;
       Printf.printf "[%s: %.1f us simulated]\n"
         (Bridge.Framework.target_name device)
-        (r.r_time_ns /. 1e3);
-      `Ok ()
-    | target ->
-      (match Bridge.Framework.translate_cuda src with
-       | Failed findings ->
-         List.iter
-           (fun f ->
-              Printf.eprintf "untranslatable: %s [%s]\n"
-                f.Xlat.Feature.f_construct
-                (Xlat.Feature.category_name f.Xlat.Feature.f_category))
-           findings;
-         `Error (false, "cannot run on an OpenCL device: translation rejected")
-       | Translated result ->
-         let r =
-           Bridge.Framework.run_translated_cuda
-             ~dev:(Bridge.Framework.device_of target) result
-         in
-         print_string r.r_output;
-         Printf.printf "[%s: %.1f us simulated]\n"
-           (Bridge.Framework.target_name target)
-           (r.r_time_ns /. 1e3);
-         `Ok ())
+        (r.r_time_ns /. 1e3)
+    in
+    if not tracing then
+      match execute () with
+      | Ok r -> finish r; `Ok ()
+      | Error msg -> `Error (false, msg)
+    else begin
+      let tr, outcome =
+        traced_run (Filename.basename input) (fun () -> execute ())
+      in
+      Trace.Sink.disable ();
+      match outcome with
+      | Error e -> raise e
+      | Ok (Error msg) -> `Error (false, msg)
+      | Ok (Ok r) ->
+        finish r;
+        if profile then print_profile tr;
+        (match trace with
+         | Some path ->
+           Trace.Chrome.write_file path (chrome_runs [ tr ]);
+           Printf.printf "wrote %s (%d spans)\n" path (List.length tr.tr_spans)
+         | None -> ());
+        `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a CUDA program on a simulated device")
-    Term.(ret (const run $ input $ device))
+    Term.(ret (const run $ input $ device $ trace_arg $ profile))
+
+(* --- prof --------------------------------------------------------------- *)
+
+(* Profile a miniature app (by suite name) or a CUDA source file on every
+   framework it can run on, printing an nvprof-style report per run.
+   Profiling both sides is what makes the paper's §6 mechanisms visible:
+   FT's bank-conflict replays appear only in the 32-bit addressing rows,
+   cfd's occupancy drops from 0.469 to 0.375 under the CUDA register
+   allocator, and deviceQuery's wrapper amplification shows up as one
+   cudaGetDeviceProperties span enclosing seven clGetDeviceInfo calls. *)
+let prof_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TARGET"
+             ~doc:"A CUDA source file (.cu), or the name of a miniature \
+                   benchmark from the built-in suites (e.g. $(b,FT), \
+                   $(b,cfd), $(b,deviceQuery))")
+  in
+  let profile_cuda_src label src =
+    let native, nat_outcome =
+      traced_run (label ^ " @ CUDA/Titan") (fun () ->
+          Bridge.Framework.run_cuda_native src)
+    in
+    (match nat_outcome with Error e -> raise e | Ok _ -> ());
+    match Bridge.Framework.translate_cuda src with
+    | Failed findings ->
+      List.iter
+        (fun f ->
+           Printf.eprintf "untranslatable: %s [%s]\n"
+             f.Xlat.Feature.f_construct
+             (Xlat.Feature.category_name f.Xlat.Feature.f_category))
+        findings;
+      [ native ]
+    | Translated result ->
+      let translated, tr_outcome =
+        traced_run (label ^ " @ OpenCL/Titan (translated)") (fun () ->
+            Bridge.Framework.run_translated_cuda
+              ~dev:(Bridge.Framework.device_of Bridge.Framework.Titan_opencl)
+              result)
+      in
+      (match tr_outcome with Error e -> raise e | Ok _ -> ());
+      [ native; translated ]
+  in
+  let profile_ocl_app (app : Bridge.Framework.ocl_app) =
+    let native, nat_outcome =
+      traced_run
+        (app.Bridge.Framework.oa_name ^ " @ OpenCL/Titan")
+        (fun () -> Bridge.Framework.run_app_native app ())
+    in
+    (match nat_outcome with Error e -> raise e | Ok _ -> ());
+    let wrapped, wrap_outcome =
+      traced_run
+        (app.Bridge.Framework.oa_name ^ " @ CUDA/Titan (wrapped)")
+        (fun () -> Bridge.Framework.run_app_on_cuda app ())
+    in
+    (match wrap_outcome with Error e -> raise e | Ok _ -> ());
+    [ native; wrapped ]
+  in
+  let run target trace csv =
+    catching_sys_error @@ fun () ->
+    let runs =
+      if Sys.file_exists target && not (Sys.is_directory target) then begin
+        if not (ends_with ~suffix:".cu" target) then
+          failwith "prof: only CUDA (.cu) source files can be profiled";
+        Some (profile_cuda_src (Filename.basename target) (read_file target))
+      end
+      else
+        match
+          List.find_opt
+            (fun (c : Suite.Registry.cuda_app) -> c.cu_name = target)
+            Suite.Registry.all_cuda
+        with
+        | Some c -> Some (profile_cuda_src c.cu_name c.cu_src)
+        | None ->
+          (match
+             List.find_opt
+               (fun (a : Bridge.Framework.ocl_app) ->
+                  a.Bridge.Framework.oa_name = target)
+               Suite.Registry.all_opencl
+           with
+           | Some a -> Some (profile_ocl_app a)
+           | None -> None)
+    in
+    Trace.Sink.disable ();
+    match runs with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "no file or miniature benchmark named %S (try: oclcu prof FT)"
+            target )
+    | Some runs ->
+      List.iteri
+        (fun i tr ->
+           if i > 0 then print_newline ();
+           print_profile tr)
+        runs;
+      (match trace with
+       | Some path ->
+         Trace.Chrome.write_file path (chrome_runs runs);
+         Printf.printf "\nwrote %s (%d spans)\n" path
+           (List.fold_left (fun a tr -> a + List.length tr.tr_spans) 0 runs)
+       | None -> ());
+      (match csv with
+       | Some path ->
+         let ms = List.concat_map (fun tr -> tr.tr_metrics) runs in
+         Trace.Csv_export.write_file path ms;
+         Printf.printf "wrote %s (%d launches)\n" path (List.length ms)
+       | None -> ());
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:"Profile a program or miniature benchmark on every framework \
+             it runs on (nvprof-style summary, per-kernel metrics, wrapper \
+             amplification)")
+    Term.(ret (const run $ target $ trace_arg $ csv_arg))
 
 (* --- devices ------------------------------------------------------------ *)
 
@@ -278,4 +478,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ translate_cmd; check_cmd; analyze_cmd; run_cmd; devices_cmd ]))
+          [ translate_cmd; check_cmd; analyze_cmd; run_cmd; prof_cmd;
+            devices_cmd ]))

@@ -69,7 +69,16 @@ let make dev =
 
 let dev t = t.cu.Cuda.Cudart.dev
 
+(* Wrapper-category spans: each cl* wrapper span *encloses* the cuda*/cu*
+   API spans it issues, so the per-call fan-out of the wrapper approach
+   is directly countable from the trace (paper §6.4). *)
+let clock t () = (dev t).Gpusim.Device.sim_time_ns
+
+let wspan ?args t name f =
+  Trace.Sink.with_span ~cat:Trace.Event.Wrapper ~name ?args ~clock:(clock t) f
+
 let build_program t src =
+  wspan t "clBuildProgram" @@ fun () ->
   let t0 = (dev t).Gpusim.Device.sim_time_ns in
   Gpusim.Device.api_call (dev t);
   (* kernel.cl -> kernel.cl.cu -> PTX -> cuModuleLoad (Fig. 2) *)
@@ -86,6 +95,7 @@ let the_module t =
   | None -> err "clCreateKernel before clBuildProgram"
 
 let create_kernel t name =
+  wspan t "clCreateKernel" ~args:[ ("kernel", name) ] @@ fun () ->
   Gpusim.Device.api_call (dev t);
   let m, result = the_module t in
   let fn = Cuda.Cudart.module_get_function m name in
@@ -102,6 +112,7 @@ let create_kernel t name =
     k_args = Array.make (List.length info.Xlat.Ocl_to_cuda.ki_roles) None }
 
 let set_arg t k i (a : set_arg) =
+  wspan t "clSetKernelArg" @@ fun () ->
   Gpusim.Device.api_call_light (dev t);
   if i < 0 || i >= Array.length k.k_args then
     err "clSetKernelArg(%s): index %d out of range" k.k_name i;
@@ -110,6 +121,7 @@ let set_arg t k i (a : set_arg) =
 (* --- CLImage (Fig. 6): OpenCL images over CUDA memory objects -------- *)
 
 let create_image2d t ~width ~height ~order ~chtype ?host_ptr () =
+  wspan t "clCreateImage" @@ fun () ->
   let open Gpusim.Imagelib in
   let hw = (dev t).Gpusim.Device.hw in
   let maxw, maxh = hw.max_image2d in
@@ -131,6 +143,7 @@ let create_image2d t ~width ~height ~order ~chtype ?host_ptr () =
   img
 
 let create_sampler t ~normalized ~address ~filter =
+  wspan t "clCreateSampler" @@ fun () ->
   Gpusim.Device.api_call (dev t);
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -142,6 +155,7 @@ let create_sampler t ~normalized ~address ~filter =
   s
 
 let read_image t (img : Gpusim.Imagelib.image) ~ptr =
+  wspan t "clEnqueueReadImage" @@ fun () ->
   Cuda.Cudart.memcpy t.cu ~dst:ptr
     ~src:(Vm.Value.make_ptr AS_global img.Gpusim.Imagelib.i_addr)
     ~bytes:(Gpusim.Imagelib.byte_size img)
@@ -220,6 +234,8 @@ let resolve_args t (k : kernel) =
   (args, !shmem)
 
 let enqueue_nd_range t (k : kernel) ~gws ?lws () =
+  wspan t "clEnqueueNDRangeKernel" ~args:[ ("kernel", k.k_name) ]
+  @@ fun () ->
   Gpusim.Device.api_call (dev t);
   let lws =
     match lws with
@@ -261,10 +277,13 @@ end = struct
   let build_time_ns t = t.build_ns
 
   let device_name t =
+    wspan t "clGetDeviceInfo" ~args:[ ("param", "CL_DEVICE_NAME") ]
+    @@ fun () ->
     (Cuda.Cudart.get_device_properties t.cu).Cuda.Cudart.name
 
   (* clGetDeviceInfo wrapper over CUDA device attributes *)
   let device_info t param =
+    wspan t "clGetDeviceInfo" ~args:[ ("param", param) ] @@ fun () ->
     Gpusim.Device.api_call (dev t);
     let hw = (dev t).Gpusim.Device.hw in
     match param with
@@ -279,6 +298,8 @@ end = struct
     | _ -> err "unknown device info %s" param
 
   let create_buffer t ?read_only size =
+    wspan t "clCreateBuffer" ~args:[ ("size", string_of_int size) ]
+    @@ fun () ->
     ignore read_only;
     (* clCreateBuffer -> cudaMalloc; the returned cl_mem is the device
        pointer cast to the handle type (§4) *)
@@ -286,16 +307,21 @@ end = struct
     { b_ptr = p; b_size = size }
 
   let write_buffer t b ?(offset = 0) ~size ~ptr () =
+    wspan t "clEnqueueWriteBuffer" ~args:[ ("bytes", string_of_int size) ]
+    @@ fun () ->
     Cuda.Cudart.memcpy t.cu
       ~dst:(Int64.add b.b_ptr (Int64.of_int offset))
       ~src:ptr ~bytes:size
 
   let read_buffer t b ?(offset = 0) ~size ~ptr () =
+    wspan t "clEnqueueReadBuffer" ~args:[ ("bytes", string_of_int size) ]
+    @@ fun () ->
     Cuda.Cudart.memcpy t.cu ~dst:ptr
       ~src:(Int64.add b.b_ptr (Int64.of_int offset))
       ~bytes:size
 
-  let release_buffer t b = Cuda.Cudart.free t.cu b.b_ptr
+  let release_buffer t b =
+    wspan t "clReleaseMemObject" @@ fun () -> Cuda.Cudart.free t.cu b.b_ptr
 
   let build_program = build_program
   let create_kernel = create_kernel
@@ -321,5 +347,5 @@ end = struct
 
   let enqueue_nd_range t k ~gws ~lws = enqueue_nd_range t k ~gws ~lws ()
 
-  let finish t = Gpusim.Device.api_call (dev t)
+  let finish t = wspan t "clFinish" @@ fun () -> Gpusim.Device.api_call (dev t)
 end

@@ -549,6 +549,22 @@ let externals (t : t) =
         | _ -> errf "cudaStreamCreate arity"));
     ("cudaStreamSynchronize", (fun _ _ -> ok)) ]
 
+(* Every cuda* wrapper entry point wrapped in a wrapper-category span:
+   the cl* API spans a wrapper issues nest inside it automatically, so
+   the deviceQuery fan-out of §6.4 (one cudaGetDeviceProperties call
+   issuing one clGetDeviceInfo per property) is countable from the
+   trace. *)
+let traced_externals (t : t) =
+  let d = t.cl.Opencl.Cl.dev in
+  let clock () = d.Gpusim.Device.sim_time_ns in
+  List.map
+    (fun (name, fn) ->
+       ( name,
+         fun ctx args ->
+           Trace.Sink.with_span ~cat:Trace.Event.Wrapper ~name ~clock
+             (fun () -> fn ctx args) ))
+    (externals t)
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -566,7 +582,7 @@ let run ~(dev : Gpusim.Device.t) ~(result : Xlat.Cuda_to_ocl.result) :
   let t0 = dev.Gpusim.Device.sim_time_ns in
   let output =
     Hostrun.run_main ~session ~prog:result.Xlat.Cuda_to_ocl.host_prog
-      ~arena_of ~externals:(externals t)
+      ~arena_of ~externals:(traced_externals t)
       ~special_ident:Hostrun.host_constants ()
   in
   (* like Figure 7, the on-line build is excluded: CUDA needs no on-line

@@ -64,6 +64,9 @@ type t = {
 }
 
 let create ?host dev =
+  (* Deviceless probes (the translator's xlat spans) read this clock, so
+     their spans land on the active device's simulated timeline. *)
+  Trace.Sink.set_default_clock (fun () -> dev.Gpusim.Device.sim_time_ns);
   { dev;
     host = (match host with Some h -> h | None -> Vm.Memory.create ~initial:(1 lsl 16) "host");
     textures = Hashtbl.create 8;
@@ -73,6 +76,18 @@ let create ?host dev =
     allocs = [] }
 
 let api cu = Gpusim.Device.api_call cu.dev
+
+(* Tracing probes: api-category spans on the simulated timeline, one
+   bool check when the global sink is disabled (see lib/trace). *)
+let clock cu () = cu.dev.Gpusim.Device.sim_time_ns
+
+let traced ?(cat = Trace.Event.Api) ?args cu name f =
+  Trace.Sink.with_span ~cat ~name ?args ~clock:(clock cu) f
+
+let memcpy_span cu kind bytes f =
+  traced cu ~cat:Trace.Event.Memcpy
+    (Printf.sprintf "[CUDA memcpy %s]" kind)
+    ~args:[ ("bytes", string_of_int bytes) ] f
 
 let fresh cu =
   let id = cu.next_id in
@@ -87,6 +102,7 @@ let fresh cu =
    the device arenas and recorded as symbols; texture references get
    runtime handles stored in their global slot. *)
 let load_module cu (prog : Minic.Ast.program) : modul =
+  traced cu ~cat:Trace.Event.Build "cuModuleLoad" @@ fun () ->
   api cu;
   if !Xlat_analysis.Checks.pipeline_warnings then
     List.iter
@@ -148,6 +164,7 @@ let module_get_function (m : modul) name =
 (* ------------------------------------------------------------------ *)
 
 let malloc cu size =
+  traced cu "cudaMalloc" ~args:[ ("size", string_of_int size) ] @@ fun () ->
   api cu;
   if size <= 0 then err "cudaMalloc: bad size %d" size;
   let addr = Vm.Memory.alloc cu.dev.Gpusim.Device.global ~align:256 size in
@@ -157,6 +174,7 @@ let malloc cu size =
   p
 
 let free cu p =
+  traced cu "cudaFree" @@ fun () ->
   api cu;
   match List.assoc_opt p cu.allocs with
   | Some size ->
@@ -175,19 +193,31 @@ let arena_for cu space =
    (unified-virtual-addressing style); the explicit kind argument of the
    C API is validated by the bridge layer. *)
 let memcpy cu ~dst ~src ~bytes =
+  traced cu "cudaMemcpy" ~args:[ ("bytes", string_of_int bytes) ]
+  @@ fun () ->
   api cu;
   let dsp = ptr_space dst and ssp = ptr_space src in
-  Vm.Memory.blit
-    ~src:(arena_for cu ssp) ~src_addr:(ptr_offset src)
-    ~dst:(arena_for cu dsp) ~dst_addr:(ptr_offset dst) ~len:bytes;
-  let crosses = dsp <> ssp in
-  if crosses then
-    Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes)
-  else
-    Gpusim.Device.add_time cu.dev
-      (float_of_int bytes /. cu.dev.Gpusim.Device.hw.gmem_bw_gbps *. 2.0)
+  let kind =
+    match ssp, dsp with
+    | AS_none, AS_none -> "HtoH"
+    | AS_none, _ -> "HtoD"
+    | _, AS_none -> "DtoH"
+    | _, _ -> "DtoD"
+  in
+  memcpy_span cu kind bytes (fun () ->
+      Vm.Memory.blit
+        ~src:(arena_for cu ssp) ~src_addr:(ptr_offset src)
+        ~dst:(arena_for cu dsp) ~dst_addr:(ptr_offset dst) ~len:bytes;
+      let crosses = dsp <> ssp in
+      if crosses then
+        Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes)
+      else
+        Gpusim.Device.add_time cu.dev
+          (float_of_int bytes /. cu.dev.Gpusim.Device.hw.gmem_bw_gbps *. 2.0))
 
 let memset cu ~dst ~byte ~bytes =
+  traced cu "cudaMemset" ~args:[ ("bytes", string_of_int bytes) ]
+  @@ fun () ->
   api cu;
   let arena = arena_for cu (ptr_space dst) in
   Vm.Memory.store_bytes arena (ptr_offset dst)
@@ -205,23 +235,33 @@ let find_symbol cu name =
    variable.  These are two of the three constructs that cannot become
    wrappers in CUDA-to-OpenCL translation. *)
 let memcpy_to_symbol cu name ~src ~bytes ?(offset = 0) () =
+  traced cu "cudaMemcpyToSymbol"
+    ~args:[ ("symbol", name); ("bytes", string_of_int bytes) ]
+  @@ fun () ->
   api cu;
   let b = find_symbol cu name in
   let dst_arena = arena_for cu b.Vm.Interp.b_space in
-  Vm.Memory.blit
-    ~src:(arena_for cu (ptr_space src)) ~src_addr:(ptr_offset src)
-    ~dst:dst_arena ~dst_addr:(b.Vm.Interp.b_addr + offset) ~len:bytes;
-  Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes)
+  memcpy_span cu "HtoD" bytes (fun () ->
+      Vm.Memory.blit
+        ~src:(arena_for cu (ptr_space src)) ~src_addr:(ptr_offset src)
+        ~dst:dst_arena ~dst_addr:(b.Vm.Interp.b_addr + offset) ~len:bytes;
+      Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes))
 
 let memcpy_from_symbol cu name ~dst ~bytes ?(offset = 0) () =
+  traced cu "cudaMemcpyFromSymbol"
+    ~args:[ ("symbol", name); ("bytes", string_of_int bytes) ]
+  @@ fun () ->
   api cu;
   let b = find_symbol cu name in
   let src_arena = arena_for cu b.Vm.Interp.b_space in
-  Vm.Memory.blit ~src:src_arena ~src_addr:(b.Vm.Interp.b_addr + offset)
-    ~dst:(arena_for cu (ptr_space dst)) ~dst_addr:(ptr_offset dst) ~len:bytes;
-  Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes)
+  memcpy_span cu "DtoH" bytes (fun () ->
+      Vm.Memory.blit ~src:src_arena ~src_addr:(b.Vm.Interp.b_addr + offset)
+        ~dst:(arena_for cu (ptr_space dst)) ~dst_addr:(ptr_offset dst)
+        ~len:bytes;
+      Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes))
 
 let mem_get_info cu =
+  traced cu "cudaMemGetInfo" @@ fun () ->
   api cu;
   let total = cu.dev.Gpusim.Device.hw.global_mem in
   (total - cu.dev.Gpusim.Device.alloc_bytes, total)
@@ -231,6 +271,7 @@ let mem_get_info cu =
 (* ------------------------------------------------------------------ *)
 
 let malloc_array cu ~scalar ~channels ~width ?(height = 1) ?(depth = 1) () =
+  traced cu "cudaMallocArray" @@ fun () ->
   api cu;
   let bytes = width * height * depth * scalar_size scalar * channels in
   let addr = Vm.Memory.alloc cu.dev.Gpusim.Device.global ~align:256 bytes in
@@ -243,11 +284,14 @@ let malloc_array cu ~scalar ~channels ~width ?(height = 1) ?(depth = 1) () =
   a
 
 let memcpy_to_array cu (a : cuda_array) ~src ~bytes =
+  traced cu "cudaMemcpyToArray" ~args:[ ("bytes", string_of_int bytes) ]
+  @@ fun () ->
   api cu;
-  Vm.Memory.blit
-    ~src:(arena_for cu (ptr_space src)) ~src_addr:(ptr_offset src)
-    ~dst:cu.dev.Gpusim.Device.global ~dst_addr:a.a_addr ~len:bytes;
-  Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes)
+  memcpy_span cu "HtoD" bytes (fun () ->
+      Vm.Memory.blit
+        ~src:(arena_for cu (ptr_space src)) ~src_addr:(ptr_offset src)
+        ~dst:cu.dev.Gpusim.Device.global ~dst_addr:a.a_addr ~len:bytes;
+      Gpusim.Device.add_time cu.dev (Gpusim.Device.memcpy_time_ns cu.dev bytes))
 
 let texture_by_name cu name =
   match Hashtbl.find_opt cu.tex_by_name name with
@@ -267,6 +311,7 @@ let array_by_handle cu id =
   | None -> err "invalid cudaArray handle %d" id
 
 let bind_texture_ref cu tref ~ptr ~bytes ~elem =
+  traced cu "cudaBindTexture" ~args:[ ("texture", tref.t_name) ] @@ fun () ->
   api cu;
   let width = bytes / max 1 (scalar_size elem) in
   if width > cu.dev.Gpusim.Device.hw.max_tex1d_linear then
@@ -278,6 +323,8 @@ let bind_texture cu name ~ptr ~bytes ~elem =
   bind_texture_ref cu (texture_by_name cu name) ~ptr ~bytes ~elem
 
 let bind_texture_to_array_ref cu tref (a : cuda_array) =
+  traced cu "cudaBindTextureToArray" ~args:[ ("texture", tref.t_name) ]
+  @@ fun () ->
   api cu;
   tref.t_bound <- B_array a
 
@@ -285,6 +332,7 @@ let bind_texture_to_array cu name (a : cuda_array) =
   bind_texture_to_array_ref cu (texture_by_name cu name) a
 
 let unbind_texture_ref cu tref =
+  traced cu "cudaUnbindTexture" @@ fun () ->
   api cu;
   tref.t_bound <- B_unbound
 
@@ -387,6 +435,8 @@ let texture_externals cu =
 let launch_kernel cu ~(m : modul) ~(kernel : func)
     ~grid:(gx, gy, gz) ~block:(bx, by, bz) ?(shmem = 0)
     ?(extra_externals = []) ~(args : Gpusim.Exec.karg list) () =
+  traced cu "cuLaunchKernel" ~args:[ ("kernel", kernel.fn_name) ]
+  @@ fun () ->
   api cu;
   let cfg =
     { Gpusim.Exec.global_size = [| gx * bx; gy * by; gz * bz |];
@@ -399,7 +449,7 @@ let launch_kernel cu ~(m : modul) ~(kernel : func)
       ~extra_externals:(texture_externals cu @ extra_externals) ~kernel ~cfg
       ~args ()
   in
-  Gpusim.Device.add_time cu.dev (Gpusim.Timing.kernel_time_ns cu.dev stats);
+  Gpusim.Timing.finish_launch cu.dev ~name:kernel.fn_name stats;
   stats
 
 (* ------------------------------------------------------------------ *)
@@ -422,6 +472,7 @@ type device_prop = {
 (* The wrapper in the other direction issues one clGetDeviceInfo per
    field; natively this is a single call. *)
 let get_device_properties cu =
+  traced cu "cudaGetDeviceProperties" @@ fun () ->
   api cu;
   let hw = cu.dev.Gpusim.Device.hw in
   { name = hw.hw_name;
@@ -435,13 +486,16 @@ let get_device_properties cu =
     clock_rate_khz = int_of_float (hw.clock_ghz *. 1e6);
     max_threads_per_block = 1024 }
 
-let device_synchronize cu = api cu
+let device_synchronize cu =
+  traced cu "cudaDeviceSynchronize" @@ fun () -> api cu
 
 let event_create cu =
+  traced cu "cudaEventCreate" @@ fun () ->
   api cu;
   { ev_time = 0.0 }
 
 let event_record cu ev =
+  traced cu "cudaEventRecord" @@ fun () ->
   api cu;
   ev.ev_time <- cu.dev.Gpusim.Device.sim_time_ns
 

@@ -80,3 +80,59 @@ let describe (dev : Device.t) (ls : Exec.launch_stats) =
     (Counters.total_ops c) c.gmem_transactions c.gmem_accesses
     c.smem_transactions c.smem_bank_conflict_extra c.barriers
     (kernel_time_ns dev ls /. 1000.0)
+
+(* Retire a launch: advance the simulated clock by the modelled kernel
+   time and, when tracing is enabled, record a kernel span covering the
+   launch's simulated interval plus a full metrics snapshot.  Both API
+   layers (Cl.enqueue_nd_range, Cudart.launch_kernel) retire launches
+   through here so profiler coverage cannot drift between them. *)
+let finish_launch (dev : Device.t) ~name (ls : Exec.launch_stats) =
+  let t = kernel_time_ns dev ls in
+  if Trace.Sink.is_enabled () then begin
+    let t0 = dev.Device.sim_time_ns in
+    let c = ls.Exec.counters in
+    let occ = ls.Exec.occupancy in
+    let fw = dev.Device.fw in
+    let addressing = if fw.smem_word = 8 then "64-bit" else "32-bit" in
+    let id =
+      Trace.Sink.span_begin ~cat:Trace.Event.Kernel ~name
+        ~args:
+          [ ("framework", fw.fw_name);
+            ("occupancy", Printf.sprintf "%.3f" occ.Occupancy.occupancy);
+            ("addressing", addressing);
+            ("conflicts", string_of_int c.Counters.smem_bank_conflict_extra) ]
+        ~sim_ns:t0 ()
+    in
+    Trace.Sink.span_end id ~sim_ns:(t0 +. t);
+    Trace.Sink.add_metrics
+      { Trace.Metrics.m_kernel = name;
+        m_framework = fw.fw_name;
+        m_device = dev.Device.hw.hw_name;
+        m_addressing = addressing;
+        m_smem_word = fw.smem_word;
+        m_sim_start_ns = t0;
+        m_sim_ns = t;
+        m_block_threads = ls.Exec.block_threads;
+        m_n_blocks = ls.Exec.n_blocks;
+        m_occupancy = occ.Occupancy.occupancy;
+        m_active_blocks = occ.Occupancy.active_blocks;
+        m_regs_per_thread = occ.Occupancy.regs_per_thread;
+        m_smem_per_block = occ.Occupancy.smem_per_block;
+        m_limited_by = occ.Occupancy.limited_by;
+        m_n_items = c.Counters.n_items;
+        m_n_groups = c.Counters.n_groups;
+        m_ops_int = c.Counters.ops_int;
+        m_ops_float = c.Counters.ops_float;
+        m_ops_double = c.Counters.ops_double;
+        m_ops_special = c.Counters.ops_special;
+        m_ops_branch = c.Counters.ops_branch;
+        m_barriers = c.Counters.barriers;
+        m_gmem_transactions = c.Counters.gmem_transactions;
+        m_gmem_accesses = c.Counters.gmem_accesses;
+        m_gmem_bytes = c.Counters.gmem_bytes;
+        m_smem_transactions = c.Counters.smem_transactions;
+        m_smem_accesses = c.Counters.smem_accesses;
+        m_smem_bank_conflict_extra = c.Counters.smem_bank_conflict_extra;
+        m_private_accesses = c.Counters.private_accesses }
+  end;
+  Device.add_time dev t

@@ -17,3 +17,9 @@ val kernel_time_ns : Device.t -> Exec.launch_stats -> float
 (** One-line human-readable summary (items, occupancy, transactions,
     conflicts, time) for logs and debugging. *)
 val describe : Device.t -> Exec.launch_stats -> string
+
+(** Retire one launch: advance the device's simulated clock by
+    [kernel_time_ns] and, when tracing is enabled, record a
+    kernel-category span plus a per-launch metrics snapshot in the
+    global trace sink. *)
+val finish_launch : Device.t -> name:string -> Exec.launch_stats -> unit

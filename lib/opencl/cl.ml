@@ -85,6 +85,9 @@ type t = {
 }
 
 let create ?host dev =
+  (* Deviceless probes (the translator's xlat spans) read this clock, so
+     their spans land on the active device's simulated timeline. *)
+  Trace.Sink.set_default_clock (fun () -> dev.Gpusim.Device.sim_time_ns);
   { dev;
     host = (match host with Some h -> h | None -> Vm.Memory.create ~initial:(1 lsl 16) "host");
     objects = Hashtbl.create 64;
@@ -104,6 +107,15 @@ let find_obj cl id =
 
 let api cl = Gpusim.Device.api_call cl.dev
 
+(* Tracing probes: each entry point records an api-category span on the
+   device's simulated timeline.  With the global sink disabled (the
+   default), [Trace.Sink.with_span] is a single bool check, so the
+   probes stay unconditionally compiled in. *)
+let clock cl () = cl.dev.Gpusim.Device.sim_time_ns
+
+let traced ?(cat = Trace.Event.Api) ?args cl name f =
+  Trace.Sink.with_span ~cat ~name ?args ~clock:(clock cl) f
+
 (* ------------------------------------------------------------------ *)
 (* Device queries (clGetDeviceInfo)                                    *)
 (* ------------------------------------------------------------------ *)
@@ -112,6 +124,7 @@ let api cl = Gpusim.Device.api_call cl.dev
    deviceQuery slow in Figure 8 (one cudaGetDeviceProperties wrapper
    fans out into many clGetDeviceInfo calls). *)
 let get_device_info cl (param : string) : int64 =
+  traced cl "clGetDeviceInfo" ~args:[ ("param", param) ] @@ fun () ->
   api cl;
   let hw = cl.dev.Gpusim.Device.hw in
   match param with
@@ -130,6 +143,8 @@ let get_device_info cl (param : string) : int64 =
   | _ -> err cl_invalid_value "unknown device info %s" param
 
 let get_device_name cl =
+  traced cl "clGetDeviceInfo" ~args:[ ("param", "CL_DEVICE_NAME") ]
+  @@ fun () ->
   api cl;
   cl.dev.Gpusim.Device.hw.hw_name
 
@@ -138,6 +153,8 @@ let get_device_name cl =
 (* ------------------------------------------------------------------ *)
 
 let create_buffer cl ?(read_only = false) size =
+  traced cl "clCreateBuffer" ~args:[ ("size", string_of_int size) ]
+  @@ fun () ->
   api cl;
   if size <= 0 then err cl_invalid_value "clCreateBuffer: size %d" size;
   let addr = Vm.Memory.alloc cl.dev.Gpusim.Device.global ~align:256 size in
@@ -166,41 +183,58 @@ let resolve_host_ptr cl p =
   in
   (arena, Vm.Value.ptr_offset p)
 
+(* Transfers nest a memcpy-category span (the nvprof "[memcpy ...]"
+   activity) inside the API span, covering the simulated copy time. *)
+let memcpy_span cl kind bytes f =
+  traced cl ~cat:Trace.Event.Memcpy
+    (Printf.sprintf "[memcpy %s]" kind)
+    ~args:[ ("bytes", string_of_int bytes) ] f
+
 let enqueue_write_buffer cl (b : buffer) ?(offset = 0) ~size ~host_ptr () =
+  traced cl "clEnqueueWriteBuffer" ~args:[ ("bytes", string_of_int size) ]
+  @@ fun () ->
   api cl;
   if offset + size > b.b_size then
     err cl_invalid_value "clEnqueueWriteBuffer: out of bounds";
   let t0 = now cl in
-  let src_arena, src_addr = resolve_host_ptr cl host_ptr in
-  Vm.Memory.blit ~src:src_arena ~src_addr ~dst:cl.dev.Gpusim.Device.global
-    ~dst_addr:(b.b_addr + offset) ~len:size;
-  Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev size);
+  memcpy_span cl "HtoD" size (fun () ->
+      let src_arena, src_addr = resolve_host_ptr cl host_ptr in
+      Vm.Memory.blit ~src:src_arena ~src_addr ~dst:cl.dev.Gpusim.Device.global
+        ~dst_addr:(b.b_addr + offset) ~len:size;
+      Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev size));
   mk_event cl t0
 
 let enqueue_read_buffer cl (b : buffer) ?(offset = 0) ~size ~host_ptr () =
+  traced cl "clEnqueueReadBuffer" ~args:[ ("bytes", string_of_int size) ]
+  @@ fun () ->
   api cl;
   if offset + size > b.b_size then
     err cl_invalid_value "clEnqueueReadBuffer: out of bounds";
   let t0 = now cl in
-  let dst_arena, dst_addr = resolve_host_ptr cl host_ptr in
-  Vm.Memory.blit ~src:cl.dev.Gpusim.Device.global ~src_addr:(b.b_addr + offset)
-    ~dst:dst_arena ~dst_addr ~len:size;
-  Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev size);
+  memcpy_span cl "DtoH" size (fun () ->
+      let dst_arena, dst_addr = resolve_host_ptr cl host_ptr in
+      Vm.Memory.blit ~src:cl.dev.Gpusim.Device.global
+        ~src_addr:(b.b_addr + offset) ~dst:dst_arena ~dst_addr ~len:size;
+      Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev size));
   mk_event cl t0
 
 let enqueue_copy_buffer cl (src : buffer) (dst : buffer) ?(src_offset = 0)
     ?(dst_offset = 0) ~size () =
+  traced cl "clEnqueueCopyBuffer" ~args:[ ("bytes", string_of_int size) ]
+  @@ fun () ->
   api cl;
   let t0 = now cl in
-  let g = cl.dev.Gpusim.Device.global in
-  Vm.Memory.blit ~src:g ~src_addr:(src.b_addr + src_offset) ~dst:g
-    ~dst_addr:(dst.b_addr + dst_offset) ~len:size;
-  (* device-to-device copies run at global memory bandwidth *)
-  Gpusim.Device.add_time cl.dev
-    (float_of_int size /. cl.dev.Gpusim.Device.hw.gmem_bw_gbps *. 2.0);
+  memcpy_span cl "DtoD" size (fun () ->
+      let g = cl.dev.Gpusim.Device.global in
+      Vm.Memory.blit ~src:g ~src_addr:(src.b_addr + src_offset) ~dst:g
+        ~dst_addr:(dst.b_addr + dst_offset) ~len:size;
+      (* device-to-device copies run at global memory bandwidth *)
+      Gpusim.Device.add_time cl.dev
+        (float_of_int size /. cl.dev.Gpusim.Device.hw.gmem_bw_gbps *. 2.0));
   mk_event cl t0
 
 let release_mem_object cl (b : buffer) =
+  traced cl "clReleaseMemObject" @@ fun () ->
   api cl;
   cl.dev.Gpusim.Device.alloc_bytes <-
     cl.dev.Gpusim.Device.alloc_bytes - b.b_size;
@@ -212,6 +246,9 @@ let release_mem_object cl (b : buffer) =
 
 let create_image cl ~dim ~width ?(height = 1) ?(depth = 1) ~order ~chtype
     ?host_ptr () =
+  traced cl "clCreateImage"
+    ~args:[ ("dim", string_of_int dim); ("width", string_of_int width) ]
+  @@ fun () ->
   api cl;
   let hw = cl.dev.Gpusim.Device.hw in
   let maxw, maxh = hw.max_image2d in
@@ -238,6 +275,7 @@ let create_image cl ~dim ~width ?(height = 1) ?(depth = 1) ~order ~chtype
   img
 
 let create_sampler cl ~normalized ~address ~filter =
+  traced cl "clCreateSampler" @@ fun () ->
   api cl;
   let s = { s_id = 0; s_normalized = normalized; s_address = address; s_filter = filter } in
   let s = { s with s_id = fresh cl (O_sampler s) } in
@@ -245,23 +283,27 @@ let create_sampler cl ~normalized ~address ~filter =
   s
 
 let enqueue_write_image cl img ~host_ptr () =
+  traced cl "clEnqueueWriteImage" @@ fun () ->
   api cl;
   let t0 = now cl in
   let bytes = img.i_width * img.i_height * img.i_depth * Gpusim.Imagelib.elem_size img in
-  let src_arena, src_addr = resolve_host_ptr cl host_ptr in
-  Vm.Memory.blit ~src:src_arena ~src_addr ~dst:cl.dev.Gpusim.Device.global
-    ~dst_addr:img.i_addr ~len:bytes;
-  Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev bytes);
+  memcpy_span cl "HtoD" bytes (fun () ->
+      let src_arena, src_addr = resolve_host_ptr cl host_ptr in
+      Vm.Memory.blit ~src:src_arena ~src_addr ~dst:cl.dev.Gpusim.Device.global
+        ~dst_addr:img.i_addr ~len:bytes;
+      Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev bytes));
   mk_event cl t0
 
 let enqueue_read_image cl img ~host_ptr () =
+  traced cl "clEnqueueReadImage" @@ fun () ->
   api cl;
   let t0 = now cl in
   let bytes = img.i_width * img.i_height * img.i_depth * Gpusim.Imagelib.elem_size img in
-  let dst_arena, dst_addr = resolve_host_ptr cl host_ptr in
-  Vm.Memory.blit ~src:cl.dev.Gpusim.Device.global ~src_addr:img.i_addr
-    ~dst:dst_arena ~dst_addr ~len:bytes;
-  Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev bytes);
+  memcpy_span cl "DtoH" bytes (fun () ->
+      let dst_arena, dst_addr = resolve_host_ptr cl host_ptr in
+      Vm.Memory.blit ~src:cl.dev.Gpusim.Device.global ~src_addr:img.i_addr
+        ~dst:dst_arena ~dst_addr ~len:bytes;
+      Gpusim.Device.add_time cl.dev (Gpusim.Device.memcpy_time_ns cl.dev bytes));
   mk_event cl t0
 
 (* ------------------------------------------------------------------ *)
@@ -269,6 +311,9 @@ let enqueue_read_image cl img ~host_ptr () =
 (* ------------------------------------------------------------------ *)
 
 let create_program_with_source cl src =
+  traced cl "clCreateProgramWithSource"
+    ~args:[ ("bytes", string_of_int (String.length src)) ]
+  @@ fun () ->
   api cl;
   let p =
     { p_id = 0; p_src = src; p_ast = None;
@@ -294,6 +339,9 @@ let materialize_globals cl ast globals =
     globals
 
 let build_program cl (p : program) =
+  traced cl ~cat:Trace.Event.Build "clBuildProgram"
+    ~args:[ ("bytes", string_of_int (String.length p.p_src)) ]
+  @@ fun () ->
   api cl;
   cl.build_count <- cl.build_count + 1;
   (match
@@ -323,6 +371,7 @@ let build_program cl (p : program) =
      err cl_build_program_failure "clBuildProgram: %s" p.p_log)
 
 let create_kernel cl (p : program) name =
+  traced cl "clCreateKernel" ~args:[ ("kernel", name) ] @@ fun () ->
   api cl;
   let ast =
     match p.p_ast with
@@ -342,6 +391,7 @@ let create_kernel cl (p : program) name =
   | None -> err cl_invalid_value "no kernel named %s" name
 
 let set_kernel_arg cl (k : kernel) idx (arg : set_arg) =
+  traced cl "clSetKernelArg" @@ fun () ->
   Gpusim.Device.api_call_light cl.dev;
   if idx < 0 || idx >= Array.length k.k_args then
     err cl_invalid_kernel_args "clSetKernelArg: index %d out of range" idx;
@@ -397,6 +447,8 @@ let karg_of_setarg _cl (k : kernel) i (arg : set_arg option) : Gpusim.Exec.karg 
 (* Paper note (Fig. 1): an OpenCL NDRange counts work-items while a CUDA
    grid counts blocks -- this API takes the OpenCL convention. *)
 let enqueue_nd_range cl (k : kernel) ~gws ?lws () =
+  traced cl "clEnqueueNDRangeKernel" ~args:[ ("kernel", k.k_name) ]
+  @@ fun () ->
   api cl;
   let t0 = now cl in
   let lws =
@@ -412,10 +464,10 @@ let enqueue_nd_range cl (k : kernel) ~gws ?lws () =
       ~cfg:{ global_size = gws; local_size = lws; dyn_shared = 0 }
       ~args ()
   in
-  Gpusim.Device.add_time cl.dev (Gpusim.Timing.kernel_time_ns cl.dev stats);
+  Gpusim.Timing.finish_launch cl.dev ~name:k.k_name stats;
   (mk_event cl t0, stats)
 
-let finish cl = api cl
+let finish cl = traced cl "clFinish" @@ fun () -> api cl
 
 (* --- OpenCL 2.0 shared virtual memory ------------------------------- *)
 
@@ -426,13 +478,14 @@ let finish cl = api cl
    pointer is a device-global address the interpreted host can also
    dereference directly. *)
 let svm_alloc cl size =
+  traced cl "clSVMAlloc" ~args:[ ("size", string_of_int size) ] @@ fun () ->
   api cl;
   if size <= 0 then err cl_invalid_value "clSVMAlloc: size %d" size;
   let addr = Vm.Memory.alloc cl.dev.Gpusim.Device.global ~align:256 size in
   cl.dev.Gpusim.Device.alloc_bytes <- cl.dev.Gpusim.Device.alloc_bytes + size;
   Vm.Value.make_ptr AS_global addr
 
-let svm_free cl _ptr = api cl
+let svm_free cl _ptr = traced cl "clSVMFree" @@ fun () -> api cl
 
 (* Sub-device creation is the OpenCL-only feature of §3.7: it exists
    here (trivially) so the CUDA translation path can *detect* and reject

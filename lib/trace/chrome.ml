@@ -1,0 +1,192 @@
+(* Chrome trace-event exporter (the `{"traceEvents": [...]}` JSON format
+   understood by Perfetto and chrome://tracing).
+
+   The simulated clock is the timeline: `ts` is simulated microseconds.
+   Events are emitted as matched B/E pairs by walking the span forest —
+   B in preorder, E in postorder — so the output is well-nested by
+   construction even when the ring buffer evicted a span's parent (such
+   orphans are simply promoted to roots). *)
+
+type node = { span : Event.span; mutable children : node list }
+
+let us_of_ns ns = ns /. 1000.0
+
+let forest (spans : Event.span list) : node list =
+  let nodes = Hashtbl.create 256 in
+  List.iter
+    (fun sp -> Hashtbl.replace nodes sp.Event.sp_id { span = sp; children = [] })
+    spans;
+  let roots = ref [] in
+  List.iter
+    (fun sp ->
+       let n = Hashtbl.find nodes sp.Event.sp_id in
+       match Hashtbl.find_opt nodes sp.Event.sp_parent with
+       | Some p when sp.Event.sp_parent <> sp.Event.sp_id ->
+         p.children <- n :: p.children
+       | _ -> roots := n :: !roots)
+    spans;
+  let order l =
+    List.sort (fun a b -> compare a.span.Event.sp_id b.span.Event.sp_id) l
+  in
+  let rec fix n = n.children <- order (List.map fix n.children); n in
+  order (List.map fix !roots)
+
+let span_args sp =
+  let base =
+    [ ("cat", Json.Str (Event.cat_name sp.Event.sp_cat));
+      ("wall_ns",
+       Json.Float (Float.max 0.0 (sp.Event.sp_wall1 -. sp.Event.sp_wall0))) ]
+  in
+  base @ List.map (fun (k, v) -> (k, Json.Str v)) sp.Event.sp_args
+
+let events_of_forest ~pid ~tid roots =
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let common sp =
+    [ ("name", Json.Str sp.Event.sp_name);
+      ("cat", Json.Str (Event.cat_name sp.Event.sp_cat));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid) ]
+  in
+  let rec walk n =
+    let sp = n.span in
+    emit (Json.Obj (("ph", Json.Str "B")
+                    :: ("ts", Json.Float (us_of_ns sp.Event.sp_t0))
+                    :: common sp
+                    @ [ ("args", Json.Obj (span_args sp)) ]));
+    List.iter walk n.children;
+    emit (Json.Obj (("ph", Json.Str "E")
+                    :: ("ts", Json.Float (us_of_ns sp.Event.sp_t1))
+                    :: common sp))
+  in
+  List.iter walk roots;
+  List.rev !out
+
+let process_name_event ~pid label =
+  Json.Obj
+    [ ("ph", Json.Str "M"); ("pid", Json.Int pid); ("tid", Json.Int 0);
+      ("name", Json.Str "process_name");
+      ("args", Json.Obj [ ("name", Json.Str label) ]) ]
+
+(* One process per labelled run, so `oclcu prof`'s native-vs-wrapped
+   comparison loads as two parallel tracks in Perfetto. *)
+let to_json (runs : (string * Event.span list) list) : Json.t =
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (label, spans) ->
+            let pid = i + 1 in
+            process_name_event ~pid label
+            :: events_of_forest ~pid ~tid:1 (forest spans))
+         runs)
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData",
+       Json.Obj [ ("clock", Json.Str "simulated");
+                  ("generator", Json.Str "oclcu trace") ]) ]
+
+let to_string runs = Json.to_string (to_json runs)
+
+let write_file path runs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string runs))
+
+(* --- validation ------------------------------------------------------
+
+   Shared by the qcheck property and the bench smoke target: checks the
+   document shape, that every B has a matching E (per pid/tid, stack
+   discipline, same name), and that timestamps are monotone within each
+   pid/tid track. *)
+
+let validate (doc : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "missing traceEvents array"
+  in
+  let field ev name =
+    match Json.member name ev with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event missing %S" name)
+  in
+  let stacks : (int * int, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let stack_for key =
+    match Hashtbl.find_opt stacks key with
+    | Some r -> r
+    | None -> let r = ref [] in Hashtbl.replace stacks key r; r
+  in
+  let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  let check ev =
+    let* ph = field ev "ph" in
+    match Json.to_string_opt ph with
+    | Some "M" -> Ok ()
+    | Some (("B" | "E") as ph) ->
+      let* name = field ev "name" in
+      let* name =
+        match Json.to_string_opt name with
+        | Some s -> Ok s
+        | None -> Error "event name is not a string"
+      in
+      let* ts = field ev "ts" in
+      let* ts =
+        match Json.to_float_opt ts with
+        | Some x -> Ok x
+        | None -> Error "event ts is not a number"
+      in
+      let* pid = field ev "pid" in
+      let* tid = field ev "tid" in
+      let* key =
+        match (pid, tid) with
+        | Json.Int p, Json.Int t -> Ok (p, t)
+        | _ -> Error "pid/tid is not an int"
+      in
+      let* () =
+        match Hashtbl.find_opt last_ts key with
+        | Some prev when ts < prev ->
+          Error
+            (Printf.sprintf "non-monotone ts %.3f after %.3f (%s %s)" ts prev
+               ph name)
+        | _ -> Hashtbl.replace last_ts key ts; Ok ()
+      in
+      let stack = stack_for key in
+      if ph = "B" then begin
+        stack := (name, ts) :: !stack;
+        Ok ()
+      end
+      else begin
+        match !stack with
+        | (bname, bts) :: rest ->
+          if bname <> name then
+            Error (Printf.sprintf "E %S closes B %S" name bname)
+          else if ts < bts then
+            Error (Printf.sprintf "span %S ends before it begins" name)
+          else begin stack := rest; Ok () end
+        | [] -> Error (Printf.sprintf "E %S with no open B" name)
+      end
+    | Some other -> Error (Printf.sprintf "unexpected phase %S" other)
+    | None -> Error "event ph is not a string"
+  in
+  let* () =
+    List.fold_left
+      (fun acc ev -> let* () = acc in check ev)
+      (Ok ()) events
+  in
+  Hashtbl.fold
+    (fun _ stack acc ->
+       let* () = acc in
+       match !stack with
+       | [] -> Ok ()
+       | (name, _) :: _ -> Error (Printf.sprintf "unclosed B %S" name))
+    stacks (Ok ())
+
+let validate_string s =
+  match Json.of_string s with
+  | exception Json.Parse_error m -> Error ("invalid JSON: " ^ m)
+  | doc -> validate doc

@@ -1,0 +1,36 @@
+(* Per-kernel metrics CSV.  One row per launch, header from the stable
+   field order in [Metrics.fields]. *)
+
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let header () =
+  (* Field names are data-independent; grab them from a throwaway
+     record's field list shape by using the stable name list. *)
+  [ "kernel"; "framework"; "device"; "addressing"; "smem_word";
+    "sim_start_ns"; "sim_ns"; "block_threads"; "n_blocks"; "occupancy";
+    "active_blocks"; "regs_per_thread"; "smem_per_block"; "limited_by";
+    "n_items"; "n_groups"; "ops_int"; "ops_float"; "ops_double";
+    "ops_special"; "ops_branch"; "barriers"; "gmem_transactions";
+    "gmem_accesses"; "gmem_bytes"; "smem_transactions"; "smem_accesses";
+    "smem_bank_conflict_extra"; "private_accesses" ]
+
+let to_string (ms : Metrics.t list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (header ()));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun m ->
+       let row = List.map (fun (_, v) -> quote v) (Metrics.fields m) in
+       Buffer.add_string buf (String.concat "," row);
+       Buffer.add_char buf '\n')
+    ms;
+  Buffer.contents buf
+
+let write_file path ms =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ms))

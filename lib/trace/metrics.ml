@@ -1,0 +1,78 @@
+(* Per-launch profiler metrics: a snapshot of the full event-counter set
+   of one kernel launch plus the occupancy result, the framework's
+   shared-memory addressing mode, and the simulated kernel time.
+
+   These records are what lets the profiler confirm the paper's three
+   performance stories mechanistically: FT shows
+   [m_smem_bank_conflict_extra > 0] only under the 32-bit addressing
+   mode, and cfd shows the 0.375 vs 0.469 occupancy split. *)
+
+type t = {
+  m_kernel : string;
+  m_framework : string;          (* framework profile name, e.g. "CUDA" *)
+  m_device : string;             (* hardware name *)
+  m_addressing : string;         (* "32-bit" or "64-bit" smem mode *)
+  m_smem_word : int;             (* bank word in bytes: 4 or 8 *)
+  m_sim_start_ns : float;        (* simulated clock at launch *)
+  m_sim_ns : float;              (* simulated kernel time, ns *)
+  m_block_threads : int;
+  m_n_blocks : int;
+  (* occupancy result *)
+  m_occupancy : float;
+  m_active_blocks : int;
+  m_regs_per_thread : int;
+  m_smem_per_block : int;
+  m_limited_by : string;
+  (* full Counters.t snapshot *)
+  m_n_items : int;
+  m_n_groups : int;
+  m_ops_int : int;
+  m_ops_float : int;
+  m_ops_double : int;
+  m_ops_special : int;
+  m_ops_branch : int;
+  m_barriers : int;
+  m_gmem_transactions : int;
+  m_gmem_accesses : int;
+  m_gmem_bytes : int;
+  m_smem_transactions : int;
+  m_smem_accesses : int;
+  m_smem_bank_conflict_extra : int;
+  m_private_accesses : int;
+}
+
+let total_ops m =
+  m.m_ops_int + m.m_ops_float + m.m_ops_double + m.m_ops_special
+  + m.m_ops_branch
+
+(* Stable field order shared by the CSV exporter and its header. *)
+let fields (m : t) : (string * string) list =
+  [ ("kernel", m.m_kernel);
+    ("framework", m.m_framework);
+    ("device", m.m_device);
+    ("addressing", m.m_addressing);
+    ("smem_word", string_of_int m.m_smem_word);
+    ("sim_start_ns", Printf.sprintf "%.1f" m.m_sim_start_ns);
+    ("sim_ns", Printf.sprintf "%.1f" m.m_sim_ns);
+    ("block_threads", string_of_int m.m_block_threads);
+    ("n_blocks", string_of_int m.m_n_blocks);
+    ("occupancy", Printf.sprintf "%.3f" m.m_occupancy);
+    ("active_blocks", string_of_int m.m_active_blocks);
+    ("regs_per_thread", string_of_int m.m_regs_per_thread);
+    ("smem_per_block", string_of_int m.m_smem_per_block);
+    ("limited_by", m.m_limited_by);
+    ("n_items", string_of_int m.m_n_items);
+    ("n_groups", string_of_int m.m_n_groups);
+    ("ops_int", string_of_int m.m_ops_int);
+    ("ops_float", string_of_int m.m_ops_float);
+    ("ops_double", string_of_int m.m_ops_double);
+    ("ops_special", string_of_int m.m_ops_special);
+    ("ops_branch", string_of_int m.m_ops_branch);
+    ("barriers", string_of_int m.m_barriers);
+    ("gmem_transactions", string_of_int m.m_gmem_transactions);
+    ("gmem_accesses", string_of_int m.m_gmem_accesses);
+    ("gmem_bytes", string_of_int m.m_gmem_bytes);
+    ("smem_transactions", string_of_int m.m_smem_transactions);
+    ("smem_accesses", string_of_int m.m_smem_accesses);
+    ("smem_bank_conflict_extra", string_of_int m.m_smem_bank_conflict_extra);
+    ("private_accesses", string_of_int m.m_private_accesses) ]

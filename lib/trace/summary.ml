@@ -1,0 +1,196 @@
+(* nvprof-style summary: aggregate spans by name into the two familiar
+   sections —
+
+     ==<label>== Profiling result:
+                 Type  Time(%)      Time  Calls       Avg       Min       Max  Name
+      GPU activities:   ...
+            API calls:   ...
+
+   Times are simulated nanoseconds (pretty-printed with unit scaling);
+   percentages are within each section.  Also computes the wrapper
+   amplification table: for every wrapper span, how many API spans it
+   directly fans out into — the deviceQuery story in one table. *)
+
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_total_ns : float;
+  r_min_ns : float;
+  r_max_ns : float;
+}
+
+let r_avg_ns r = if r.r_calls = 0 then 0.0 else r.r_total_ns /. float_of_int r.r_calls
+
+let rows_of (spans : Event.span list) : row list =
+  let tbl : (string, row) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+       let d = Event.duration_ns sp in
+       let name = sp.Event.sp_name in
+       match Hashtbl.find_opt tbl name with
+       | None ->
+         Hashtbl.replace tbl name
+           { r_name = name; r_calls = 1; r_total_ns = d;
+             r_min_ns = d; r_max_ns = d }
+       | Some r ->
+         Hashtbl.replace tbl name
+           { r with
+             r_calls = r.r_calls + 1;
+             r_total_ns = r.r_total_ns +. d;
+             r_min_ns = Float.min r.r_min_ns d;
+             r_max_ns = Float.max r.r_max_ns d })
+    spans;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> compare b.r_total_ns a.r_total_ns)
+
+let pp_time ns =
+  let abs = Float.abs ns in
+  if abs >= 1e9 then Printf.sprintf "%.4fs" (ns /. 1e9)
+  else if abs >= 1e6 then Printf.sprintf "%.3fms" (ns /. 1e6)
+  else if abs >= 1e3 then Printf.sprintf "%.3fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let section buf ~header rows =
+  let total = List.fold_left (fun a r -> a +. r.r_total_ns) 0.0 rows in
+  List.iteri
+    (fun i r ->
+       let pct = if total > 0.0 then 100.0 *. r.r_total_ns /. total else 0.0 in
+       Buffer.add_string buf
+         (Printf.sprintf "%20s  %6.2f%%  %9s  %5d  %9s  %9s  %9s  %s\n"
+            (if i = 0 then header else "")
+            pct (pp_time r.r_total_ns) r.r_calls (pp_time (r_avg_ns r))
+            (pp_time r.r_min_ns) (pp_time r.r_max_ns) r.r_name))
+    rows
+
+let to_string ?(label = "oclcu") (spans : Event.span list) : string =
+  let gpu, api =
+    List.partition (fun sp -> Event.is_gpu_activity sp.Event.sp_cat) spans
+  in
+  (* The API-call section reports top-level calls only: a wrapper span's
+     nested target-API spans are its mechanism, not extra user-visible
+     calls, and counting both would double-book the timeline.  The
+     nested view lives in the amplification table. *)
+  let api_ids = Hashtbl.create 256 in
+  List.iter (fun sp -> Hashtbl.replace api_ids sp.Event.sp_id ()) api;
+  let api_top =
+    List.filter (fun sp -> not (Hashtbl.mem api_ids sp.Event.sp_parent)) api
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "==%s== Profiling result:\n" label);
+  Buffer.add_string buf
+    (Printf.sprintf "%20s  %7s  %9s  %5s  %9s  %9s  %9s  %s\n" "Type"
+       "Time(%)" "Time" "Calls" "Avg" "Min" "Max" "Name");
+  if gpu <> [] then section buf ~header:"GPU activities:" (rows_of gpu);
+  if api_top <> [] then section buf ~header:"API calls:" (rows_of api_top);
+  if gpu = [] && api_top = [] then
+    Buffer.add_string buf "  (no events recorded)\n";
+  Buffer.contents buf
+
+(* --- wrapper amplification -------------------------------------------
+
+   For each wrapper-category span, count the API spans it directly
+   encloses.  Returns (wrapper name, wrapper calls, total nested API
+   calls, nested API call names with counts), sorted by fan-out. *)
+
+type amplification = {
+  a_wrapper : string;
+  a_calls : int;                       (* wrapper invocations *)
+  a_api_calls : int;                   (* nested API calls, all invocations *)
+  a_breakdown : (string * int) list;   (* nested API name -> count *)
+}
+
+let fan_out a =
+  if a.a_calls = 0 then 0.0
+  else float_of_int a.a_api_calls /. float_of_int a.a_calls
+
+let amplifications (spans : Event.span list) : amplification list =
+  let wrappers = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+       if sp.Event.sp_cat = Event.Wrapper then
+         Hashtbl.replace wrappers sp.Event.sp_id sp.Event.sp_name)
+    spans;
+  let acc : (string, int * (string, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let bump_calls name =
+    let calls, kids =
+      match Hashtbl.find_opt acc name with
+      | Some v -> v
+      | None -> (0, Hashtbl.create 8)
+    in
+    Hashtbl.replace acc name (calls + 1, kids)
+  in
+  let bump_child wname cname =
+    let calls, kids =
+      match Hashtbl.find_opt acc wname with
+      | Some v -> v
+      | None -> (0, Hashtbl.create 8)
+    in
+    Hashtbl.replace kids cname
+      (1 + Option.value ~default:0 (Hashtbl.find_opt kids cname));
+    Hashtbl.replace acc wname (calls, kids)
+  in
+  List.iter
+    (fun sp ->
+       if sp.Event.sp_cat = Event.Wrapper then bump_calls sp.Event.sp_name;
+       if sp.Event.sp_cat = Event.Api then
+         match Hashtbl.find_opt wrappers sp.Event.sp_parent with
+         | Some wname -> bump_child wname sp.Event.sp_name
+         | None -> ())
+    spans;
+  Hashtbl.fold
+    (fun wname (calls, kids) out ->
+       let breakdown =
+         Hashtbl.fold (fun k v l -> (k, v) :: l) kids []
+         |> List.sort (fun (_, a) (_, b) -> compare b a)
+       in
+       let api_calls = List.fold_left (fun a (_, n) -> a + n) 0 breakdown in
+       { a_wrapper = wname; a_calls = calls; a_api_calls = api_calls;
+         a_breakdown = breakdown }
+       :: out)
+    acc []
+  |> List.sort (fun a b -> compare (fan_out b) (fan_out a))
+
+let amplification_to_string (amps : amplification list) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Wrapper amplification (source call -> target API calls):\n";
+  if amps = [] then Buffer.add_string buf "  (no wrapper spans recorded)\n"
+  else
+    List.iter
+      (fun a ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-28s %5d calls -> %5d API calls (x%.1f)\n"
+              a.a_wrapper a.a_calls a.a_api_calls (fan_out a));
+         List.iter
+           (fun (name, n) ->
+              Buffer.add_string buf (Printf.sprintf "      %5d  %s\n" n name))
+           a.a_breakdown)
+      amps;
+  Buffer.contents buf
+
+(* --- per-kernel metrics table ---------------------------------------- *)
+
+let metrics_to_string (ms : Metrics.t list) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Kernel metrics:\n";
+  if ms = [] then Buffer.add_string buf "  (no kernel launches recorded)\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %-22s %-10s %-7s %6s %6s %9s %11s %11s %9s %10s\n"
+         "Kernel" "Framework" "Addr" "Block" "Occ" "Limit" "gmem_txn"
+         "smem_txn" "conflicts" "Time");
+    List.iter
+      (fun (m : Metrics.t) ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "  %-22s %-10s %-7s %6d %6.3f %9s %11d %11d %9d %10s\n"
+              m.Metrics.m_kernel m.Metrics.m_framework m.Metrics.m_addressing
+              m.Metrics.m_block_threads m.Metrics.m_occupancy
+              m.Metrics.m_limited_by m.Metrics.m_gmem_transactions
+              m.Metrics.m_smem_transactions
+              m.Metrics.m_smem_bank_conflict_extra
+              (pp_time m.Metrics.m_sim_ns)))
+      ms
+  end;
+  Buffer.contents buf

@@ -785,6 +785,8 @@ let is_device_fn f =
   | FK_host_device -> true    (* emitted on both sides *)
 
 let translate (cuda : Minic.Ast.program) : result =
+  Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:cuda-to-ocl"
+  @@ fun () ->
   let cuda = specialize_templates cuda in
   (* partition *)
   let textures =
@@ -897,6 +899,9 @@ let translate (cuda : Minic.Ast.program) : result =
 
 (* Source-to-source entry point: main.cu -> (main.cu.cl, main.cu.cpp). *)
 let translate_source (src : string) : result =
+  Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:cuda-to-ocl:source"
+    ~args:[ ("bytes", string_of_int (String.length src)) ]
+  @@ fun () ->
   let cuda = Minic.Parser.program ~dialect:Minic.Parser.Cuda src in
   translate cuda
 

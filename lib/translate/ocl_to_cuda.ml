@@ -419,6 +419,8 @@ let lower_helper used_wide (f : func) : func =
 (* --- whole-program translation ---------------------------------------- *)
 
 let translate (ocl : Minic.Ast.program) : result =
+  Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:ocl-to-cuda"
+  @@ fun () ->
   let used_wide = ref [] in
   let infos = ref [] in
   let needs_shared_pool = ref false in
@@ -469,6 +471,9 @@ let translate (ocl : Minic.Ast.program) : result =
 
 (* Source-to-source entry point: kernel.cl -> kernel.cl.cu (Fig. 2). *)
 let translate_source (src : string) : string * result =
+  Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:ocl-to-cuda:source"
+    ~args:[ ("bytes", string_of_int (String.length src)) ]
+  @@ fun () ->
   let ocl = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
   let r = translate ocl in
   (Minic.Pretty.program_str Minic.Pretty.Cuda r.cuda_prog, r)
