@@ -6,7 +6,7 @@
      dune exec bench/main.exe fig7a      -- one experiment
      (table1 table2 fig7a fig7b fig7c fig8a fig8b table3
       ablation-banks ablation-occupancy wrappers svm analyze smoke
-      bechamel)
+      backends bechamel)
 
    Times are simulated nanoseconds from the GPU model; figures print the
    same normalised series as the paper's charts.  Besides the tables, a
@@ -580,8 +580,67 @@ let analyze () =
     elapsed
 
 (* ------------------------------------------------------------------ *)
-(* Smoke: tracing pipeline end-to-end                                  *)
+(* Smoke: tracing pipeline end-to-end + perf-regression gate           *)
 (* ------------------------------------------------------------------ *)
+
+(* Perf-regression gate: recompute the fig7a ratios fresh and compare
+   their geomean against the committed BENCH_results.json baseline.
+   The ratios are simulated-time quotients, so they are deterministic
+   and backend-independent; the tolerance only absorbs float noise.  A
+   drift beyond it means a change altered the performance model. *)
+let regression_rtol = 0.01
+
+let regression_gate () =
+  let path = "BENCH_results.json" in
+  let baseline =
+    if not (Sys.file_exists path) then None
+    else
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match J.of_string s with
+      | doc ->
+        Option.bind (J.member "experiments" doc) (fun e ->
+            Option.bind (J.member "fig7a" e) (J.member "geomean_xlat_cuda"))
+      | exception _ -> None
+  in
+  match baseline with
+  | None | Some J.Null ->
+    Printf.printf "regression gate: no fig7a baseline in %s; skipped\n" path
+  | Some b ->
+    let baseline =
+      match b with
+      | J.Float f -> f
+      | J.Int i -> float_of_int i
+      | _ -> nan
+    in
+    let fresh =
+      geomean
+        (List.filter_map
+           (fun (a : ocl_app) ->
+              let native = run_app_native a () in
+              let on_cuda = run_app_on_cuda a () in
+              if outputs_agree native.r_output on_cuda.r_output then
+                Some (on_cuda.r_time_ns /. native.r_time_ns)
+              else None)
+           Suite.Registry.rodinia_opencl)
+    in
+    let drift = abs_float (fresh -. baseline) /. baseline in
+    Printf.printf
+      "regression gate: fig7a geomean %.4f vs baseline %.4f (drift %.2f%%, \
+       tolerance %.0f%%)\n"
+      fresh baseline (100.0 *. drift) (100.0 *. regression_rtol);
+    record "regression-gate"
+      (J.Obj
+         [ ("fig7a_geomean_fresh", J.Float fresh);
+           ("fig7a_geomean_baseline", J.Float baseline);
+           ("drift", J.Float drift);
+           ("tolerance", J.Float regression_rtol) ]);
+    if not (drift <= regression_rtol) then begin
+      Printf.printf
+        "regression gate FAILED: fig7a geomean drifted beyond tolerance\n";
+      exit 1
+    end
 
 let smoke () =
   header "Smoke: tracing (one app per suite, Chrome trace validated)";
@@ -626,7 +685,8 @@ let smoke () =
                         ("spans", J.Int (List.length spans)) ])
                  runs));
            ("chrome_events", J.Int n_events);
-           ("valid", J.Bool true) ])
+           ("valid", J.Bool true) ]);
+    regression_gate ()
   | Error e ->
     Printf.printf "chrome trace INVALID: %s\n" e;
     record "smoke" (J.Obj [ ("valid", J.Bool false); ("error", J.Str e) ]);
@@ -734,6 +794,76 @@ let bechamel () =
           (match overhead with Some p -> J.Float p | None -> J.Null)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Backends: interpreter vs closure-compiled execution                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock comparison of the two kernel-execution backends on one
+   representative pipeline per figure.  Simulated times (and thus every
+   ratio above) are identical under both; only host wall time moves. *)
+let backends () =
+  header "Backends: AST interpreter vs closure-compiled (wall clock)";
+  let time_under b f =
+    let saved = !Gpusim.Exec.backend in
+    Gpusim.Exec.backend := b;
+    Fun.protect
+      ~finally:(fun () -> Gpusim.Exec.backend := saved)
+      (fun () ->
+         ignore (f ()); (* warm the build and compile caches *)
+         let n = 3 in
+         let t0 = Sys.time () in
+         for _ = 1 to n do ignore (f ()) done;
+         (Sys.time () -. t0) /. float_of_int n)
+  in
+  let ocl_head apps = List.hd apps in
+  let workloads =
+    [ ("fig7a.rodinia-wrapped",
+       fun () -> run_app_on_cuda (ocl_head Suite.Registry.rodinia_opencl) ());
+      ("fig7b.npb-wrapped",
+       fun () -> run_app_on_cuda (ocl_head Suite.Registry.npb_opencl) ());
+      ("fig7c.toolkit-wrapped",
+       fun () -> run_app_on_cuda (ocl_head Suite.Registry.toolkit_opencl) ());
+      ("fig8a.rodinia-native-cuda",
+       fun () ->
+         run_cuda_native (List.hd Suite.Registry.rodinia_cuda).Suite.Registry.cu_src);
+      ("fig8b.toolkit-translated",
+       let c =
+         List.find
+           (fun (c : Suite.Registry.cuda_app) -> c.cu_name = "vectorAdd")
+           Suite.Registry.all_cuda
+       in
+       match translate_cuda c.cu_src with
+       | Translated res -> fun () -> run_translated_cuda res
+       | Failed _ -> fun () -> run_cuda_native c.cu_src) ]
+  in
+  Printf.printf "%-28s %12s %12s %9s\n" "pipeline" "interp (s)"
+    "compiled (s)" "speedup";
+  let rows =
+    List.map
+      (fun (name, f) ->
+         let ti = time_under Gpusim.Exec.Interp f in
+         let tc = time_under Gpusim.Exec.Compiled f in
+         let speedup = ti /. tc in
+         Printf.printf "%-28s %12.4f %12.4f %8.2fx\n%!" name ti tc speedup;
+         (name, ti, tc, speedup))
+      workloads
+  in
+  let speedups = List.map (fun (_, _, _, s) -> s) rows in
+  Printf.printf "%-28s %12s %12s %8.2fx\n" "geomean" "" "" (geomean speedups);
+  record "backends"
+    (J.Obj
+       [ ("rows",
+          J.List
+            (List.map
+               (fun (name, ti, tc, s) ->
+                  J.Obj
+                    [ ("pipeline", J.Str name);
+                      ("interp_s", J.Float ti);
+                      ("compiled_s", J.Float tc);
+                      ("speedup", J.Float s) ])
+               rows));
+         ("geomean_speedup", J.Float (geomean speedups)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,6 +877,7 @@ let experiments =
     ("svm", svm);
     ("analyze", analyze);
     ("smoke", smoke);
+    ("backends", backends);
     ("bechamel", bechamel) ]
 
 let () =

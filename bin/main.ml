@@ -282,8 +282,20 @@ let run_cmd =
              ~doc:"Print an nvprof-style profile (GPU activities / API \
                    calls, per-kernel metrics) after the run")
   in
-  let run input device trace profile =
+  let backend =
+    let backend_conv =
+      Arg.enum
+        [ ("compiled", Gpusim.Exec.Compiled); ("interp", Gpusim.Exec.Interp) ]
+    in
+    Arg.(value & opt backend_conv !Gpusim.Exec.backend
+         & info [ "backend" ]
+             ~doc:"Kernel execution backend: $(b,compiled) (closure-compiled, \
+                   the default) or $(b,interp) (AST interpreter); the \
+                   $(b,OCLCU_BACKEND) environment variable sets the default")
+  in
+  let run input device trace profile backend =
     catching_sys_error @@ fun () ->
+    Gpusim.Exec.backend := backend;
     let src = read_file input in
     let tracing = trace <> None || profile in
     let execute () =
@@ -335,7 +347,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a CUDA program on a simulated device")
-    Term.(ret (const run $ input $ device $ trace_arg $ profile))
+    Term.(ret (const run $ input $ device $ trace_arg $ profile $ backend))
 
 (* --- prof --------------------------------------------------------------- *)
 
@@ -433,6 +445,19 @@ let prof_cmd =
            if i > 0 then print_newline ();
            print_profile tr)
         runs;
+      (match
+         List.filter
+           (fun (_, hits, misses) -> hits + misses > 0)
+           (Trace.Build_cache.all_stats ())
+       with
+       | [] -> ()
+       | used ->
+         print_newline ();
+         print_endline "==  Build caches";
+         List.iter
+           (fun (name, hits, misses) ->
+              Printf.printf "%-28s %d hit(s), %d miss(es)\n" name hits misses)
+           used);
       (match trace with
        | Some path ->
          Trace.Chrome.write_file path (chrome_runs runs);

@@ -90,12 +90,25 @@ type translation_outcome =
   | Translated of Xlat.Cuda_to_ocl.result
   | Failed of Xlat.Feature.finding list
 
+(* Outcomes keyed by source digest plus the options that change the
+   result (texture geometry and OpenCL target version). *)
+let translate_cache : translation_outcome Trace.Build_cache.t =
+  Trace.Build_cache.create "cuda->ocl translate"
+
 (* Feature check (Table 3) then source-to-source translation.
    [cl_target] selects the OpenCL version the translation targets; under
    CL20, unified-virtual-address-space programs translate via shared
    virtual memory (the paper's anticipated extension, §3.7). *)
 let translate_cuda ?(tex1d_texels = None) ?(cl_target = Xlat.Feature.CL12)
     (src : string) : translation_outcome =
+  let opts =
+    Printf.sprintf ";tex1d=%s;target=%s"
+      (match tex1d_texels with None -> "-" | Some n -> string_of_int n)
+      (match cl_target with Xlat.Feature.CL12 -> "cl12" | CL20 -> "cl20")
+  in
+  Trace.Build_cache.find_or_build translate_cache
+    ~key:(Trace.Build_cache.key src ^ opts)
+  @@ fun () ->
   let prog =
     match Minic.Parser.program ~dialect:Minic.Parser.Cuda src with
     | p -> Some p

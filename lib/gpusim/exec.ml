@@ -204,6 +204,52 @@ let uint3 a =
              VInt (Int64.of_int a.(2)) |])
     (TVec (UInt, 3))
 
+(* ------------------------------------------------------------------ *)
+(* Backend selection: closure-compiled VM (default) vs tree-walking    *)
+(* interpreter (OCLCU_BACKEND=interp, for differential testing)        *)
+(* ------------------------------------------------------------------ *)
+
+type backend = Interp | Compiled
+
+let backend_of_string = function
+  | "interp" | "interpreter" -> Some Interp
+  | "compiled" | "compile" | "closure" -> Some Compiled
+  | _ -> None
+
+let backend =
+  ref
+    (match Sys.getenv_opt "OCLCU_BACKEND" with
+     | Some s -> (match backend_of_string s with Some b -> b | None -> Compiled)
+     | None -> Compiled)
+
+(* Types of the launcher-provided rvalue specials, for compile-time
+   member resolution; must list the same names as [special_ident]. *)
+let special_ty = function
+  | "threadIdx" | "blockIdx" | "blockDim" | "gridDim" ->
+    Some (TVec (UInt, 3))
+  | "warpSize" | "CLK_LOCAL_MEM_FENCE" | "CLK_GLOBAL_MEM_FENCE" ->
+    Some (TScalar Int)
+  | _ -> None
+
+(* Compiled programs, keyed by physical identity of the module AST: the
+   build pipelines return a shared AST for a loaded module (and the
+   build cache shares it across contexts), so each module compiles once
+   per process.  Bounded; structural hashing of whole ASTs would defeat
+   the point. *)
+let compiled_cache : (Minic.Ast.program * Vm.Compile.program) list ref = ref []
+let compiled_cache_limit = 16
+
+let compiled_for prog =
+  match List.find_opt (fun (p, _) -> p == prog) !compiled_cache with
+  | Some (_, cp) -> cp
+  | None ->
+    let cp = Vm.Compile.make ~special_ty prog in
+    let rest =
+      List.filteri (fun i _ -> i < compiled_cache_limit - 1) !compiled_cache
+    in
+    compiled_cache := (prog, cp) :: rest;
+    cp
+
 (* Launch a kernel on a device.
 
    [prog] is the loaded device module (kernels + helpers + globals);
@@ -235,6 +281,21 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   (* mutable per-item view: (global_id, local_id, group_id, _) *)
   let cur = ref ([| 0; 0; 0 |], [| 0; 0; 0 |], [| 0; 0; 0 |], [| 0 |]) in
   let cur_item = ref 0 in
+  (* special-identifier values, pre-built instead of re-allocated on
+     every read: threadIdx depends only on the linear item id, blockDim
+     and gridDim are launch constants, blockIdx is set once per group *)
+  let lid_arrs =
+    Array.init group_threads (fun lid ->
+        [| lid mod lx; lid mod (lx * ly) / lx; lid / (lx * ly) |])
+  in
+  let tid_tvs = Array.map uint3 lid_arrs in
+  let bdim_tv = uint3 local_size in
+  let gdim_tv = uint3 num_groups in
+  let warp_tv = Vm.Interp.tint warp in
+  let clk_local_tv = Vm.Interp.tint 1 in
+  let clk_global_tv = Vm.Interp.tint 2 in
+  let cur_tid = ref bdim_tv in
+  let cur_bid = ref bdim_tv in
 
   (* arenas *)
   let local_arena = Vm.Memory.create ~initial:8192 "local" in
@@ -263,15 +324,14 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   let on_op cls = Counters.record_op counters cls in
 
   let special_ident name =
-    let _, lid, grp, _ = !cur in
     match name with
-    | "threadIdx" -> Some (uint3 lid)
-    | "blockIdx" -> Some (uint3 grp)
-    | "blockDim" -> Some (uint3 local_size)
-    | "gridDim" -> Some (uint3 num_groups)
-    | "warpSize" -> Some (Vm.Interp.tint warp)
-    | "CLK_LOCAL_MEM_FENCE" -> Some (Vm.Interp.tint 1)
-    | "CLK_GLOBAL_MEM_FENCE" -> Some (Vm.Interp.tint 2)
+    | "threadIdx" -> Some !cur_tid
+    | "blockIdx" -> Some !cur_bid
+    | "blockDim" -> Some bdim_tv
+    | "gridDim" -> Some gdim_tv
+    | "warpSize" -> Some warp_tv
+    | "CLK_LOCAL_MEM_FENCE" -> Some clk_local_tv
+    | "CLK_GLOBAL_MEM_FENCE" -> Some clk_global_tv
     | _ -> None
   in
 
@@ -296,6 +356,19 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   let base_ctx =
     Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access ~on_op
       ~stack_space:AS_private ~globals ()
+  in
+  (* the kernel compiles once per loaded module and is reused across all
+     work-items, work-groups and launches *)
+  let compiled = match !backend with
+    | Compiled -> Some (compiled_for prog)
+    | Interp -> None
+  in
+  (* resolve the kernel's compiled form once; the per-item path is then
+     a bare closure application *)
+  let compiled_kernel =
+    match compiled with
+    | Some cp -> Some (Vm.Compile.prepare cp kernel)
+    | None -> None
   in
 
   (* file-scope [extern __shared__ char pool[]] declarations (the
@@ -334,34 +407,44 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
                   (TPtr (TQual (AS_local, TScalar Char))))
             args
         in
-        let make_item lid_lin =
-          let tz = lid_lin / (lx * ly) in
-          let ty_ = lid_lin mod (lx * ly) / lx in
-          let tx = lid_lin mod lx in
-          fun () ->
-            cur_item := lid_lin;
-            Vm.Memory.reset private_pool.(lid_lin);
-            cur :=
-              ( [| (bx * lx) + tx; (by * ly) + ty_; (bz * lz) + tz |],
-                [| tx; ty_; tz |],
-                [| bx; by; bz |],
-                [| 0 |] );
-            let ctx =
-              { base_ctx with
-                Vm.Interp.scopes = [];
-                group_locals = Some group_locals }
-            in
+        let args_arr = Array.of_list resolved_args in
+        let grp_arr = [| bx; by; bz |] in
+        let bid_tv = uint3 grp_arr in
+        let set_cur lid_lin =
+          cur_item := lid_lin;
+          let lid = lid_arrs.(lid_lin) in
+          cur :=
+            ( [| (bx * lx) + lid.(0); (by * ly) + lid.(1);
+                 (bz * lz) + lid.(2) |],
+              lid, grp_arr, [| 0 |] );
+          cur_tid := tid_tvs.(lid_lin);
+          cur_bid := bid_tv
+        in
+        let make_item lid_lin () =
+          set_cur lid_lin;
+          Vm.Memory.reset private_pool.(lid_lin);
+          let ctx =
+            { base_ctx with
+              Vm.Interp.scopes = [];
+              group_locals = Some group_locals }
+          in
+          (* the compiled backend binds locals in frame slots, so the
+             item scope only exists to hold the $dynshared aliases *)
+          if compiled = None || dynshared_addr <> None then begin
             Vm.Interp.push_scope ctx;
-            (match dynshared_addr with
-             | Some addr ->
-               let b =
-                 { Vm.Interp.b_space = AS_local; b_addr = addr;
-                   b_ty = TArr (TScalar Char, None) }
-               in
-               Vm.Interp.bind_raw ctx "$dynshared" b;
-               List.iter (fun n -> Vm.Interp.bind_raw ctx n b) extern_shared_names
-             | None -> ());
-            ignore (Vm.Interp.call_function ctx kernel resolved_args)
+            match dynshared_addr with
+            | Some addr ->
+              let b =
+                { Vm.Interp.b_space = AS_local; b_addr = addr;
+                  b_ty = TArr (TScalar Char, None) }
+              in
+              Vm.Interp.bind_raw ctx "$dynshared" b;
+              List.iter (fun n -> Vm.Interp.bind_raw ctx n b) extern_shared_names
+            | None -> ()
+          end;
+          (match compiled_kernel with
+           | Some f -> ignore (f ctx args_arr)
+           | None -> ignore (Vm.Interp.call_function ctx kernel resolved_args))
         in
         (* cooperative scheduling: run items, parking at barriers *)
         let waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t =
@@ -390,16 +473,8 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
           let n = Queue.length waiting in
           for _ = 1 to n do
             let lid, k = Queue.pop waiting in
-            cur_item := lid;
             (* restore this item's index view *)
-            let tz = lid / (lx * ly) in
-            let ty_ = lid mod (lx * ly) / lx in
-            let tx = lid mod lx in
-            cur :=
-              ( [| (bx * lx) + tx; (by * ly) + ty_; (bz * lz) + tz |],
-                [| tx; ty_; tz |],
-                [| bx; by; bz |],
-                [| 0 |] );
+            set_cur lid;
             Effect.Deep.continue k ()
           done
         done;

@@ -22,6 +22,19 @@ type config = {
   dyn_shared : int;         (** CUDA [<<< , , n >>>] extra shared bytes *)
 }
 
+(** Kernel execution backend.  [Compiled] (the default) lowers each
+    loaded module once with {!Vm.Compile} and reuses the closures across
+    all work-items and launches; [Interp] re-walks the AST per work-item.
+    Both produce identical results and identical {!Counters.t}. *)
+type backend = Interp | Compiled
+
+(** Parse a backend name ("interp" / "compiled"); [None] if unknown. *)
+val backend_of_string : string -> backend option
+
+(** The active backend.  Initialised from [OCLCU_BACKEND] ("interp"
+    selects the interpreter); [oclcu run --backend] also sets it. *)
+val backend : backend ref
+
 val dim3_of : int array -> int -> int
 
 type launch_stats = {

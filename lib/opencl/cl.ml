@@ -338,27 +338,44 @@ let materialize_globals cl ast globals =
     (fun name b -> Hashtbl.replace cl.dev.Gpusim.Device.symbols name b)
     globals
 
+(* Parse + analysis results keyed by source digest.  Returning the same
+   AST for the same source also lets Gpusim.Exec reuse its compiled form
+   across contexts (its cache is keyed by AST identity). *)
+let parse_cache : (Minic.Ast.program * string list) Trace.Build_cache.t =
+  Trace.Build_cache.create "clBuildProgram parse"
+
 let build_program cl (p : program) =
   traced cl ~cat:Trace.Event.Build "clBuildProgram"
     ~args:[ ("bytes", string_of_int (String.length p.p_src)) ]
   @@ fun () ->
   api cl;
   cl.build_count <- cl.build_count + 1;
+  let warn = !Xlat_analysis.Checks.pipeline_warnings in
   (match
-     Minic.Parser.program ~dialect:Minic.Parser.OpenCL p.p_src
+     Trace.Build_cache.find_or_build parse_cache
+       ~key:(Trace.Build_cache.key p.p_src ^ if warn then "+w" else "")
+       (fun () ->
+          let ast = Minic.Parser.program ~dialect:Minic.Parser.OpenCL p.p_src in
+          let warnings =
+            if warn then
+              List.map
+                (fun d ->
+                   Printf.sprintf "clBuildProgram warning: %s"
+                     (Xlat_analysis.Diag.to_string d))
+                (Xlat_analysis.Checks.analyze_program ast)
+            else []
+          in
+          (ast, warnings))
    with
-   | ast ->
+   | ast, warnings ->
      p.p_ast <- Some ast;
-     if !Xlat_analysis.Checks.pipeline_warnings then
-       List.iter
-         (fun d ->
-            let line =
-              Printf.sprintf "clBuildProgram warning: %s"
-                (Xlat_analysis.Diag.to_string d)
-            in
-            p.p_log <- p.p_log ^ line ^ "\n";
-            prerr_endline line)
-         (Xlat_analysis.Checks.analyze_program ast);
+     List.iter
+       (fun line ->
+          p.p_log <- p.p_log ^ line ^ "\n";
+          prerr_endline line)
+       warnings;
+     (* a cache hit skips the parse, not the per-context device state or
+        the simulated build time: figure shapes are unchanged *)
      materialize_globals cl ast p.p_globals;
      Gpusim.Device.add_time cl.dev
        (cl.dev.Gpusim.Device.fw.build_ns_per_byte

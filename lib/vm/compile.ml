@@ -1,0 +1,1189 @@
+(* Closure-compilation backend for Mini-C device code.
+
+   [make] lowers a program once into OCaml closures: variable references
+   become pre-computed frame-slot accesses, call targets are resolved at
+   compile time, counter-neutral constant subexpressions are folded and
+   vector swizzle selectors become int arrays.  The compiled form is
+   reused across all work-items, work-groups and launches.
+
+   The observable semantics — results, memory traffic reported through
+   [on_access], operation counts through [on_op], and the barrier
+   effect — must match [Interp] exactly: every branch below mirrors the
+   corresponding interpreter branch, and the differential property test
+   in test/test_backend.ml checks the two backends against each other.
+
+   Compile-time failures (bad swizzles, unknown fields, ...) are never
+   raised during compilation; they are deferred into closures that raise
+   when — and only if — the offending expression is actually evaluated,
+   matching the interpreter's laziness. *)
+
+open Minic.Ast
+module I = Interp
+
+(* Per-invocation state: the interpreter context (arenas, counters,
+   externals, fallback scopes) plus the flat frame of local bindings. *)
+type env = { ectx : I.ctx; slots : I.binding array }
+
+type cexpr =
+  | Const of I.tval                (* folded: literals, casts of literals *)
+  | Dyn of (env -> I.tval)
+
+let force = function
+  | Const t -> fun _ -> t
+  | Dyn f -> f
+
+(* Runtime lvalue, like [Interp.lvalue] but with an int array swizzle. *)
+type clv =
+  | CLMem of addr_space * int * ty
+  | CLVec of addr_space * int * scalar * int array
+
+(* Compiled lvalue: [LvMem] when the producer always yields memory of a
+   statically known type (lets loads/stores specialise), else generic. *)
+type clvalue =
+  | LvMem of (env -> addr_space * int) * ty
+  | LvDyn of (env -> clv)
+
+type cfunc = {
+  cf_name : string;
+  cf_nslots : int;
+  cf_params : env -> I.tval array -> unit;
+  cf_body : env -> unit;
+}
+
+type program = {
+  cp_funcs : (string, func) Hashtbl.t;
+  cp_layout : Layout.env;
+  cp_special_ty : string -> ty option;
+  cp_global_tys : (string, ty) Hashtbl.t;
+  cp_fold : I.ctx;                 (* counter-free ctx for constant folding *)
+  cp_cache : (string, cfunc Lazy.t) Hashtbl.t;
+}
+
+(* Compile-time scope: name -> (frame slot, binding type). *)
+type sentry = { se_slot : int; se_ty : ty }
+
+type scope = {
+  st : program;
+  mutable stack : (string * sentry) list list;   (* innermost first *)
+  mutable nslots : int;
+}
+
+let push_cscope sc = sc.stack <- [] :: sc.stack
+
+let pop_cscope sc =
+  match sc.stack with
+  | _ :: rest -> sc.stack <- rest
+  | [] -> invalid_arg "Compile: scope underflow"
+
+let new_slot sc name ty =
+  let slot = sc.nslots in
+  sc.nslots <- slot + 1;
+  (match sc.stack with
+   | s :: rest -> sc.stack <- ((name, { se_slot = slot; se_ty = ty }) :: s) :: rest
+   | [] -> invalid_arg "Compile: no scope");
+  slot
+
+let lookup_local sc name =
+  let rec go = function
+    | [] -> None
+    | s :: rest ->
+      (match List.assoc_opt name s with
+       | Some e -> Some e
+       | None -> go rest)
+  in
+  go sc.stack
+
+let dummy_binding = { I.b_space = AS_none; b_addr = 0; b_ty = TScalar Void }
+
+let dyn_fail fmt = Printf.ksprintf (fun s -> Dyn (fun _ -> raise (I.Error s))) fmt
+let lv_fail fmt = Printf.ksprintf (fun s -> LvDyn (fun _ -> raise (I.Error s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Type-specialised loads and stores (mirror Interp.load / Interp.store,
+   with the Layout.resolve dispatch done once at compile time)          *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_load st ty : I.ctx -> addr_space -> int -> Value.t =
+  match Layout.resolve st.cp_layout ty with
+  | TScalar ((Float | Double) as s) ->
+    let n = scalar_size s in
+    fun ctx space addr ->
+      ctx.I.on_access Memory.Load space addr n;
+      Value.VFloat (Memory.load_float (ctx.I.arena_of space) addr n)
+  | TScalar s ->
+    let n = max 1 (scalar_size s) in
+    fun ctx space addr ->
+      ctx.I.on_access Memory.Load space addr n;
+      Value.VInt (Value.wrap_int s (Memory.load_int (ctx.I.arena_of space) addr n))
+  | TVec (s, n) ->
+    let es = scalar_size s in
+    let fl = is_float_scalar s in
+    fun ctx space addr ->
+      ctx.I.on_access Memory.Load space addr (es * n);
+      let a = ctx.I.arena_of space in
+      Value.VVec
+        (Array.init n (fun i ->
+             if fl then Value.VFloat (Memory.load_float a (addr + (i * es)) es)
+             else
+               Value.VInt
+                 (Value.wrap_int s (Memory.load_int a (addr + (i * es)) es))))
+  | TPtr _ | TRef _ | TFun _ | TTexture _ | TImage _ | TSampler ->
+    fun ctx space addr ->
+      ctx.I.on_access Memory.Load space addr 8;
+      Value.VInt (Memory.load_int (ctx.I.arena_of space) addr 8)
+  | TArr _ -> fun _ space addr -> Value.VInt (Value.make_ptr space addr)
+  | TNamed name when Layout.is_struct st.cp_layout (TNamed name) ->
+    fun _ space addr -> Value.VInt (Value.make_ptr space addr)
+  | TNamed _ ->
+    fun ctx space addr ->
+      ctx.I.on_access Memory.Load space addr 8;
+      Value.VInt (Memory.load_int (ctx.I.arena_of space) addr 8)
+  | TQual _ | TConst _ -> assert false
+
+let rec compiled_store st ty : I.ctx -> addr_space -> int -> Value.t -> unit =
+  match Layout.resolve st.cp_layout ty with
+  | TScalar ((Float | Double) as s) ->
+    let n = scalar_size s in
+    fun ctx space addr v ->
+      ctx.I.on_access Memory.Store space addr n;
+      Memory.store_float (ctx.I.arena_of space) addr n
+        (Value.round_float s (Value.to_float v))
+  | TScalar s ->
+    let n = max 1 (scalar_size s) in
+    fun ctx space addr v ->
+      ctx.I.on_access Memory.Store space addr n;
+      Memory.store_int (ctx.I.arena_of space) addr n (Value.to_int v)
+  | TVec (s, n) ->
+    let es = scalar_size s in
+    let fl = is_float_scalar s in
+    fun ctx space addr v ->
+      ctx.I.on_access Memory.Store space addr (es * n);
+      let a = ctx.I.arena_of space in
+      let comps = match v with Value.VVec c -> c | v -> Array.make n v in
+      for i = 0 to n - 1 do
+        let c = if i < Array.length comps then comps.(i) else Value.VInt 0L in
+        if fl then
+          Memory.store_float a (addr + (i * es)) es
+            (Value.round_float s (Value.to_float c))
+        else Memory.store_int a (addr + (i * es)) es (Value.to_int c)
+      done
+  | TPtr _ | TRef _ | TFun _ | TTexture _ | TImage _ | TSampler ->
+    fun ctx space addr v ->
+      ctx.I.on_access Memory.Store space addr 8;
+      Memory.store_int (ctx.I.arena_of space) addr 8 (Value.to_int v)
+  | TNamed name when Layout.is_struct st.cp_layout (TNamed name) ->
+    let size = Layout.sizeof st.cp_layout (TNamed name) in
+    fun ctx space addr v ->
+      let src = Value.to_int v in
+      let src_space = Value.ptr_space src in
+      ctx.I.on_access Memory.Load src_space (Value.ptr_offset src) size;
+      ctx.I.on_access Memory.Store space addr size;
+      Memory.blit
+        ~src:(ctx.I.arena_of src_space)
+        ~src_addr:(Value.ptr_offset src)
+        ~dst:(ctx.I.arena_of space) ~dst_addr:addr ~len:size
+  | TNamed _ ->
+    fun ctx space addr v ->
+      ctx.I.on_access Memory.Store space addr 8;
+      Memory.store_int (ctx.I.arena_of space) addr 8 (Value.to_int v)
+  | TArr (elt, _) -> compiled_store st (TPtr elt)
+  | TQual _ | TConst _ -> assert false
+
+(* Generic load/store for dynamically shaped lvalues (mirror
+   Interp.load_lvalue / Interp.store_lvalue). *)
+
+let load_clv ctx = function
+  | CLMem (sp, addr, ty) -> I.tv (I.load ctx sp addr ty) ty
+  | CLVec (sp, addr, s, idx) ->
+    let es = scalar_size s in
+    if Array.length idx = 1 then
+      I.tv (I.load ctx sp (addr + (idx.(0) * es)) (TScalar s)) (TScalar s)
+    else
+      let comps =
+        Array.map (fun i -> I.load ctx sp (addr + (i * es)) (TScalar s)) idx
+      in
+      I.tv (Value.VVec comps) (TVec (s, Array.length idx))
+
+let store_clv ctx lv (x : I.tval) =
+  match lv with
+  | CLMem (sp, addr, ty) -> I.store ctx sp addr ty x.I.v
+  | CLVec (sp, addr, s, idx) ->
+    let es = scalar_size s in
+    let comps =
+      match x.I.v with
+      | Value.VVec c -> c
+      | v -> Array.make (Array.length idx) v
+    in
+    Array.iteri
+      (fun k i ->
+         if k >= Array.length comps then
+           I.fail "vector component assignment: %d components for %d slots"
+             (Array.length comps) (Array.length idx);
+         I.store ctx sp (addr + (i * es)) (TScalar s) comps.(k))
+      idx
+
+let run_clv = function
+  | LvMem (f, ty) ->
+    fun env ->
+      let sp, addr = f env in
+      CLMem (sp, addr, ty)
+  | LvDyn f -> f
+
+let lv_load st = function
+  | LvMem (f, ty) ->
+    let cl = compiled_load st ty in
+    fun env ->
+      let sp, addr = f env in
+      I.tv (cl env.ectx sp addr) ty
+  | LvDyn f -> fun env -> load_clv env.ectx (f env)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time static types (mirror Interp.static_type)               *)
+(* ------------------------------------------------------------------ *)
+
+let rec sty sc (e : expr) : ty =
+  match e with
+  | Ident name ->
+    (match lookup_local sc name with
+     | Some se -> se.se_ty
+     | None ->
+       (match Hashtbl.find_opt sc.st.cp_global_tys name with
+        | Some t -> t
+        | None ->
+          (match sc.st.cp_special_ty name with
+           | Some t -> t
+           | None -> TScalar Int)))
+  | Index (a, _) ->
+    (match Layout.resolve sc.st.cp_layout (sty sc a) with
+     | TPtr t | TArr (t, _) -> t
+     | TVec (s, _) -> TScalar s
+     | t -> t)
+  | Unary (Deref, a) ->
+    (match Layout.resolve sc.st.cp_layout (sty sc a) with
+     | TPtr t | TArr (t, _) | TRef t -> t
+     | t -> t)
+  | Member (a, m) ->
+    (match Layout.resolve sc.st.cp_layout (sty sc a) with
+     | TVec (s, width) ->
+       (match I.vec_indices width m with
+        | Some [ _ ] -> TScalar s
+        | Some idx -> TVec (s, List.length idx)
+        | None -> TScalar s)
+     | TNamed sn ->
+       (match Layout.field_offset sc.st.cp_layout sn m with
+        | Some (_, fty) -> fty
+        | None -> TScalar Int)
+     | t -> t)
+  | Cast (t, _) | StaticCast (t, _) | ReinterpretCast (t, _) | VecLit (t, _) -> t
+  | IntLit (_, s) | FloatLit (_, s) -> TScalar s
+  | Binary (_, a, _) -> sty sc a
+  | Assign (_, a, _) -> sty sc a
+  | Cond (_, a, _) -> sty sc a
+  | Unary (_, a) -> sty sc a
+  | Call (n, _, _) ->
+    (match Hashtbl.find_opt sc.st.cp_funcs n with
+     | Some f -> f.fn_ret
+     | None -> TScalar Int)
+  | _ -> TScalar Int
+
+(* threadIdx etc. are rvalue specials; anything nameable at compile time
+   (locals, module globals) is not — mirrors Interp.is_rvalue_member. *)
+let is_rval_member sc = function
+  | Ident n ->
+    Option.is_none (lookup_local sc n)
+    && not (Hashtbl.mem sc.st.cp_global_tys n)
+    && sc.st.cp_special_ty n <> None
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar fast paths for the hot binary operators.  Each closure charges
+   exactly what [Interp.binop] charges for the same runtime operand
+   types and defers to it whenever the operands are not one of the
+   statically recognised scalar shapes.  Div/Mod stay generic (distinct
+   cost class, division-by-zero handling). *)
+let fast_binop (op : binop) : (I.ctx -> I.tval -> I.tval -> I.tval) option =
+  match op with
+  | Add | Sub | Mul | Lt | Gt | Le | Ge | Eq | Ne | Band | Bor | Bxor | Shl
+  | Shr ->
+    let cmp =
+      match op with Lt | Gt | Le | Ge | Eq | Ne -> true | _ -> false
+    in
+    Some
+      (fun ctx (x : I.tval) (y : I.tval) ->
+         match x.I.ty, y.I.ty, x.I.v, y.I.v with
+         | TScalar Int, TScalar Int, Value.VInt a, Value.VInt b ->
+           ctx.I.on_op I.Op_int;
+           let r = I.int_binop op a b ~unsigned:false in
+           I.tv (Value.VInt (if cmp then r else Value.wrap_int Int r))
+             (TScalar Int)
+         | TScalar UInt, TScalar UInt, Value.VInt a, Value.VInt b ->
+           ctx.I.on_op I.Op_int;
+           let r = I.int_binop op a b ~unsigned:true in
+           if cmp then I.tv (Value.VInt r) (TScalar Int)
+           else I.tv (Value.VInt (Value.wrap_int UInt r)) (TScalar UInt)
+         | TScalar Float, TScalar Float, Value.VFloat a, Value.VFloat b ->
+           ctx.I.on_op I.Op_float;
+           (match I.float_binop op a b with
+            | r when cmp -> I.tv r (TScalar Int)
+            | Value.VFloat f ->
+              I.tv (Value.VFloat (Value.round_float Float f)) (TScalar Float)
+            | r -> I.tv r (TScalar Float))
+         | _ -> I.binop ctx op x y)
+  | _ -> None
+
+let rec compile_expr sc (e : expr) : cexpr =
+  let st = sc.st in
+  match e with
+  | IntLit (n, s) -> Const (I.tv (Value.VInt n) (TScalar s))
+  | FloatLit (f, s) -> Const (I.tv (Value.VFloat f) (TScalar s))
+  | StrLit s ->
+    Dyn (fun env -> I.tv (Value.VInt (I.string_ptr env.ectx s)) (TPtr (TScalar Char)))
+  | Ident name ->
+    (match lookup_local sc name with
+     | Some se ->
+       let slot = se.se_slot in
+       let cl = compiled_load st se.se_ty in
+       Dyn
+         (fun env ->
+            let b = env.slots.(slot) in
+            I.tv (cl env.ectx b.I.b_space b.I.b_addr) b.I.b_ty)
+     | None ->
+       (* free name: module global, $dynshared alias or special; resolve
+          through the runtime context exactly like the interpreter *)
+       Dyn
+         (fun env ->
+            let ctx = env.ectx in
+            match I.lookup ctx name with
+            | Some b -> I.tv (I.load ctx b.I.b_space b.I.b_addr b.I.b_ty) b.I.b_ty
+            | None ->
+              (match ctx.I.special_ident name with
+               | Some t -> t
+               | None -> I.fail "unbound identifier %s" name)))
+  | Unary (Neg, a) ->
+    let ca = force (compile_expr_safe sc a) in
+    Dyn
+      (fun env ->
+         let x = ca env in
+         env.ectx.I.on_op
+           (if I.is_float_ty env.ectx x.I.ty then I.Op_float else I.Op_int);
+         match x.I.v with
+         | Value.VFloat f -> I.tv (Value.VFloat (-.f)) x.I.ty
+         | Value.VInt n -> I.tv (Value.VInt (Int64.neg n)) x.I.ty
+         | Value.VVec c ->
+           I.tv
+             (Value.VVec
+                (Array.map
+                   (function
+                     | Value.VFloat f -> Value.VFloat (-.f)
+                     | Value.VInt n -> Value.VInt (Int64.neg n)
+                     | v -> v)
+                   c))
+             x.I.ty
+         | Value.VUnit -> I.fail "negating unit")
+  | Unary (Lnot, a) ->
+    let ca = force (compile_expr_safe sc a) in
+    Dyn
+      (fun env ->
+         let x = ca env in
+         env.ectx.I.on_op I.Op_int;
+         I.tv (Value.of_bool (not (Value.to_bool x.I.v))) (TScalar Int))
+  | Unary (Bnot, a) ->
+    let ca = force (compile_expr_safe sc a) in
+    Dyn
+      (fun env ->
+         let x = ca env in
+         env.ectx.I.on_op I.Op_int;
+         I.tv (Value.VInt (Int64.lognot (Value.to_int x.I.v))) x.I.ty)
+  | Unary (Deref, _) | Index (_, _) | Member (_, _) ->
+    (match e with
+     | Member (a, m)
+       when is_rval_member sc a
+            || (match a with Call _ | VecLit _ | Binary _ -> true | _ -> false) ->
+       let ca = force (compile_expr_safe sc a) in
+       (* fallback for non-vector results re-resolves as an lvalue, like
+          the interpreter (which also re-evaluates the base there) *)
+       let flv = compile_lvalue_safe sc e in
+       let fload = lv_load st flv in
+       (* single-component selector on a statically known vector width:
+          decode the selector once at compile time; the runtime guard on
+          the actual width keeps the decoded index valid *)
+       let pre =
+         match Layout.resolve st.cp_layout (sty sc a) with
+         | TVec (_, w) ->
+           (match I.vec_indices w m with Some [ i ] -> Some (w, i) | _ -> None)
+         | _ -> None
+       in
+       Dyn
+         (fun env ->
+            let x = ca env in
+            match pre, x.I.ty with
+            | Some (w, i), TVec (s, w') when w' = w ->
+              (match x.I.v with
+               | Value.VVec c -> I.tv c.(i) (TScalar s)
+               | v -> I.tv v (TScalar s))
+            | _ ->
+            match Layout.resolve env.ectx.I.layout x.I.ty with
+            | TVec (s, width) ->
+              (match I.vec_indices width m with
+               | Some [ i ] ->
+                 (match x.I.v with
+                  | Value.VVec c -> I.tv c.(i) (TScalar s)
+                  | v -> I.tv v (TScalar s))
+               | Some idx ->
+                 (match x.I.v with
+                  | Value.VVec c ->
+                    I.tv
+                      (Value.VVec (Array.of_list (List.map (fun i -> c.(i)) idx)))
+                      (TVec (s, List.length idx))
+                  | v -> I.tv v (TVec (s, List.length idx)))
+               | None -> I.fail "bad component .%s" m)
+            | _ -> fload env)
+     | _ ->
+       let lv = compile_lvalue_safe sc e in
+       Dyn (lv_load st lv))
+  | Unary (Addrof, a) ->
+    (match compile_lvalue_safe sc a with
+     | LvMem (f, ty) ->
+       Dyn
+         (fun env ->
+            let sp, addr = f env in
+            I.tv (Value.VInt (Value.make_ptr sp addr)) (TPtr ty))
+     | LvDyn f ->
+       Dyn
+         (fun env ->
+            match f env with
+            | CLMem (sp, addr, ty) ->
+              I.tv (Value.VInt (Value.make_ptr sp addr)) (TPtr ty)
+            | CLVec (sp, addr, s, idx) when Array.length idx > 0 ->
+              I.tv
+                (Value.VInt (Value.make_ptr sp (addr + (idx.(0) * scalar_size s))))
+                (TPtr (TScalar s))
+            | CLVec (_, _, _, _) -> I.fail "empty vector lvalue"))
+  | Unary ((Preinc | Predec | Postinc | Postdec) as op, a) ->
+    let clv = compile_lvalue_safe sc a in
+    let bop = if op = Preinc || op = Postinc then Add else Sub in
+    let pre = op = Preinc || op = Predec in
+    let one = I.tv (Value.VInt 1L) (TScalar Int) in
+    (match clv with
+     | LvMem (f, ty) ->
+       let cl = compiled_load st ty in
+       let cs = compiled_store st ty in
+       Dyn
+         (fun env ->
+            let ctx = env.ectx in
+            let sp, addr = f env in
+            let old = I.tv (cl ctx sp addr) ty in
+            let nv = I.binop ctx bop old one in
+            cs ctx sp addr nv.I.v;
+            if pre then nv else old)
+     | LvDyn f ->
+       Dyn
+         (fun env ->
+            let ctx = env.ectx in
+            let lv = f env in
+            let old = load_clv ctx lv in
+            let nv = I.binop ctx bop old one in
+            store_clv ctx lv nv;
+            if pre then nv else old))
+  | Binary (Land, a, b) ->
+    let ca = force (compile_expr_safe sc a) in
+    let cb = force (compile_expr_safe sc b) in
+    Dyn
+      (fun env ->
+         env.ectx.I.on_op I.Op_branch;
+         if Value.to_bool (ca env).I.v then
+           I.tv (Value.of_bool (Value.to_bool (cb env).I.v)) (TScalar Int)
+         else I.tv (Value.VInt 0L) (TScalar Int))
+  | Binary (Lor, a, b) ->
+    let ca = force (compile_expr_safe sc a) in
+    let cb = force (compile_expr_safe sc b) in
+    Dyn
+      (fun env ->
+         env.ectx.I.on_op I.Op_branch;
+         if Value.to_bool (ca env).I.v then I.tv (Value.VInt 1L) (TScalar Int)
+         else I.tv (Value.of_bool (Value.to_bool (cb env).I.v)) (TScalar Int))
+  | Binary (op, a, b) ->
+    let ca = force (compile_expr_safe sc a) in
+    let cb = force (compile_expr_safe sc b) in
+    (match fast_binop op with
+     | Some f -> Dyn (fun env -> f env.ectx (ca env) (cb env))
+     | None -> Dyn (fun env -> I.binop env.ectx op (ca env) (cb env)))
+  | Assign (op, lhs, rhs) ->
+    let clv = compile_lvalue_safe sc lhs in
+    let cr = force (compile_expr_safe sc rhs) in
+    (match clv with
+     | LvMem (f, ty) ->
+       let cl = compiled_load st ty in
+       let cs = compiled_store st ty in
+       Dyn
+         (fun env ->
+            let ctx = env.ectx in
+            let sp, addr = f env in
+            let x =
+              match op with
+              | None -> cr env
+              | Some op -> I.binop ctx op (I.tv (cl ctx sp addr) ty) (cr env)
+            in
+            cs ctx sp addr x.I.v;
+            x)
+     | LvDyn f ->
+       Dyn
+         (fun env ->
+            let ctx = env.ectx in
+            let lv = f env in
+            let x =
+              match op with
+              | None -> cr env
+              | Some op -> I.binop ctx op (load_clv ctx lv) (cr env)
+            in
+            store_clv ctx lv x;
+            x))
+  | Cond (c, a, b) ->
+    let cc = force (compile_expr_safe sc c) in
+    let ca = force (compile_expr_safe sc a) in
+    let cb = force (compile_expr_safe sc b) in
+    Dyn
+      (fun env ->
+         env.ectx.I.on_op I.Op_branch;
+         if Value.to_bool (cc env).I.v then ca env else cb env)
+  | Call (name, tmpl, args) -> compile_call sc name tmpl args
+  | Cast (t, a) | StaticCast (t, a) | ReinterpretCast (t, a) ->
+    (match compile_expr_safe sc a with
+     | Const x ->
+       (* cast_value charges no operations, so folding is counter-exact *)
+       (match try Some (I.cast_value st.cp_fold t x) with _ -> None with
+        | Some v -> Const v
+        | None -> dyn_fail "bad constant cast")
+     | Dyn f -> Dyn (fun env -> I.cast_value env.ectx t (f env)))
+  | SizeofT t ->
+    Const (I.tv (Value.VInt (Int64.of_int (Layout.sizeof st.cp_layout t))) (TScalar SizeT))
+  | SizeofE a ->
+    let t = sty sc a in
+    Const (I.tv (Value.VInt (Int64.of_int (Layout.sizeof st.cp_layout t))) (TScalar SizeT))
+  | VecLit (t, args) ->
+    (match Layout.resolve st.cp_layout t with
+     | TVec (s, n) ->
+       let cargs = List.map (compile_expr_safe sc) args in
+       let build (vals : I.tval list) =
+         (* mirror of the interpreter's vector-literal construction *)
+         let comps =
+           List.concat_map
+             (fun (x : I.tval) ->
+                match x.I.v with
+                | Value.VVec c -> Array.to_list c
+                | v -> [ v ])
+             vals
+         in
+         let comps =
+           if List.length comps = 1 then List.init n (fun _ -> List.hd comps)
+           else comps
+         in
+         if List.length comps < n then I.fail "vector literal too short";
+         let conv c =
+           if is_float_scalar s then
+             Value.VFloat (Value.round_float s (Value.to_float c))
+           else Value.VInt (Value.wrap_int s (Value.to_int c))
+         in
+         I.tv
+           (Value.VVec
+              (Array.of_list
+                 (List.filteri (fun i _ -> i < n) comps |> List.map conv)))
+           (TVec (s, n))
+       in
+       if List.for_all (function Const _ -> true | Dyn _ -> false) cargs then
+         (* construction charges nothing, so folding is counter-exact *)
+         match
+           try Some (build (List.map (function Const x -> x | Dyn _ -> assert false) cargs))
+           with I.Error msg -> (ignore msg; None)
+         with
+         | Some v -> Const v
+         | None -> Dyn (fun env -> build (List.map (fun c -> force c env) cargs))
+       else
+         let fargs = List.map force cargs in
+         Dyn (fun env -> build (List.map (fun f -> f env) fargs))
+     | _ ->
+       (match args with
+        | a :: _ ->
+          let ca = compile_expr_safe sc a in
+          (match ca with
+           | Const x ->
+             (match try Some (I.cast_value st.cp_fold t x) with _ -> None with
+              | Some v -> Const v
+              | None -> dyn_fail "bad constant cast")
+           | Dyn f -> Dyn (fun env -> I.cast_value env.ectx t (f env)))
+        | [] -> dyn_fail "empty vector literal"))
+  | Launch l ->
+    Dyn
+      (fun env ->
+         match env.ectx.I.launch_handler with
+         | Some h -> h env.ectx l
+         | None ->
+           I.fail "kernel launch reached the interpreter without a CUDA runtime")
+
+and compile_expr_safe sc e =
+  match compile_expr sc e with
+  | c -> c
+  | exception exn -> Dyn (fun _ -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+(* Lvalue compilation (mirror Interp.eval_lvalue)                      *)
+(* ------------------------------------------------------------------ *)
+
+and compile_lvalue sc (e : expr) : clvalue =
+  let st = sc.st in
+  match e with
+  | Ident name ->
+    (match lookup_local sc name with
+     | Some se ->
+       let slot = se.se_slot in
+       LvMem
+         ( (fun env ->
+              let b = env.slots.(slot) in
+              (b.I.b_space, b.I.b_addr)),
+           se.se_ty )
+     | None ->
+       LvDyn
+         (fun env ->
+            match I.lookup env.ectx name with
+            | Some b -> CLMem (b.I.b_space, b.I.b_addr, b.I.b_ty)
+            | None -> I.fail "unbound variable %s (as lvalue)" name))
+  | Unary (Deref, p) ->
+    let cp = force (compile_expr_safe sc p) in
+    LvDyn
+      (fun env ->
+         let pv = cp env in
+         let ptr = Value.to_int pv.I.v in
+         if Value.is_null ptr then I.fail "null pointer dereference";
+         let pointee =
+           match Layout.resolve env.ectx.I.layout pv.I.ty with
+           | TPtr t | TArr (t, _) | TRef t -> t
+           | _ -> TScalar Int
+         in
+         CLMem (Value.ptr_space ptr, Value.ptr_offset ptr, pointee))
+  | Index (a, i) ->
+    let ca = force (compile_expr_safe sc a) in
+    let ci = force (compile_expr_safe sc i) in
+    let fast =
+      match a with
+      | Ident n ->
+        (match lookup_local sc n with
+         | Some se ->
+           (match Layout.resolve st.cp_layout se.se_ty with
+            | TPtr elt | TArr (elt, _) -> Some (elt, Layout.sizeof st.cp_layout elt)
+            | _ -> None)
+         | None -> None)
+      | _ -> None
+    in
+    (match fast with
+     | Some (elt, esz) ->
+       LvMem
+         ( (fun env ->
+              let av = ca env in
+              let iv = ci env in
+              let base = Value.to_int av.I.v in
+              if Value.is_null base then I.fail "null pointer indexed";
+              let addr =
+                Int64.add base (Int64.mul (Value.to_int iv.I.v) (Int64.of_int esz))
+              in
+              (Value.ptr_space addr, Value.ptr_offset addr)),
+           elt )
+     | None ->
+       let cla = run_clv (compile_lvalue_safe sc a) in
+       LvDyn
+         (fun env ->
+            let av = ca env in
+            let iv = ci env in
+            match Layout.resolve env.ectx.I.layout av.I.ty with
+            | TPtr elt | TArr (elt, _) ->
+              let esz = Layout.sizeof env.ectx.I.layout elt in
+              let base = Value.to_int av.I.v in
+              if Value.is_null base then I.fail "null pointer indexed";
+              let addr =
+                Int64.add base (Int64.mul (Value.to_int iv.I.v) (Int64.of_int esz))
+              in
+              CLMem (Value.ptr_space addr, Value.ptr_offset addr, elt)
+            | TVec (s, _) ->
+              (match cla env with
+               | CLMem (sp, addr, _) ->
+                 CLVec (sp, addr, s, [| Int64.to_int (Value.to_int iv.I.v) |])
+               | CLVec _ -> I.fail "nested vector index")
+            | t -> I.fail "cannot index type %s" (show_ty t)))
+  | Member (a, m) ->
+    (match Layout.resolve st.cp_layout (sty sc a) with
+     | TVec (s, width) ->
+       (match I.vec_indices width m with
+        | Some idx ->
+          let idx = Array.of_list idx in
+          let cla = run_clv (compile_lvalue_safe sc a) in
+          LvDyn
+            (fun env ->
+               match cla env with
+               | CLMem (sp, addr, _) -> CLVec (sp, addr, s, idx)
+               | CLVec (sp, addr, s', outer) ->
+                 let n = Array.length outer in
+                 CLVec
+                   ( sp, addr, s',
+                     Array.map
+                       (fun i ->
+                          if i >= 0 && i < n then outer.(i)
+                          else I.fail "vector component index %d out of range" i)
+                       idx ))
+        | None -> lv_fail "bad vector component .%s" m)
+     | TNamed sn ->
+       (match Layout.field_offset st.cp_layout sn m with
+        | Some (off, fty) ->
+          let ca = force (compile_expr_safe sc a) in
+          LvMem
+            ( (fun env ->
+                 let base = ca env in
+                 let ptr = Value.to_int base.I.v in
+                 (Value.ptr_space ptr, Value.ptr_offset ptr + off)),
+              fty )
+        | None -> lv_fail "no field %s in struct %s" m sn)
+     | t -> lv_fail "cannot access member .%s of %s" m (show_ty t))
+  | Cast (_, inner) -> compile_lvalue sc inner
+  | e -> lv_fail "not an lvalue: %s" (Minic.Pretty.expr_str Minic.Pretty.Cuda e)
+
+and compile_lvalue_safe sc e =
+  match compile_lvalue sc e with
+  | lv -> lv
+  | exception exn -> LvDyn (fun _ -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+(* Calls (mirror Interp.eval_call / Interp.call_function)              *)
+(* ------------------------------------------------------------------ *)
+
+and compile_call sc name tmpl args : cexpr =
+  let st = sc.st in
+  match Hashtbl.find_opt st.cp_funcs name with
+  | Some f0 ->
+    (match
+       if f0.fn_tmpl = [] then Ok f0
+       else (try Ok (Minic.Specialize.func f0 tmpl) with exn -> Error exn)
+     with
+     | Error exn -> Dyn (fun _ -> raise exn)
+     | Ok f ->
+       (* reference parameters receive the argument's address (§3.6) *)
+       let cargs =
+         List.mapi
+           (fun i a ->
+              match List.nth_opt f.fn_params i with
+              | Some pa
+                when (match unqual pa.pa_ty with TRef _ -> true | _ -> false) ->
+                force (compile_expr_safe sc (Unary (Addrof, a)))
+              | _ -> force (compile_expr_safe sc a))
+           args
+       in
+       let cargs = Array.of_list cargs in
+       let cf =
+         if f0.fn_tmpl = [] then get_cfunc st name
+         else lazy (compile_func st f)
+       in
+       Dyn
+         (fun env ->
+            let n = Array.length cargs in
+            let argv = Array.make n I.tunit in
+            (* left-to-right, like the interpreter's argument evaluation *)
+            for i = 0 to n - 1 do
+              argv.(i) <- cargs.(i) env
+            done;
+            call_cfunc (Lazy.force cf) env.ectx argv))
+  | None ->
+    let cargs = List.map (fun a -> force (compile_expr_safe sc a)) args in
+    Dyn
+      (fun env ->
+         let ctx = env.ectx in
+         let argv = List.map (fun c -> c env) cargs in
+         match Hashtbl.find_opt ctx.I.externals name with
+         | Some ext -> ext ctx argv
+         | None ->
+           (match I.default_builtin ctx name argv with
+            | Some r -> r
+            | None ->
+              if name = "dim3" then begin
+                (* dim3 constructor: build a temporary struct *)
+                let addr =
+                  Memory.alloc (ctx.I.arena_of ctx.I.stack_space) ~align:4 12
+                in
+                let a = ctx.I.arena_of ctx.I.stack_space in
+                let get i =
+                  match List.nth_opt argv i with
+                  | Some a -> Value.to_int a.I.v
+                  | None -> 1L
+                in
+                Memory.store_int a addr 4 (get 0);
+                Memory.store_int a (addr + 4) 4 (get 1);
+                Memory.store_int a (addr + 8) 4 (get 2);
+                I.tv
+                  (Value.VInt (Value.make_ptr ctx.I.stack_space addr))
+                  (TNamed "dim3")
+              end
+              else I.fail "unknown function %s" name))
+
+and get_cfunc st name : cfunc Lazy.t =
+  match Hashtbl.find_opt st.cp_cache name with
+  | Some l -> l
+  | None ->
+    let l = lazy (compile_func st (Hashtbl.find st.cp_funcs name)) in
+    Hashtbl.add st.cp_cache name l;
+    l
+
+and call_cfunc cf (ctx : I.ctx) (args : I.tval array) : I.tval =
+  ctx.I.call_depth <- ctx.I.call_depth + 1;
+  if ctx.I.call_depth > 512 then begin
+    ctx.I.call_depth <- ctx.I.call_depth - 1;
+    I.fail "call depth exceeded in %s" cf.cf_name
+  end;
+  let arena = ctx.I.arena_of ctx.I.stack_space in
+  let m = Memory.mark arena in
+  let env = { ectx = ctx; slots = Array.make cf.cf_nslots dummy_binding } in
+  (* hand-rolled Fun.protect: the frame pop runs on every exit path but
+     costs no closure allocation on the hot non-raising one *)
+  match
+    cf.cf_params env args;
+    cf.cf_body env
+  with
+  | () ->
+    Memory.release arena m;
+    ctx.I.call_depth <- ctx.I.call_depth - 1;
+    I.tunit
+  | exception I.Return_exc v ->
+    Memory.release arena m;
+    ctx.I.call_depth <- ctx.I.call_depth - 1;
+    v
+  | exception e ->
+    Memory.release arena m;
+    ctx.I.call_depth <- ctx.I.call_depth - 1;
+    raise e
+
+and compile_param sc ~fn_name i (pa : param) : env -> I.tval array -> unit =
+  let st = sc.st in
+  let ty = if pa.pa_space = AS_none then pa.pa_ty else TQual (pa.pa_space, pa.pa_ty) in
+  match Layout.resolve st.cp_layout pa.pa_ty with
+  | TRef inner ->
+    let slot = new_slot sc pa.pa_name inner in
+    fun env args ->
+      let arg =
+        if i < Array.length args then args.(i)
+        else I.fail "missing argument %d in call to %s" (i + 1) fn_name
+      in
+      let ptr = Value.to_int arg.I.v in
+      env.slots.(slot) <-
+        { I.b_space = Value.ptr_space ptr;
+          b_addr = Value.ptr_offset ptr;
+          b_ty = inner }
+  | _ ->
+    let sp = type_space ty in
+    let fixed_space = if sp <> AS_none then Some sp else None in
+    let size = Layout.sizeof st.cp_layout ty in
+    let align = Layout.alignof st.cp_layout ty in
+    let cs = compiled_store st ty in
+    let name = pa.pa_name in
+    let slot = new_slot sc name ty in
+    fun env args ->
+      let arg =
+        if i < Array.length args then args.(i)
+        else I.fail "missing argument %d in call to %s" (i + 1) fn_name
+      in
+      let ctx = env.ectx in
+      let space =
+        match fixed_space with Some s -> s | None -> ctx.I.stack_space
+      in
+      let addr =
+        match space, ctx.I.group_locals with
+        | AS_local, Some tbl ->
+          (match Hashtbl.find_opt tbl name with
+           | Some addr -> addr
+           | None ->
+             let addr = Memory.alloc (ctx.I.arena_of AS_local) ~align size in
+             Hashtbl.replace tbl name addr;
+             addr)
+        | _ -> Memory.alloc (ctx.I.arena_of space) ~align size
+      in
+      env.slots.(slot) <- { I.b_space = space; b_addr = addr; b_ty = ty };
+      cs ctx space addr arg.I.v
+
+and compile_func st (f : func) : cfunc =
+  match f.fn_body with
+  | None ->
+    { cf_name = f.fn_name;
+      cf_nslots = 0;
+      cf_params = (fun _ _ -> ());
+      cf_body = (fun _ -> I.fail "calling prototype %s" f.fn_name) }
+  | Some body ->
+    let sc = { st; stack = [ [] ]; nslots = 0 } in
+    let fn_name = f.fn_name in
+    let binders = Array.of_list (List.mapi (compile_param sc ~fn_name) f.fn_params) in
+    let cbody = Array.of_list (List.map (compile_stmt_safe sc) body) in
+    { cf_name = fn_name;
+      cf_nslots = sc.nslots;
+      cf_params = (fun env args -> Array.iter (fun b -> b env args) binders);
+      cf_body =
+        (match cbody with
+         | [| s |] -> s
+         | _ -> fun env -> Array.iter (fun s -> s env) cbody) }
+
+(* ------------------------------------------------------------------ *)
+(* Initialisers (mirror Interp.store_init)                             *)
+(* ------------------------------------------------------------------ *)
+
+and compile_init_at sc (ty : ty) (init : init) : env -> addr_space -> int -> unit =
+  let st = sc.st in
+  match init with
+  | IExpr e ->
+    let ce = force (compile_expr_safe sc e) in
+    let cs = compiled_store st ty in
+    fun env sp base ->
+      let x = ce env in
+      cs env.ectx sp base x.I.v
+  | IList items ->
+    let size = Layout.sizeof st.cp_layout ty in
+    let parts : (env -> addr_space -> int -> unit) list =
+      match Layout.resolve st.cp_layout ty with
+      | TArr (elt, _) ->
+        let esz = Layout.sizeof st.cp_layout elt in
+        List.mapi
+          (fun k item ->
+             match item with
+             | IExpr e ->
+               let ce = force (compile_expr_safe sc e) in
+               let cs = compiled_store st elt in
+               fun env sp base ->
+                 let x = ce env in
+                 cs env.ectx sp (base + (k * esz)) x.I.v
+             | IList _ ->
+               let sub = compile_init_at sc elt item in
+               fun env sp base -> sub env sp (base + (k * esz)))
+          items
+      | TVec (s, n) ->
+        let esz = scalar_size s in
+        List.mapi
+          (fun k item ->
+             if k < n then
+               match item with
+               | IExpr e ->
+                 let ce = force (compile_expr_safe sc e) in
+                 let cs = compiled_store st (TScalar s) in
+                 fun env sp base ->
+                   let x = ce env in
+                   cs env.ectx sp (base + (k * esz)) x.I.v
+               | IList _ -> fun _ _ _ -> I.fail "nested vector init"
+             else fun _ _ _ -> ())
+          items
+      | TNamed sn ->
+        (match Hashtbl.find_opt st.cp_layout.Layout.structs sn with
+         | Some fields ->
+           List.mapi
+             (fun k item ->
+                match List.nth_opt fields k with
+                | None -> fun _ _ _ -> ()
+                | Some (fn, _) ->
+                  (match Layout.field_offset st.cp_layout sn fn with
+                   | Some (off, fty) ->
+                     (match item with
+                      | IExpr e ->
+                        let ce = force (compile_expr_safe sc e) in
+                        let cs = compiled_store st fty in
+                        fun env sp base ->
+                          let x = ce env in
+                          cs env.ectx sp (base + off) x.I.v
+                      | IList _ ->
+                        let sub = compile_init_at sc fty item in
+                        fun env sp base -> sub env sp (base + off))
+                   | None -> fun _ _ _ -> ()))
+             items
+         | None ->
+           [ (fun _ _ _ -> I.fail "initializer list for non-struct %s" sn) ])
+      | t ->
+        let msg = Printf.sprintf "initializer list for %s" (show_ty t) in
+        [ (fun _ _ _ -> raise (I.Error msg)) ]
+    in
+    fun env sp base ->
+      (* zero-fill then element-wise init; the fill is a raw memory
+         write, uncharged, exactly like the interpreter *)
+      Memory.store_bytes (env.ectx.I.arena_of sp) base (Bytes.make size '\000');
+      List.iter (fun p -> p env sp base) parts
+
+(* ------------------------------------------------------------------ *)
+(* Statements (mirror Interp.exec_stmt)                                *)
+(* ------------------------------------------------------------------ *)
+
+and compile_stmt sc (s : stmt) : env -> unit =
+  let st = sc.st in
+  match s with
+  | SDecl d ->
+    if
+      (d.d_storage.s_extern && d.d_storage.s_space = AS_local)
+      || (d.d_storage.s_extern && type_space d.d_ty = AS_local)
+    then begin
+      (* extern __shared__ x[] aliases the launcher's "$dynshared" *)
+      let elt =
+        match Layout.resolve st.cp_layout d.d_ty with
+        | TArr (t, _) | TPtr t -> t
+        | t -> t
+      in
+      let aty = TArr (elt, None) in
+      let slot = new_slot sc d.d_name aty in
+      fun env ->
+        match I.lookup env.ectx "$dynshared" with
+        | Some b ->
+          env.slots.(slot) <-
+            { I.b_space = b.I.b_space; b_addr = b.I.b_addr; b_ty = aty }
+        | None -> I.fail "extern __shared__ outside a kernel launch"
+    end
+    else begin
+      let name = d.d_name in
+      let ty = d.d_ty in
+      let sp = type_space ty in
+      let fixed_space =
+        if sp <> AS_none then Some sp
+        else if d.d_storage.s_space <> AS_none then Some d.d_storage.s_space
+        else None
+      in
+      let size = Layout.sizeof st.cp_layout ty in
+      let align = Layout.alignof st.cp_layout ty in
+      let slot = new_slot sc name ty in
+      let cinit =
+        match d.d_init with
+        | None -> None
+        | Some i -> Some (compile_init_at sc ty i)
+      in
+      fun env ->
+        let ctx = env.ectx in
+        let space =
+          match fixed_space with Some s -> s | None -> ctx.I.stack_space
+        in
+        let addr =
+          match space, ctx.I.group_locals with
+          | AS_local, Some tbl ->
+            (match Hashtbl.find_opt tbl name with
+             | Some addr -> addr
+             | None ->
+               let addr = Memory.alloc (ctx.I.arena_of AS_local) ~align size in
+               Hashtbl.replace tbl name addr;
+               addr)
+          | _ -> Memory.alloc (ctx.I.arena_of space) ~align size
+        in
+        env.slots.(slot) <- { I.b_space = space; b_addr = addr; b_ty = ty };
+        match cinit with
+        | None -> ()
+        | Some ci -> ci env space addr
+    end
+  | SExpr e ->
+    let ce = force (compile_expr_safe sc e) in
+    fun env -> ignore (ce env)
+  | SIf (c, a, b) ->
+    let cc = force (compile_expr_safe sc c) in
+    let ca = compile_stmt_safe sc a in
+    let cb = Option.map (compile_stmt_safe sc) b in
+    fun env ->
+      env.ectx.I.on_op I.Op_branch;
+      if Value.to_bool (cc env).I.v then ca env
+      else (match cb with Some f -> f env | None -> ())
+  | SWhile (c, body) ->
+    let cc = force (compile_expr_safe sc c) in
+    let cbody = compile_stmt_safe sc body in
+    fun env ->
+      (try
+         while
+           env.ectx.I.on_op I.Op_branch;
+           Value.to_bool (cc env).I.v
+         do
+           try cbody env with I.Continue_exc -> ()
+         done
+       with I.Break_exc -> ())
+  | SDoWhile (body, c) ->
+    let cbody = compile_stmt_safe sc body in
+    let cc = force (compile_expr_safe sc c) in
+    fun env ->
+      (try
+         let continue_ = ref true in
+         while !continue_ do
+           (try cbody env with I.Continue_exc -> ());
+           env.ectx.I.on_op I.Op_branch;
+           continue_ := Value.to_bool (cc env).I.v
+         done
+       with I.Break_exc -> ())
+  | SFor (init, cond, update, body) ->
+    push_cscope sc;
+    let cinit = Option.map (compile_stmt_safe sc) init in
+    let ccond = Option.map (fun c -> force (compile_expr_safe sc c)) cond in
+    let cupd = Option.map (fun u -> force (compile_expr_safe sc u)) update in
+    let cbody = compile_stmt_safe sc body in
+    pop_cscope sc;
+    fun env ->
+      (match cinit with Some f -> f env | None -> ());
+      (try
+         while
+           env.ectx.I.on_op I.Op_branch;
+           match ccond with
+           | None -> true
+           | Some c -> Value.to_bool (c env).I.v
+         do
+           (try cbody env with I.Continue_exc -> ());
+           (match cupd with Some u -> ignore (u env) | None -> ())
+         done
+       with I.Break_exc -> ())
+  | SReturn None -> fun _ -> raise (I.Return_exc I.tunit)
+  | SReturn (Some e) ->
+    let ce = force (compile_expr_safe sc e) in
+    fun env -> raise (I.Return_exc (ce env))
+  | SBreak -> fun _ -> raise I.Break_exc
+  | SContinue -> fun _ -> raise I.Continue_exc
+  | SBlock l ->
+    push_cscope sc;
+    let cl = List.map (compile_stmt_safe sc) l in
+    pop_cscope sc;
+    fun env -> List.iter (fun f -> f env) cl
+
+and compile_stmt_safe sc s =
+  match compile_stmt sc s with
+  | f -> f
+  | exception exn -> fun _ -> raise exn
+
+(* ------------------------------------------------------------------ *)
+(* Program-level entry points                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(special_ty = fun _ -> None) (prog : Minic.Ast.program) : program =
+  let funcs = Hashtbl.create 31 in
+  let gtys = Hashtbl.create 31 in
+  List.iter
+    (function
+      | TFunc f -> Hashtbl.replace funcs f.fn_name f
+      | TVar d -> Hashtbl.replace gtys d.d_name d.d_ty
+      | _ -> ())
+    prog;
+  let fold_arena = Memory.create ~initial:64 "compile.fold" in
+  let fold_ctx = I.make ~prog ~arena_of:(fun _ -> fold_arena) () in
+  { cp_funcs = funcs;
+    cp_layout = fold_ctx.I.layout;
+    cp_special_ty = special_ty;
+    cp_global_tys = gtys;
+    cp_fold = fold_ctx;
+    cp_cache = Hashtbl.create 15 }
+
+let prepare st (f : func) : I.ctx -> I.tval array -> I.tval =
+  (match f.fn_body with
+   | None -> I.fail "calling prototype %s" f.fn_name
+   | Some _ -> ());
+  if not (Hashtbl.mem st.cp_funcs f.fn_name) then
+    Hashtbl.replace st.cp_funcs f.fn_name f;
+  let cf = Lazy.force (get_cfunc st f.fn_name) in
+  fun ctx args -> call_cfunc cf ctx args
+
+let call st (ctx : I.ctx) (f : func) (args : I.tval list) : I.tval =
+  (match f.fn_body with
+   | None -> I.fail "calling prototype %s" f.fn_name
+   | Some _ -> ());
+  if not (Hashtbl.mem st.cp_funcs f.fn_name) then
+    Hashtbl.replace st.cp_funcs f.fn_name f;
+  call_cfunc (Lazy.force (get_cfunc st f.fn_name)) ctx (Array.of_list args)
+
+let run st (ctx : I.ctx) name (args : I.tval list) : I.tval =
+  match Hashtbl.find_opt st.cp_funcs name with
+  | Some f -> call st ctx f args
+  | None -> I.fail "no function named %s" name

@@ -1,0 +1,39 @@
+(** Closure-compilation backend for Mini-C device code.
+
+    [make] lowers a program once into OCaml closures over a flat frame:
+    variable references become pre-computed slot accesses, call targets
+    and swizzle selectors are resolved at compile time, and
+    counter-neutral constant subexpressions (literals, casts of
+    constants, sizeof) are folded.  The compiled form is shared across
+    all work-items, work-groups and launches of a loaded module.
+
+    Observable semantics — results, [on_access] memory traffic,
+    [on_op] operation counts and the [Interp.Barrier] effect — match
+    the tree-walking interpreter exactly; the differential property
+    test in test/test_backend.ml holds the two backends to that. *)
+
+type program
+
+(** Compile a program.  [special_ty] names the launcher-provided rvalue
+    specials (threadIdx, warpSize, ...) and their types so member
+    accesses on them resolve at compile time; it must cover the same
+    names as the runtime context's [special_ident]. *)
+val make :
+  ?special_ty:(string -> Minic.Ast.ty option) -> Minic.Ast.program -> program
+
+(** [call p ctx f args] runs compiled [f] with the runtime context
+    [ctx] (arenas, counters, externals, fallback scopes), like
+    [Interp.call_function].  Functions compile lazily on first call and
+    are memoized. *)
+val call :
+  program -> Interp.ctx -> Minic.Ast.func -> Interp.tval list -> Interp.tval
+
+(** [prepare p f] resolves and compiles [f] once and returns a closure
+    that applies it — the per-call path skips the name lookup, so hot
+    launch loops should prepare once per launch.  Raises like [call]
+    would if [f] is a bodyless prototype. *)
+val prepare :
+  program -> Minic.Ast.func -> Interp.ctx -> Interp.tval array -> Interp.tval
+
+(** Like [Interp.run]: look up a function by name and [call] it. *)
+val run : program -> Interp.ctx -> string -> Interp.tval list -> Interp.tval

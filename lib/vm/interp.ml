@@ -625,7 +625,14 @@ let rec eval_lvalue ctx (e : expr) : lvalue =
            | LMem (sp, addr, _) -> LVec (sp, addr, s, idx)
            | LVec (sp, addr, s', outer) ->
              (* e.g. v.lo.x *)
-             let idx = List.map (List.nth outer) idx in
+             let outer = Array.of_list outer in
+             let idx =
+               List.map
+                 (fun i ->
+                    if i >= 0 && i < Array.length outer then outer.(i)
+                    else fail "vector component index %d out of range" i)
+                 idx
+             in
              LVec (sp, addr, s', idx))
         | None -> fail "bad vector component .%s" m)
      | TNamed sn ->
@@ -705,13 +712,15 @@ and store_lvalue ctx lv (x : tval) =
     let es = scalar_size s in
     let comps =
       match x.v with
-      | VVec c -> Array.to_list c
-      | v -> List.map (fun _ -> v) idx
+      | VVec c -> c
+      | v -> Array.make (List.length idx) v
     in
     List.iteri
       (fun k i ->
-         let c = try List.nth comps k with _ -> Value.VInt 0L in
-         store ctx sp (addr + (i * es)) (TScalar s) c)
+         if k >= Array.length comps then
+           fail "vector component assignment: %d components for %d slots"
+             (Array.length comps) (List.length idx);
+         store ctx sp (addr + (i * es)) (TScalar s) comps.(k))
       idx
 
 and eval ctx (e : expr) : tval =
@@ -879,7 +888,12 @@ and eval_call ctx name tmpl args : tval =
             (* dim3 constructor: build a temporary struct *)
             let addr = Memory.alloc (ctx.arena_of ctx.stack_space) ~align:4 12 in
             let a = ctx.arena_of ctx.stack_space in
-            let get i = try Value.to_int (List.nth argv i).v with _ -> 1L in
+            (* missing components default to 1, per the dim3 constructor *)
+            let get i =
+              match List.nth_opt argv i with
+              | Some a -> Value.to_int a.v
+              | None -> 1L
+            in
             Memory.store_int a addr 4 (get 0);
             Memory.store_int a (addr + 4) 4 (get 1);
             Memory.store_int a (addr + 8) 4 (get 2);
@@ -905,9 +919,13 @@ and call_function ctx f args =
         Memory.release arena m;
         ctx.call_depth <- ctx.call_depth - 1)
     (fun () ->
+       let args = Array.of_list args in
        List.iteri
          (fun i (pa : param) ->
-            let arg = try List.nth args i with _ -> tunit in
+            let arg =
+              if i < Array.length args then args.(i)
+              else fail "missing argument %d in call to %s" (i + 1) f.fn_name
+            in
             let ty =
               if pa.pa_space = AS_none then pa.pa_ty
               else TQual (pa.pa_space, pa.pa_ty)

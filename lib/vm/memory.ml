@@ -24,10 +24,13 @@ let create ?(initial = 4096) name =
 
 let size a = a.brk
 
+(* Stores never land beyond the allocation frontier, so bytes past
+   [high_water] are still zero from [create]/[ensure]; clearing just the
+   used prefix is equivalent to clearing the whole buffer. *)
 let reset a =
+  Bytes.fill a.data 0 (min a.high_water (Bytes.length a.data)) '\000';
   a.brk <- 16;
-  a.high_water <- 16;
-  Bytes.fill a.data 0 (Bytes.length a.data) '\000'
+  a.high_water <- 16
 
 let ensure a n =
   if n > Bytes.length a.data then begin

@@ -5,4 +5,5 @@ let () =
     (Test_frontend.suites @ Test_vm.suites @ Test_gpusim.suites
      @ Test_apis.suites @ Test_translate.suites @ Test_feature.suites
      @ Test_bridge.suites @ Test_svm.suites @ Test_failures.suites
-     @ Test_apps.suites @ Test_analysis.suites @ Test_trace.suites)
+     @ Test_apps.suites @ Test_analysis.suites @ Test_trace.suites
+     @ Test_backend.suites)
