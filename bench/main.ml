@@ -6,7 +6,7 @@
      dune exec bench/main.exe fig7a      -- one experiment
      (table1 table2 fig7a fig7b fig7c fig8a fig8b table3
       ablation-banks ablation-occupancy wrappers svm analyze smoke
-      backends bechamel)
+      fuzz backends bechamel)
 
    Times are simulated nanoseconds from the GPU model; figures print the
    same normalised series as the paper's charts.  Besides the tables, a
@@ -864,6 +864,66 @@ let backends () =
          ("geomean_speedup", J.Float (geomean speedups)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzer throughput                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput of the differential conformance fuzzer: kernels generated
+   per second, and full six-way pyramids (3 translation stages x 2 VM
+   backends) executed per second, at a fixed seed.  A campaign that
+   cannot sustain roughly 20 pyramids/s makes the runtest smoke too
+   slow, so that floor is the gate here. *)
+let fuzz_bench () =
+  header "Fuzz: differential-pyramid throughput (seed 42)";
+  let n = 200 in
+  let t0 = Sys.time () in
+  for i = 0 to n - 1 do
+    ignore (Fuzz.Driver.case_of ~seed:42 i)
+  done;
+  let t_gen = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  let stats = Fuzz.Driver.run ~out_dir:"_fuzz_bench" ~seed:42 ~count:n () in
+  let t_pyr = Sys.time () -. t1 in
+  let rate_gen = float_of_int n /. t_gen in
+  let rate_pyr = float_of_int n /. t_pyr in
+  Printf.printf "%-32s %10.0f kernels/s\n" "generation" rate_gen;
+  Printf.printf "%-32s %10.1f pyramids/s\n" "generate+pyramid (6 exec)" rate_pyr;
+  Printf.printf "%-32s %d agree, %d skipped, %d divergent\n" "verdicts"
+    stats.Fuzz.Driver.agreed stats.Fuzz.Driver.skipped
+    stats.Fuzz.Driver.divergent;
+  let cov = stats.Fuzz.Driver.coverage in
+  Printf.printf
+    "%-32s vec %d, swizzle %d, barrier %d, atomic %d, local %d+%d, helper %d\n"
+    "coverage" cov.Fuzz.Gen.cov_vectors cov.Fuzz.Gen.cov_swizzles
+    cov.Fuzz.Gen.cov_barriers cov.Fuzz.Gen.cov_atomics
+    cov.Fuzz.Gen.cov_dyn_local cov.Fuzz.Gen.cov_static_local
+    cov.Fuzz.Gen.cov_helpers;
+  record "fuzz"
+    (J.Obj
+       [ ("cases", J.Int n);
+         ("rate_gen_per_s", J.Float rate_gen);
+         ("rate_pyramid_per_s", J.Float rate_pyr);
+         ("agree", J.Int stats.Fuzz.Driver.agreed);
+         ("skipped", J.Int stats.Fuzz.Driver.skipped);
+         ("divergent", J.Int stats.Fuzz.Driver.divergent);
+         ("cov_vectors", J.Int cov.Fuzz.Gen.cov_vectors);
+         ("cov_swizzles", J.Int cov.Fuzz.Gen.cov_swizzles);
+         ("cov_barriers", J.Int cov.Fuzz.Gen.cov_barriers);
+         ("cov_atomics", J.Int cov.Fuzz.Gen.cov_atomics);
+         ("cov_dyn_local", J.Int cov.Fuzz.Gen.cov_dyn_local);
+         ("cov_static_local", J.Int cov.Fuzz.Gen.cov_static_local);
+         ("cov_helpers", J.Int cov.Fuzz.Gen.cov_helpers) ]);
+  if stats.Fuzz.Driver.divergent > 0 then begin
+    Printf.printf "fuzz bench FAILED: %d divergent case(s)\n"
+      stats.Fuzz.Driver.divergent;
+    exit 1
+  end;
+  if rate_pyr < 20.0 then begin
+    Printf.printf "fuzz bench FAILED: %.1f pyramids/s below the 20/s floor\n"
+      rate_pyr;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -877,6 +937,7 @@ let experiments =
     ("svm", svm);
     ("analyze", analyze);
     ("smoke", smoke);
+    ("fuzz", fuzz_bench);
     ("backends", backends);
     ("bechamel", bechamel) ]
 

@@ -479,6 +479,60 @@ let prof_cmd =
              amplification)")
     Term.(ret (const run $ target $ trace_arg $ csv_arg))
 
+(* --- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed; case $(i,i) is \
+                                           derived from (seed, i) alone.")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"N" ~doc:"Number of kernels to generate.")
+  in
+  let time =
+    Arg.(value & opt (some float) None
+         & info [ "time" ] ~docv:"S" ~doc:"Stop after $(docv) seconds even \
+                                           if --count is not reached.")
+  in
+  let out =
+    Arg.(value & opt string "_fuzz"
+         & info [ "out" ] ~docv:"DIR" ~doc:"Directory for minimal repros.")
+  in
+  let replay =
+    Arg.(value & opt (some dir) None
+         & info [ "replay" ] ~docv:"DIR"
+             ~doc:"Re-run a previously written repro directory instead of \
+                   fuzzing; exits 1 while the divergence still reproduces.")
+  in
+  let run seed count time out replay =
+    catching_sys_error @@ fun () ->
+    match replay with
+    | Some dir ->
+      if Fuzz.Driver.replay ~log:print_endline dir then
+        `Error (false, "repro still diverges")
+      else `Ok ()
+    | None ->
+      let stats =
+        Fuzz.Driver.run ~out_dir:out ?time_budget:time ~log:print_endline
+          ~seed ~count ()
+      in
+      print_endline (Fuzz.Driver.summary stats);
+      if stats.Fuzz.Driver.divergent > 0 then begin
+        Printf.printf "minimal repros under %s:\n" out;
+        List.iter (Printf.printf "  %s\n") stats.Fuzz.Driver.repro_dirs;
+        `Error (false, "divergences found")
+      end
+      else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential conformance fuzzing: random Mini-C kernels are \
+             round-tripped through both translators and executed under both \
+             backends; any divergence is shrunk to a minimal repro.")
+    Term.(ret (const run $ seed $ count $ time $ out $ replay))
+
 (* --- devices ------------------------------------------------------------ *)
 
 let devices_cmd =
@@ -503,5 +557,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ translate_cmd; check_cmd; analyze_cmd; run_cmd; prof_cmd;
+          [ translate_cmd; check_cmd; analyze_cmd; run_cmd; prof_cmd; fuzz_cmd;
             devices_cmd ]))

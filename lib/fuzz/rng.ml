@@ -1,0 +1,43 @@
+(* Deterministic splitmix64 stream.  The fuzzer cannot use [Random]: a
+   case must replay bit-identically from (seed, index) alone, across
+   OCaml versions and across processes. *)
+
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { s = Int64.mul (Int64.of_int (seed + 1)) golden }
+
+let next t =
+  t.s <- Int64.add t.s golden;
+  let z = t.s in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform in [0, bound) *)
+let int t bound =
+  if bound <= 1 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+(* uniform in [lo, hi] *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let pick t xs = List.nth xs (int t (List.length xs))
+
+let bool t = int t 2 = 0
+
+(* true with probability pct/100 *)
+let chance t pct = int t 100 < pct
+
+(* a fresh independent stream *)
+let split t = { s = next t }
+
+(* [n] deterministic bytes *)
+let bytes t n = Bytes.init n (fun _ -> Char.chr (int t 256))

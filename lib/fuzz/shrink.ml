@@ -1,0 +1,315 @@
+(* Greedy divergence shrinker.
+
+   Candidate reductions, in decreasing order of expected payoff:
+     1. delete a statement;
+     2. unwrap a compound statement (keep the body, drop the control);
+     3. simplify an expression (binary -> operand, conditional -> arm);
+     4. scalarize: halve every vector width in the program;
+     5. shrink the NDRange (drop work groups, halve the work-group size)
+        and halve the buffer size.
+
+   A candidate may produce an ill-typed or otherwise broken program;
+   that is fine, because a candidate is only accepted when the pyramid
+   still reports the *same* divergence (Pyramid.same_divergence), and an
+   unrelated failure does not.  Mask and tile-size constants embedded in
+   the program are rewritten when the dimensions they were derived from
+   change, so shrunk kernels remain in-bounds by construction. *)
+
+open Minic.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level reductions                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply [repl] to the [n]th statement of the program (preorder over all
+   function bodies, outer statements before their children). *)
+let map_nth_stmt (prog : program) n (repl : stmt -> stmt list) : program =
+  let count = ref (-1) in
+  let one = function [ s ] -> s | l -> SBlock l in
+  let rec tx_list stmts = List.concat_map tx stmts
+  and tx s =
+    incr count;
+    if !count = n then repl s
+    else
+      match s with
+      | SBlock l -> [ SBlock (tx_list l) ]
+      | SIf (c, a, b) ->
+        [ SIf (c, one (tx a), Option.map (fun b -> one (tx b)) b) ]
+      | SFor (i, c, u, b) -> [ SFor (i, c, u, one (tx b)) ]
+      | SWhile (c, b) -> [ SWhile (c, one (tx b)) ]
+      | SDoWhile (b, c) -> [ SDoWhile (one (tx b), c) ]
+      | s -> [ s ]
+  in
+  List.map
+    (function
+      | TFunc f -> TFunc { f with fn_body = Option.map tx_list f.fn_body }
+      | td -> td)
+    prog
+
+let count_stmts (prog : program) : int =
+  let count = ref 0 in
+  let rec go s =
+    incr count;
+    match s with
+    | SBlock l -> List.iter go l
+    | SIf (_, a, b) -> go a; Option.iter go b
+    | SFor (_, _, _, b) | SWhile (_, b) | SDoWhile (b, _) -> go b
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | TFunc { fn_body = Some body; _ } -> List.iter go body
+      | _ -> ())
+    prog;
+  !count
+
+let unwrap = function
+  | SBlock l -> l
+  | SIf (_, a, b) -> (a :: Option.to_list b)
+  | SFor (_, _, _, b) | SWhile (_, b) | SDoWhile (b, _) -> [ b ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Expression-level reductions                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk every expression in the program (the traversal order only has
+   to be self-consistent) and offer simplifications of the [n]th. *)
+let map_nth_expr (prog : program) n (repl : expr -> expr option) :
+  program option =
+  let count = ref (-1) in
+  let applied = ref false in
+  let on_expr e =
+    incr count;
+    if !count = n then
+      match repl e with
+      | Some e' -> applied := true; e'
+      | None -> e
+    else e
+  in
+  let prog' =
+    List.map
+      (function
+        | TFunc f ->
+          TFunc
+            { f with
+              fn_body =
+                Option.map
+                  (List.map (map_stmt ~expr:on_expr ~stmt:(fun s -> s)))
+                  f.fn_body }
+        | td -> td)
+      prog
+  in
+  if !applied then Some prog' else None
+
+let count_exprs (prog : program) : int =
+  let count = ref 0 in
+  List.iter
+    (function
+      | TFunc { fn_body = Some body; _ } ->
+        List.iter
+          (fun s ->
+             ignore
+               (map_stmt ~expr:(fun e -> incr count; e) ~stmt:(fun s -> s) s))
+          body
+      | _ -> ())
+    prog;
+  !count
+
+let simpler_exprs = function
+  | Binary (_, a, b) -> [ a; b ]
+  | Cond (_, a, b) -> [ a; b ]
+  | Unary ((Neg | Bnot | Lnot), e) -> [ e ]
+  | Cast (_, e) -> [ e ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program rescaling                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace every int literal equal to [from] with [to_] — used to keep
+   index masks and tile sizes consistent when lws/elems shrink. *)
+let rewrite_const (prog : program) ~from ~to_ : program =
+  let f64 = Int64.of_int from in
+  let on_expr = function
+    | IntLit (v, s) when v = f64 -> IntLit (Int64.of_int to_, s)
+    | e -> e
+  in
+  let on_stmt = function
+    | SDecl ({ d_ty = TArr (t, Some n); _ } as d) when n = from ->
+      SDecl { d with d_ty = TArr (t, Some to_) }
+    | s -> s
+  in
+  List.map
+    (function
+      | TFunc f ->
+        TFunc
+          { f with
+            fn_body =
+              Option.map (List.map (map_stmt ~expr:on_expr ~stmt:on_stmt))
+                f.fn_body }
+      | td -> td)
+    prog
+
+(* Best-effort vector narrowing: halve every vector width, truncate
+   vector literals, remap swizzle selectors into the lower half.  An
+   ill-typed result is simply a rejected candidate. *)
+let narrow_swizzle = function
+  | "z" | "s2" -> "x"
+  | "w" | "s3" -> "y"
+  | "lo" | "even" | "xy" -> "x"
+  | "hi" | "odd" | "zw" | "yx" | "wx" -> "y"
+  | m -> m
+
+let rec narrow_ty = function
+  | TVec (s, 2) -> TScalar s
+  | TVec (s, w) when w > 2 -> TVec (s, w / 2)
+  | TPtr t -> TPtr (narrow_ty t)
+  | TQual (sp, t) -> TQual (sp, narrow_ty t)
+  | TConst t -> TConst (narrow_ty t)
+  | TArr (t, n) -> TArr (narrow_ty t, n)
+  | t -> t
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let scalarize (prog : program) : program =
+  let on_expr = function
+    | VecLit (t, args) ->
+      (match narrow_ty t with
+       | TScalar _ -> (match args with a :: _ -> a | [] -> int_lit 0)
+       | t' -> VecLit (t', take (List.length args / 2) args))
+    | Member (e, m) -> Member (e, narrow_swizzle m)
+    | Cast (t, e) -> Cast (narrow_ty t, e)
+    | e -> e
+  in
+  let on_stmt = function
+    | SDecl d -> SDecl { d with d_ty = narrow_ty d.d_ty }
+    | s -> s
+  in
+  List.map
+    (function
+      | TFunc f ->
+        TFunc
+          { f with
+            fn_params =
+              List.map (fun pa -> { pa with pa_ty = narrow_ty pa.pa_ty })
+                f.fn_params;
+            fn_ret = narrow_ty f.fn_ret;
+            fn_body =
+              Option.map (List.map (map_stmt ~expr:on_expr ~stmt:on_stmt))
+                f.fn_body }
+      | td -> td)
+    prog
+
+let has_vectors (prog : program) : bool =
+  let found = ref false in
+  let check_ty t =
+    let rec go = function
+      | TVec _ -> found := true
+      | TPtr t | TQual (_, t) | TConst t | TArr (t, _) -> go t
+      | _ -> ()
+    in
+    go t
+  in
+  List.iter
+    (function
+      | TFunc f ->
+        List.iter (fun pa -> check_ty pa.pa_ty) f.fn_params;
+        Option.iter
+          (List.iter
+             (fun s ->
+                ignore
+                  (map_stmt
+                     ~expr:(fun e ->
+                         (match e with VecLit _ -> found := true | _ -> ());
+                         e)
+                     ~stmt:(fun s ->
+                         (match s with
+                          | SDecl d -> check_ty d.d_ty
+                          | _ -> ());
+                         s)
+                     s)))
+          f.fn_body
+      | _ -> ())
+    prog;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Candidates and the greedy loop                                      *)
+(* ------------------------------------------------------------------ *)
+
+let candidates (c : Gen.case) : Gen.case list =
+  let with_prog p = { c with Gen.c_prog = p } in
+  let n_stmts = count_stmts c.Gen.c_prog in
+  let deletions =
+    List.init n_stmts (fun i ->
+        with_prog (map_nth_stmt c.Gen.c_prog i (fun _ -> [])))
+  in
+  let unwraps =
+    List.init n_stmts (fun i ->
+        with_prog (map_nth_stmt c.Gen.c_prog i unwrap))
+  in
+  let n_exprs = count_exprs c.Gen.c_prog in
+  let expr_simpl =
+    List.concat
+      (List.init n_exprs (fun i ->
+           (* up to two variants per position *)
+           List.filter_map
+             (fun pick ->
+                Option.map with_prog
+                  (map_nth_expr c.Gen.c_prog i (fun e ->
+                       match simpler_exprs e with
+                       | [] -> None
+                       | l when List.length l > pick -> Some (List.nth l pick)
+                       | _ -> None)))
+             [ 0; 1 ]))
+  in
+  let scalarized =
+    if has_vectors c.Gen.c_prog then [ with_prog (scalarize c.Gen.c_prog) ]
+    else []
+  in
+  let ndrange =
+    (if c.Gen.c_gws > c.Gen.c_lws then
+       [ { c with Gen.c_gws = c.Gen.c_gws - c.Gen.c_lws } ]
+     else [])
+    @ (if c.Gen.c_lws >= 2 then
+         let lws' = c.Gen.c_lws / 2 in
+         let groups = c.Gen.c_gws / c.Gen.c_lws in
+         [ { c with
+             Gen.c_lws = lws';
+             c_gws = lws' * groups;
+             c_prog =
+               rewrite_const c.Gen.c_prog ~from:(c.Gen.c_lws - 1)
+                 ~to_:(lws' - 1)
+               |> fun p -> rewrite_const p ~from:c.Gen.c_lws ~to_:lws' } ]
+       else [])
+    @ (if c.Gen.c_elems / 2 >= c.Gen.c_gws && c.Gen.c_elems >= 2 then
+         [ { c with
+             Gen.c_elems = c.Gen.c_elems / 2;
+             c_prog =
+               rewrite_const c.Gen.c_prog ~from:(c.Gen.c_elems - 1)
+                 ~to_:((c.Gen.c_elems / 2) - 1) } ]
+       else [])
+  in
+  deletions @ unwraps @ expr_simpl @ scalarized @ ndrange
+
+(* Greedy fixpoint: take the first candidate that still reproduces,
+   restart from it; stop when no candidate reproduces or the attempt
+   budget is exhausted. *)
+let minimize ?(max_attempts = 2000) ~(interesting : Gen.case -> bool)
+    (c : Gen.case) : Gen.case * int =
+  let attempts = ref 0 in
+  let rec go c =
+    let rec try_cands = function
+      | [] -> c
+      | cand :: rest ->
+        if !attempts >= max_attempts then c
+        else begin
+          incr attempts;
+          if interesting cand then go cand else try_cands rest
+        end
+    in
+    try_cands (candidates c)
+  in
+  let shrunk = go c in
+  (shrunk, !attempts)

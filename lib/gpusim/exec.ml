@@ -178,9 +178,12 @@ let kernel_externals ~(cur : (int array * int array * int array * int array) ref
         match args with
         | [ p; bound ] ->
           atomic_rmw ctx p (fun old ->
-              let o = Vm.Value.to_int old.v in
-              let b = Vm.Value.to_int bound.v in
-              if Int64.unsigned_compare o b >= 0 then tint 0
+              (* the hardware operates on 32-bit unsigned values: a
+                 sign-extended load of a negative int cell must not
+                 compare above the bound *)
+              let u32 v = Int64.logand (Vm.Value.to_int v) 0xFFFFFFFFL in
+              let o = u32 old.v and b = u32 bound.v in
+              if Int64.compare o b >= 0 then tint 0
               else tv (VInt (Int64.add o 1L)) old.ty)
         | _ -> raise (Launch_error "atomicInc arity")));
     ("atomicDec",
@@ -188,9 +191,9 @@ let kernel_externals ~(cur : (int array * int array * int array * int array) ref
         match args with
         | [ p; bound ] ->
           atomic_rmw ctx p (fun old ->
-              let o = Vm.Value.to_int old.v in
-              let b = Vm.Value.to_int bound.v in
-              if o = 0L || Int64.unsigned_compare o b > 0 then
+              let u32 v = Int64.logand (Vm.Value.to_int v) 0xFFFFFFFFL in
+              let o = u32 old.v and b = u32 bound.v in
+              if o = 0L || Int64.compare o b > 0 then
                 tv (VInt b) old.ty
               else tv (VInt (Int64.sub o 1L)) old.ty)
         | _ -> raise (Launch_error "atomicDec arity")));

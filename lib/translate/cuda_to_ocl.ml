@@ -451,7 +451,8 @@ let qualify_pointer_param sp (pa : param) =
    inter-procedural information CUDA kernel pointer args are global. *)
 let default_param_space = AS_global
 
-let lower_kernel rw ~symbols ~textures_used (f : func) : func * kmeta =
+let lower_kernel rw ~symbols ~textures_used ?(file_dynshared = []) (f : func) :
+  func * kmeta =
   let body = Option.value f.fn_body ~default:[] in
   (* find the extern __shared__ declaration, if any *)
   let dynshared =
@@ -478,6 +479,15 @@ let lower_kernel rw ~symbols ~textures_used (f : func) : func * kmeta =
   in
   (* which runtime symbols and textures does this kernel use? *)
   let used = idents_of_body body in
+  (* a file-scope [extern __shared__] pool (as emitted by the reverse,
+     OpenCL-to-CUDA, pass) referenced by this kernel acts exactly like an
+     in-body extern __shared__ declaration *)
+  let dynshared =
+    match dynshared with
+    | Some _ -> dynshared
+    | None ->
+      List.find_opt (fun (n, _) -> List.mem n used) file_dynshared
+  in
   let my_symbols =
     List.filter (fun sy -> List.mem sy.sy_name used) symbols
     |> List.map (fun sy -> sy.sy_name)
@@ -830,13 +840,30 @@ let translate (cuda : Minic.Ast.program) : result =
   let device_decls = ref [] in
   let host_decls = ref [] in
   let ref_flags = ref [] in
+  (* file-scope [extern __shared__ char pool[]] declarations become the
+     dynamic-shared pool of whichever kernels reference them *)
+  let file_dynshared =
+    List.filter_map
+      (function
+        | TVar d when d.d_storage.s_extern && type_space d.d_ty = AS_local ->
+          let elt =
+            match unqual d.d_ty with
+            | TArr (t, _) | TPtr t -> unqual t
+            | t -> t
+          in
+          Some (d.d_name, elt)
+        | _ -> None)
+      cuda
+  in
   List.iter
     (fun td ->
        match td with
        | TFunc f when f.fn_kind = FK_kernel ->
          let f, flags = lower_reference_params f in
          ref_flags := (f.fn_name, flags) :: !ref_flags;
-         let f', km = lower_kernel rw ~symbols ~textures_used:textures f in
+         let f', km =
+           lower_kernel rw ~symbols ~textures_used:textures ~file_dynshared f
+         in
          kmetas := km :: !kmetas;
          device_decls := TFunc f' :: !device_decls
        | TFunc f when is_device_fn f ->
@@ -863,6 +890,8 @@ let translate (cuda : Minic.Ast.program) : result =
          in
          (match unqual d.d_ty, space, d.d_init with
           | TTexture _, _, _ -> ()   (* replaced by kernel params *)
+          | _, AS_local, _ when d.d_storage.s_extern ->
+            ()                       (* became a dynamic __local param *)
           | _, AS_constant, Some _ ->
             (* statically initialised constant: direct translation *)
             device_decls := TVar d :: !device_decls

@@ -123,8 +123,11 @@ let rec vec_width types e =
   | Index (a, _) ->
     (match a with
      | Ident n ->
-       (match Hashtbl.find_opt types n with
-        | Some (TPtr (TVec (_, w)) | TArr (TVec (_, w), _)) -> Some w
+       (* parameters carry the address space inside the pointee:
+          [__global int2 *p] is [TPtr (TQual (AS_global, int2))] *)
+       (match Option.map unqual (Hashtbl.find_opt types n) with
+        | Some (TPtr t) | Some (TArr (t, _)) ->
+          (match unqual t with TVec (_, w) -> Some w | _ -> None)
         | _ -> None)
      | _ -> None)
   | Binary (_, a, b) ->
@@ -135,8 +138,10 @@ let scalar_of_vec types e =
   let rec go e =
     match e with
     | Ident n ->
-      (match Hashtbl.find_opt types n with
+      (match Option.map unqual (Hashtbl.find_opt types n) with
        | Some (TVec (s, _)) -> Some s
+       | Some (TPtr t) | Some (TArr (t, _)) ->
+         (match unqual t with TVec (s, _) -> Some s | _ -> None)
        | _ -> None)
     | Member (a, _) | Index (a, _) | Binary (_, a, _) | Cast (_, a) -> go a
     | VecLit (TVec (s, _), _) -> Some s
@@ -205,8 +210,13 @@ let lower_expr types (e : expr) : expr =
     e
 
 (* Assignments whose left side selects several components must split
-   into one statement per component: v1.lo = v2.lo  =>  v1.x = v2.x;
-   v1.y = v2.y;  (§3.6). *)
+   into one statement per component (§3.6).  The right side is always
+   evaluated once into a fresh temporary first: per-component
+   re-evaluation would both duplicate side effects and — when source and
+   target overlap, as in [v.wx = v.zw] — read components the earlier
+   split statements already overwrote. *)
+let sw_fresh = ref 0
+
 let split_multi_assign types (lhs : expr) op (rhs : expr) : stmt list option =
   match lhs with
   | Member (base, m) ->
@@ -215,34 +225,85 @@ let split_multi_assign types (lhs : expr) op (rhs : expr) : stmt list option =
      | Some w ->
        (match Vm.Interp.vec_indices w m with
         | Some idx when List.length idx > 1 ->
-          let rhs_width = vec_width types rhs in
-          let pick k i =
-            let name = if i < 4 then comp_name i else Printf.sprintf "s%c" (hexdig i) in
-            ignore k;
-            name
+          let pick i =
+            if i < 4 then comp_name i else Printf.sprintf "s%c" (hexdig i)
           in
-          let rhs_comp k =
-            match rhs with
-            | Member (rbase, rm) ->
-              (match vec_width types rbase with
-               | Some rw ->
-                 (match Vm.Interp.vec_indices rw rm with
-                  | Some ridx when List.length ridx = List.length idx ->
-                    let i = List.nth ridx k in
-                    Member (rbase, pick k i)
-                  | _ -> Member (rhs, pick k k))
-               | None -> Member (rhs, pick k k))
-            | VecLit (_, args) when List.length args = List.length idx ->
-              List.nth args k
-            | _ ->
-              if rhs_width = None then rhs   (* scalar broadcast *)
-              else Member (rhs, pick k k)
+          let base_scalar =
+            Option.value (scalar_of_vec types base) ~default:Float
           in
+          let direct rhs_comp =
+            Some
+              (List.mapi
+                 (fun k i ->
+                    SExpr (Assign (op, Member (base, pick i), rhs_comp k)))
+                 idx)
+          in
+          let atomic = function
+            | Ident _ | IntLit _ | FloatLit _ -> true
+            | _ -> false
+          in
+          (* Fast paths: split directly when the RHS can be re-read per
+             component without double side effects and without reading a
+             component an earlier split assignment already wrote. *)
+          (match rhs with
+           | Member (Ident rb, rm)
+             when (match vec_width types rhs with
+                   | Some rw -> rw = List.length idx
+                   | None -> false) ->
+             let rw =
+               match vec_width types (Ident rb) with Some w -> w | None -> 4
+             in
+             (match Vm.Interp.vec_indices rw rm with
+              | Some ridx ->
+                let overlap =
+                  match base with
+                  | Ident b when String.equal b rb ->
+                    (* same vector: unsafe if any later read hits an
+                       already-written component *)
+                    List.exists
+                      (fun k ->
+                         let r = List.nth ridx k in
+                         List.exists
+                           (fun k' -> List.nth idx k' = r)
+                           (List.init k (fun j -> j)))
+                      (List.init (List.length idx) (fun j -> j))
+                  | Ident _ -> false
+                  | _ -> true
+                in
+                if overlap then None
+                else
+                  direct (fun k -> Member (Ident rb, pick (List.nth ridx k)))
+              | None -> None)
+           | _ when atomic rhs && vec_width types rhs = None ->
+             direct (fun _ -> rhs)
+           | _ -> None)
+          |> (function
+          | Some _ as fast -> fast
+          | None ->
+          incr sw_fresh;
+          let tmp = Printf.sprintf "__oc2cu_sw%d" !sw_fresh in
+          let tmp_ty, tmp_comp =
+            match vec_width types rhs with
+            | None ->
+              (* scalar broadcast: every component gets the same value *)
+              (TScalar base_scalar, fun _ -> Ident tmp)
+            | Some _ ->
+              let s = Option.value (scalar_of_vec types rhs) ~default:base_scalar in
+              ( TVec (s, List.length idx),
+                fun k -> Member (Ident tmp, pick k) )
+          in
+          let d =
+            SDecl
+              { d_name = tmp; d_ty = tmp_ty; d_storage = plain_storage;
+                d_init = Some (IExpr rhs) }
+          in
+          Hashtbl.replace types tmp tmp_ty;
           Some
-            (List.mapi
-               (fun k i ->
-                  SExpr (Assign (op, Member (base, pick k i), rhs_comp k)))
-               idx)
+            (d
+             :: List.mapi
+                  (fun k i ->
+                     SExpr (Assign (op, Member (base, pick i), tmp_comp k)))
+                  idx))
         | _ -> None))
   | _ -> None
 
@@ -421,6 +482,7 @@ let lower_helper used_wide (f : func) : func =
 let translate (ocl : Minic.Ast.program) : result =
   Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:ocl-to-cuda"
   @@ fun () ->
+  sw_fresh := 0;
   let used_wide = ref [] in
   let infos = ref [] in
   let needs_shared_pool = ref false in

@@ -48,6 +48,7 @@ type cfunc = {
   cf_nslots : int;
   cf_params : env -> I.tval array -> unit;
   cf_body : env -> unit;
+  cf_ret : ty;  (* declared return type; returned values convert to it *)
 }
 
 type program = {
@@ -853,7 +854,9 @@ and call_cfunc cf (ctx : I.ctx) (args : I.tval array) : I.tval =
   | exception I.Return_exc v ->
     Memory.release arena m;
     ctx.I.call_depth <- ctx.I.call_depth - 1;
-    v
+    (* C semantics: convert to the declared return type (matches
+       Interp.call_function) *)
+    if equal_ty v.I.ty cf.cf_ret then v else I.cast_value ctx cf.cf_ret v
   | exception e ->
     Memory.release arena m;
     ctx.I.call_depth <- ctx.I.call_depth - 1;
@@ -912,7 +915,8 @@ and compile_func st (f : func) : cfunc =
     { cf_name = f.fn_name;
       cf_nslots = 0;
       cf_params = (fun _ _ -> ());
-      cf_body = (fun _ -> I.fail "calling prototype %s" f.fn_name) }
+      cf_body = (fun _ -> I.fail "calling prototype %s" f.fn_name);
+      cf_ret = unqual f.fn_ret }
   | Some body ->
     let sc = { st; stack = [ [] ]; nslots = 0 } in
     let fn_name = f.fn_name in
@@ -924,7 +928,8 @@ and compile_func st (f : func) : cfunc =
       cf_body =
         (match cbody with
          | [| s |] -> s
-         | _ -> fun env -> Array.iter (fun s -> s env) cbody) }
+         | _ -> fun env -> Array.iter (fun s -> s env) cbody);
+      cf_ret = unqual f.fn_ret }
 
 (* ------------------------------------------------------------------ *)
 (* Initialisers (mirror Interp.store_init)                             *)

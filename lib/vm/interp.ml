@@ -945,7 +945,12 @@ and call_function ctx f args =
        try
          List.iter (exec_stmt ctx) body;
          tunit
-       with Return_exc v -> v)
+       with Return_exc v ->
+         (* C semantics: the returned value converts to the declared
+            return type (e.g. [return blockDim.x] in an [int] function
+            yields a signed int, not a uint) *)
+         let ret = unqual f.fn_ret in
+         if equal_ty v.ty ret then v else cast_value ctx ret v)
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)

@@ -247,4 +247,140 @@ let cuda_tests =
         let ms = Cuda.Cudart.event_elapsed_ms cu e0 e1 in
         Alcotest.(check bool) "about 2ms" true (ms >= 2.0 && ms < 2.1)) ]
 
-let suites = [ ("opencl-api", opencl_tests); ("cuda-api", cuda_tests) ]
+(* --- error paths --------------------------------------------------------- *)
+
+let cl_code f =
+  try
+    ignore (f ());
+    None
+  with Opencl.Cl.Cl_error (code, _) -> Some code
+
+let cu_raises f =
+  try
+    ignore (f ());
+    false
+  with Cuda.Cudart.Cuda_error _ -> true
+
+let opencl_error_tests =
+  [ Alcotest.test_case "clCreateBuffer rejects non-positive size" `Quick
+      (fun () ->
+         let cl = fresh_cl () in
+         Alcotest.(check (option int)) "size 0"
+           (Some Opencl.Cl.cl_invalid_value)
+           (cl_code (fun () -> Opencl.Cl.create_buffer cl 0));
+         Alcotest.(check (option int)) "negative size"
+           (Some Opencl.Cl.cl_invalid_value)
+           (cl_code (fun () -> Opencl.Cl.create_buffer cl (-16))));
+    Alcotest.test_case "invalid object handle is CL_INVALID_VALUE" `Quick
+      (fun () ->
+         let cl = fresh_cl () in
+         Alcotest.(check (option int)) "bad handle"
+           (Some Opencl.Cl.cl_invalid_value)
+           (cl_code (fun () -> Opencl.Cl.find_obj cl 987654)));
+    Alcotest.test_case "clCreateKernel before clBuildProgram" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let p =
+          Opencl.Cl.create_program_with_source cl
+            "__kernel void f(__global int* p) { p[0] = 1; }"
+        in
+        Alcotest.(check (option int)) "unbuilt program"
+          (Some Opencl.Cl.cl_invalid_value)
+          (cl_code (fun () -> Opencl.Cl.create_kernel cl p "f")));
+    Alcotest.test_case "clCreateKernel name errors" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let p =
+          Opencl.Cl.create_program_with_source cl
+            "int helper(int x) { return x + 1; }\n\
+             __kernel void f(__global int* p) { p[0] = helper(1); }"
+        in
+        Opencl.Cl.build_program cl p;
+        Alcotest.(check (option int)) "missing name"
+          (Some Opencl.Cl.cl_invalid_value)
+          (cl_code (fun () -> Opencl.Cl.create_kernel cl p "nope"));
+        Alcotest.(check (option int)) "non-kernel function"
+          (Some Opencl.Cl.cl_invalid_value)
+          (cl_code (fun () -> Opencl.Cl.create_kernel cl p "helper")));
+    Alcotest.test_case "clSetKernelArg index out of range" `Quick (fun () ->
+        let cl = fresh_cl () in
+        let p =
+          Opencl.Cl.create_program_with_source cl
+            "__kernel void f(__global int* p) { p[0] = 1; }"
+        in
+        Opencl.Cl.build_program cl p;
+        let k = Opencl.Cl.create_kernel cl p "f" in
+        Alcotest.(check (option int)) "index 5"
+          (Some Opencl.Cl.cl_invalid_kernel_args)
+          (cl_code (fun () -> Opencl.Cl.set_arg_int cl k 5 0));
+        Alcotest.(check (option int)) "negative index"
+          (Some Opencl.Cl.cl_invalid_kernel_args)
+          (cl_code (fun () -> Opencl.Cl.set_arg_int cl k (-1) 0)));
+    Alcotest.test_case "out-of-bounds read is CL_INVALID_VALUE" `Quick
+      (fun () ->
+         let cl = fresh_cl () in
+         let b = Opencl.Cl.create_buffer cl 16 in
+         let back = Vm.Hostbuf.alloc cl.Opencl.Cl.host 32 in
+         Alcotest.(check (option int)) "oob read"
+           (Some Opencl.Cl.cl_invalid_value)
+           (cl_code (fun () ->
+                Opencl.Cl.enqueue_read_buffer cl b ~offset:8 ~size:16
+                  ~host_ptr:(Vm.Hostbuf.ptr back) ())));
+    Alcotest.test_case "unknown device info parameter" `Quick (fun () ->
+        let cl = fresh_cl () in
+        Alcotest.(check (option int)) "bad param"
+          (Some Opencl.Cl.cl_invalid_value)
+          (cl_code (fun () ->
+               Opencl.Cl.get_device_info cl "CL_DEVICE_NO_SUCH_PARAM")));
+    Alcotest.test_case "clSVMAlloc rejects non-positive size" `Quick (fun () ->
+        let cl = fresh_cl () in
+        Alcotest.(check (option int)) "size 0"
+          (Some Opencl.Cl.cl_invalid_value)
+          (cl_code (fun () -> Opencl.Cl.svm_alloc cl 0)))
+  ]
+
+let cuda_error_tests =
+  [ Alcotest.test_case "cudaMalloc rejects non-positive size" `Quick (fun () ->
+        let cu = fresh_cu () in
+        Alcotest.(check bool) "size 0" true
+          (cu_raises (fun () -> Cuda.Cudart.malloc cu 0));
+        Alcotest.(check bool) "negative" true
+          (cu_raises (fun () -> Cuda.Cudart.malloc cu (-8))));
+    Alcotest.test_case "cuModuleGetFunction errors" `Quick (fun () ->
+        let cu = fresh_cu () in
+        let prog =
+          Minic.Parser.program ~dialect:Minic.Parser.Cuda
+            "__device__ int helper(int x) { return x; }\n\
+             __global__ void k(int* p) { p[0] = helper(1); }"
+        in
+        let m = Cuda.Cudart.load_module cu prog in
+        Alcotest.(check bool) "missing function" true
+          (cu_raises (fun () -> Cuda.Cudart.module_get_function m "nope"));
+        Alcotest.(check bool) "__device__ is not launchable" true
+          (cu_raises (fun () -> Cuda.Cudart.module_get_function m "helper")));
+    Alcotest.test_case "symbol lookup errors" `Quick (fun () ->
+        let cu = fresh_cu () in
+        ignore
+          (Cuda.Cudart.load_module cu
+             (Minic.Parser.program ~dialect:Minic.Parser.Cuda
+                "__device__ float w[4];"));
+        Alcotest.(check bool) "find_symbol missing" true
+          (cu_raises (fun () -> Cuda.Cudart.find_symbol cu "nope"));
+        let hb = Vm.Hostbuf.alloc cu.Cuda.Cudart.host 16 in
+        Alcotest.(check bool) "memcpy_to_symbol missing" true
+          (cu_raises (fun () ->
+               Cuda.Cudart.memcpy_to_symbol cu "nope"
+                 ~src:(Vm.Hostbuf.ptr hb) ~bytes:16 ())));
+    Alcotest.test_case "texture lookup errors" `Quick (fun () ->
+        let cu = fresh_cu () in
+        Alcotest.(check bool) "unknown name" true
+          (cu_raises (fun () -> Cuda.Cudart.texture_by_name cu "nope"));
+        Alcotest.(check bool) "invalid handle" true
+          (cu_raises (fun () -> Cuda.Cudart.texture_by_handle cu 424242));
+        Alcotest.(check bool) "invalid array handle" true
+          (cu_raises (fun () -> Cuda.Cudart.array_by_handle cu 424242)))
+  ]
+
+let suites =
+  [ ("opencl-api", opencl_tests);
+    ("cuda-api", cuda_tests);
+    ("opencl-api.errors", opencl_error_tests);
+    ("cuda-api.errors", cuda_error_tests) ]

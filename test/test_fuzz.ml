@@ -1,0 +1,174 @@
+(* Differential conformance fuzzer: smoke, round-trip, shrinker and
+   repro-persistence tests.  The smoke run is the tier-1 guarantee that
+   [count] deterministic seeds produce zero unshrunk divergences across
+   the six-way pyramid (3 translation stages x 2 VM backends). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let tmp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun sub ->
+         let d = Filename.concat dir sub in
+         if Sys.is_directory d then
+           Array.iter (fun f -> Sys.remove (Filename.concat d f))
+             (Sys.readdir d);
+         if Sys.file_exists d && Sys.is_directory d then Sys.rmdir d
+         else if Sys.file_exists d then Sys.remove d)
+      (Sys.readdir dir);
+  dir
+
+(* --- deterministic fuzz smoke: >=100 kernels, zero divergences ------- *)
+
+let smoke_tests =
+  [ Alcotest.test_case "120-case deterministic smoke (seed 7)" `Slow
+      (fun () ->
+         let stats =
+           Fuzz.Driver.run ~out_dir:(tmp_dir "oclcu-fuzz-smoke") ~seed:7
+             ~count:120 ()
+         in
+         check_int "all cases executed" 120 stats.Fuzz.Driver.total;
+         check_int "zero divergences" 0 stats.Fuzz.Driver.divergent;
+         check "mostly runnable" true (stats.Fuzz.Driver.agreed >= 110);
+         (* the generator must keep exercising the paper's §5 features *)
+         let cov = stats.Fuzz.Driver.coverage in
+         check "vector coverage" true (cov.Fuzz.Gen.cov_vectors > 50);
+         check "swizzle coverage" true (cov.Fuzz.Gen.cov_swizzles > 30);
+         check "barrier coverage" true (cov.Fuzz.Gen.cov_barriers > 20);
+         check "atomic coverage" true (cov.Fuzz.Gen.cov_atomics > 10);
+         check "local-memory coverage" true
+           (cov.Fuzz.Gen.cov_dyn_local + cov.Fuzz.Gen.cov_static_local > 20));
+    Alcotest.test_case "campaign is deterministic per (seed, index)" `Quick
+      (fun () ->
+         for i = 0 to 9 do
+           let a = Fuzz.Gen.source (Fuzz.Driver.case_of ~seed:42 i) in
+           let b = Fuzz.Gen.source (Fuzz.Driver.case_of ~seed:42 i) in
+           check_str (Printf.sprintf "case %d stable" i) a b
+         done;
+         let a = Fuzz.Gen.source (Fuzz.Driver.case_of ~seed:1 0) in
+         let b = Fuzz.Gen.source (Fuzz.Driver.case_of ~seed:2 0) in
+         check "different seeds differ" true (a <> b))
+  ]
+
+(* --- satellite: pretty-print -> re-parse round trip ------------------ *)
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"print->parse->print is a fixpoint"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+       let case = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+       let src = Fuzz.Gen.source case in
+       match Minic.Parser.program ~dialect:Minic.Parser.OpenCL src with
+       | exception Minic.Parser.Error (e, line) ->
+         QCheck.Test.fail_reportf "re-parse failed at line %d: %s" line e
+       | prog ->
+         let src' = Minic.Pretty.program_str Minic.Pretty.OpenCL prog in
+         if String.equal src src' then true
+         else QCheck.Test.fail_reportf "not a fixpoint:\n%s\n-- vs --\n%s"
+                src src')
+
+let prop_translation_roundtrip_parses =
+  QCheck.Test.make ~count:60 ~name:"generated kernels survive OCL->CUDA->OCL"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+       let case = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+       let r = Xlat.Ocl_to_cuda.translate case.Fuzz.Gen.c_prog in
+       let cuda_src =
+         Minic.Pretty.program_str Minic.Pretty.Cuda r.Xlat.Ocl_to_cuda.cuda_prog
+       in
+       match Minic.Parser.program ~dialect:Minic.Parser.Cuda cuda_src with
+       | exception Minic.Parser.Error (e, line) ->
+         QCheck.Test.fail_reportf "CUDA re-parse failed at line %d: %s" line e
+       | cuda_prog ->
+         let b = Xlat.Cuda_to_ocl.translate cuda_prog in
+         let ocl_src =
+           Minic.Pretty.program_str Minic.Pretty.OpenCL
+             b.Xlat.Cuda_to_ocl.cl_prog
+         in
+         (match Minic.Parser.program ~dialect:Minic.Parser.OpenCL ocl_src with
+          | _ -> true
+          | exception Minic.Parser.Error (e, line) ->
+            QCheck.Test.fail_reportf "round-trip re-parse failed at line %d: %s\n%s"
+              line e ocl_src))
+
+(* --- shrinker --------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let shrink_tests =
+  [ Alcotest.test_case "shrinker minimizes while preserving the predicate"
+      `Quick
+      (fun () ->
+         (* find a generated case that uses an atomic, then shrink under
+            the predicate "still contains an atomic call" *)
+         let rec find i =
+           if i > 500 then Alcotest.fail "no atomic case in 500 seeds"
+           else
+             let c = Fuzz.Gen.generate (Fuzz.Rng.create i) in
+             if
+               contains (Fuzz.Gen.source c) "atomic"
+               && Fuzz.Shrink.count_stmts c.Fuzz.Gen.c_prog > 6
+             then c
+             else find (i + 1)
+         in
+         let case = find 0 in
+         let interesting cand = contains (Fuzz.Gen.source cand) "atomic" in
+         let before = Fuzz.Shrink.count_stmts case.Fuzz.Gen.c_prog in
+         let small, attempts = Fuzz.Shrink.minimize ~interesting case in
+         let after = Fuzz.Shrink.count_stmts small.Fuzz.Gen.c_prog in
+         check "attempts counted" true (attempts > 0);
+         check "still interesting" true (interesting small);
+         check
+           (Printf.sprintf "shrunk %d -> %d statements" before after)
+           true (after < before));
+    Alcotest.test_case "shrunk NDRange stays launchable" `Quick
+      (fun () ->
+         let case = Fuzz.Gen.generate (Fuzz.Rng.create 3) in
+         let small, _ = Fuzz.Shrink.minimize ~interesting:(fun _ -> true) case in
+         check "gws > 0" true (small.Fuzz.Gen.c_gws > 0);
+         check "lws divides gws"
+           true (small.Fuzz.Gen.c_gws mod small.Fuzz.Gen.c_lws = 0);
+         check "elems >= gws" true
+           (small.Fuzz.Gen.c_elems >= small.Fuzz.Gen.c_gws))
+  ]
+
+(* --- repro persistence / replay --------------------------------------- *)
+
+let repro_tests =
+  [ Alcotest.test_case "repro write/load round-trips the case" `Quick
+      (fun () ->
+         let case = Fuzz.Gen.generate (Fuzz.Rng.create 11) in
+         let d =
+           { Fuzz.Pyramid.d_stage = "B:ocl->cuda";
+             d_kind = Fuzz.Pyramid.K_bytes;
+             d_detail = "buffer out differs at byte 0" }
+         in
+         let dir =
+           Fuzz.Repro.write ~out_dir:(tmp_dir "oclcu-fuzz-repro")
+             ~name:"unit" ~case ~d ~seed:11 ~index:0
+         in
+         let case' = Fuzz.Repro.load dir in
+         check_str "program preserved" (Fuzz.Gen.source case)
+           (Fuzz.Gen.source case');
+         check_int "gws" case.Fuzz.Gen.c_gws case'.Fuzz.Gen.c_gws;
+         check_int "lws" case.Fuzz.Gen.c_lws case'.Fuzz.Gen.c_lws;
+         check_int "elems" case.Fuzz.Gen.c_elems case'.Fuzz.Gen.c_elems;
+         check_int "init_seed" case.Fuzz.Gen.c_init_seed
+           case'.Fuzz.Gen.c_init_seed;
+         (* a healthy translator means the replay no longer diverges *)
+         check "replay agrees" false (Fuzz.Driver.replay dir))
+  ]
+
+let suites =
+  [ ("fuzz.smoke", smoke_tests);
+    ( "fuzz.roundtrip",
+      [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+        QCheck_alcotest.to_alcotest prop_translation_roundtrip_parses ] );
+    ("fuzz.shrink", shrink_tests);
+    ("fuzz.repro", repro_tests) ]
