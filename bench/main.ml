@@ -924,6 +924,185 @@ let fuzz_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel executor: speedup and scaling curve                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock scaling of the domain-parallel execution engine on
+   kernel-heavy synthetic workloads (many independent blocks, so the
+   optimistic engine accepts the parallel run and the measurement is of
+   the concurrent path, not of replays).  Every run's output buffer is
+   checked byte-for-byte against the sequential engine first — a speedup
+   on wrong results would be meaningless.
+
+   The speedup gate only applies when OCLCU_PARALLEL_GATE=<factor> is
+   set: this box may be single-core (the engine still runs 4 domains,
+   they just time-slice), so the floor is asserted in CI where cores are
+   guaranteed, and the local run only reports the curve. *)
+let parallel_bench () =
+  header "Parallel: domain-parallel executor scaling (wall clock)";
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let with_domains n f =
+    let saved = !Gpusim.Exec.domains in
+    Gpusim.Exec.domains := n;
+    Fun.protect ~finally:(fun () -> Gpusim.Exec.domains := saved) f
+  in
+  (* one workload = an OpenCL kernel plus its launch geometry; outputs
+     land in a single int buffer that identity checks read back *)
+  let mk_workload ~name ~src ~kernel ~out_ints ~gws ~lws ~extra_args () =
+    let prog = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
+    let k = Option.get (Minic.Ast.find_function prog kernel) in
+    let run () =
+      let dev =
+        Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.opencl_on_nvidia
+      in
+      let host = Vm.Memory.create "bench-host" in
+      let out = Vm.Memory.alloc dev.Gpusim.Device.global ~align:256 (out_ints * 4) in
+      let args =
+        Gpusim.Exec.Arg_val
+          (Vm.Interp.tv
+             (Vm.Value.VInt (Vm.Value.make_ptr Minic.Ast.AS_global out))
+             (Minic.Ast.TPtr (Minic.Ast.TScalar Minic.Ast.Int)))
+        :: extra_args
+      in
+      ignore
+        (Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4)
+           ~host_arena:host ~kernel:k
+           ~cfg:{ global_size = gws; local_size = lws; dyn_shared = 0 }
+           ~args ());
+      Bytes.to_string (Vm.Memory.load_bytes dev.Gpusim.Device.global out (out_ints * 4))
+    in
+    (name, run)
+  in
+  let compute_loop =
+    mk_workload ~name:"compute-loop.64x64"
+      ~src:{|
+__kernel void spin(__global int* out) {
+  float v = (float)get_global_id(0);
+  for (int i = 0; i < 600; i++) v = v * 1.0001f + 0.5f;
+  out[get_global_id(0)] = (int)v;
+}
+|}
+      ~kernel:"spin" ~out_ints:4096 ~gws:[| 4096; 1; 1 |] ~lws:[| 64; 1; 1 |]
+      ~extra_args:[] ()
+  in
+  let stream_add =
+    mk_workload ~name:"vector-stream.128x32"
+      ~src:{|
+__kernel void stream(__global int* out) {
+  int i = (int)get_global_id(0);
+  int acc = 0;
+  for (int j = 0; j < 40; j++) acc += (i + j) * (j | 1);
+  out[i] = acc;
+}
+|}
+      ~kernel:"stream" ~out_ints:4096 ~gws:[| 4096; 1; 1 |] ~lws:[| 32; 1; 1 |]
+      ~extra_args:[] ()
+  in
+  let local_reduce =
+    mk_workload ~name:"local-reduce.64x64"
+      ~src:{|
+__kernel void reduce(__global int* out, __local int* tmp) {
+  int t = (int)get_local_id(0);
+  tmp[t] = t + (int)get_group_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 32; s > 0; s /= 2) {
+    if (t < s) tmp[t] = tmp[t] + tmp[t + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (t == 0) out[get_group_id(0)] = tmp[0];
+}
+|}
+      ~kernel:"reduce" ~out_ints:64 ~gws:[| 4096; 1; 1 |] ~lws:[| 64; 1; 1 |]
+      ~extra_args:[ Gpusim.Exec.Arg_local (64 * 4) ] ()
+  in
+  let workloads = [ compute_loop; stream_add; local_reduce ] in
+  let time f =
+    ignore (f ());  (* warm caches, spawn the pool *)
+    let n = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do ignore (f ()) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  Printf.printf "%-24s %10s %10s %10s %10s %9s\n" "workload" "1 dom (s)"
+    "2 dom (s)" "4 dom (s)" "8 dom (s)" "x at 4";
+  let rows =
+    List.map
+      (fun (name, run) ->
+         let reference = with_domains 1 run in
+         let times =
+           List.map
+             (fun n ->
+                with_domains n (fun () ->
+                    let out = run () in
+                    if out <> reference then begin
+                      Printf.printf
+                        "parallel bench FAILED: %s diverges at %d domains\n"
+                        name n;
+                      exit 1
+                    end;
+                    (match !Gpusim.Exec.last_outcome with
+                     | Gpusim.Exec.Replayed r when n > 1 ->
+                       Printf.printf
+                         "parallel bench FAILED: %s replayed at %d domains (%s)\n"
+                         name n r;
+                       exit 1
+                     | _ -> ());
+                    (n, time run)))
+             domain_counts
+         in
+         let t1 = List.assoc 1 times and t4 = List.assoc 4 times in
+         let speedup4 = t1 /. t4 in
+         Printf.printf "%-24s %10.4f %10.4f %10.4f %10.4f %8.2fx\n%!" name
+           (List.assoc 1 times) (List.assoc 2 times) t4 (List.assoc 8 times)
+           speedup4;
+         (name, times, speedup4))
+      workloads
+  in
+  let speedups = List.map (fun (_, _, s) -> s) rows in
+  let gm = geomean speedups in
+  Printf.printf "%-24s %10s %10s %10s %10s %8.2fx\n" "geomean" "" "" "" "" gm;
+  (* context: a full wrapped-app pipeline, where parse/translate/build
+     dominate and kernel scaling is diluted — reported, never gated *)
+  let app = List.hd Suite.Registry.rodinia_opencl in
+  let app_time n =
+    with_domains n (fun () -> time (fun () -> run_app_on_cuda app ()))
+  in
+  let app1 = app_time 1 and app4 = app_time 4 in
+  Printf.printf "%-24s %10.4f %10s %10.4f %10s %8.2fx  (not gated)\n"
+    ("app." ^ app.Bridge.Framework.oa_name) app1 "" app4 "" (app1 /. app4);
+  record "parallel"
+    (J.Obj
+       [ ("domain_counts", J.List (List.map (fun n -> J.Int n) domain_counts));
+         ("rows",
+          J.List
+            (List.map
+               (fun (name, times, s4) ->
+                  J.Obj
+                    [ ("workload", J.Str name);
+                      ("times_s",
+                       J.Obj
+                         (List.map
+                            (fun (n, t) -> (string_of_int n, J.Float t))
+                            times));
+                      ("speedup_4", J.Float s4) ])
+               rows));
+         ("geomean_speedup_4", J.Float gm);
+         ("app_speedup_4", J.Float (app1 /. app4)) ]);
+  match Sys.getenv_opt "OCLCU_PARALLEL_GATE" with
+  | Some s ->
+    let floor = try float_of_string (String.trim s) with _ -> 1.5 in
+    if gm < floor then begin
+      Printf.printf
+        "parallel bench FAILED: geomean %.2fx at 4 domains below the %.2fx floor\n"
+        gm floor;
+      exit 1
+    end
+    else Printf.printf "gate passed: geomean %.2fx >= %.2fx at 4 domains\n" gm floor
+  | None ->
+    Printf.printf
+      "gate skipped (set OCLCU_PARALLEL_GATE=<factor> to enforce a floor)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -939,6 +1118,7 @@ let experiments =
     ("smoke", smoke);
     ("fuzz", fuzz_bench);
     ("backends", backends);
+    ("parallel", parallel_bench);
     ("bechamel", bechamel) ]
 
 let () =

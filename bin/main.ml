@@ -293,9 +293,20 @@ let run_cmd =
                    the default) or $(b,interp) (AST interpreter); the \
                    $(b,OCLCU_BACKEND) environment variable sets the default")
   in
-  let run input device trace profile backend =
+  let domains_arg =
+    Arg.(value & opt int !Gpusim.Exec.domains
+         & info [ "domains" ]
+             ~docv:"N"
+             ~doc:"Worker domains for kernel execution: thread blocks run \
+                   concurrently on $(docv) domains (1 = sequential engine); \
+                   results are byte-identical either way.  The \
+                   $(b,OCLCU_DOMAINS) environment variable sets the default \
+                   (machine core count otherwise)")
+  in
+  let run input device trace profile backend domains =
     catching_sys_error @@ fun () ->
     Gpusim.Exec.backend := backend;
+    Gpusim.Exec.domains := max 1 domains;
     let src = read_file input in
     let tracing = trace <> None || profile in
     let execute () =
@@ -347,7 +358,10 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a CUDA program on a simulated device")
-    Term.(ret (const run $ input $ device $ trace_arg $ profile $ backend))
+    Term.(
+      ret
+        (const run $ input $ device $ trace_arg $ profile $ backend
+         $ domains_arg))
 
 (* --- prof --------------------------------------------------------------- *)
 

@@ -219,10 +219,16 @@ let exn_detail e =
   let s = Printexc.to_string e in
   if String.length s > 200 then String.sub s 0 200 else s
 
+let counter_diff a b =
+  List.filter_map
+    (fun ((n, x), (_, y)) ->
+       if x <> y then Some (Printf.sprintf "%s %d/%d" n x y) else None)
+    (List.combine a b)
+
 (* Run one stage under both backends; compare within the stage, then
    against the reference bytes from an earlier stage if given. *)
 let run_stage ~stage (c : Gen.case) (p : plan) ~(reference : string option) :
-  (string, divergence) result =
+  (string * (string * int) list, divergence) result =
   let attempt backend =
     match run_plan backend c p with
     | r -> Ok r
@@ -243,21 +249,74 @@ let run_stage ~stage (c : Gen.case) (p : plan) ~(reference : string option) :
       Error { d_stage = stage; d_kind = K_bytes;
               d_detail = "compiled and interp backends disagree on buffers" }
     else if b_ctr <> i_ctr then
-      let diff =
-        List.filter_map
-          (fun ((n, a), (_, b)) ->
-             if a <> b then Some (Printf.sprintf "%s %d/%d" n a b) else None)
-          (List.combine b_ctr i_ctr)
-      in
       Error { d_stage = stage; d_kind = K_counters;
               d_detail =
-                "compiled vs interp: " ^ String.concat ", " diff }
+                "compiled vs interp: "
+                ^ String.concat ", " (counter_diff b_ctr i_ctr) }
     else
       match reference with
       | Some ref_bytes when ref_bytes <> b_bytes ->
         Error { d_stage = stage; d_kind = K_bytes;
                 d_detail = "buffers differ from the OpenCL original" }
-      | _ -> Ok b_bytes
+      | _ -> Ok (b_bytes, b_ctr)
+
+(* ------------------------------------------------------------------ *)
+(* The parallel stage                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_domains n f =
+  let saved = !Gpusim.Exec.domains in
+  Gpusim.Exec.domains := n;
+  Fun.protect ~finally:(fun () -> Gpusim.Exec.domains := saved) f
+
+(* The domain-parallel executor must be observationally indistinguishable
+   from the sequential one: the same plan run at 2 and 4 domains has to
+   reproduce the sequential compiled run's buffers byte-for-byte and its
+   Counters.t field-for-field.  A divergence here is a real bug in the
+   optimistic engine (missed conflict, non-additive counter, unsafe
+   shared state) and shrinks like any other pyramid divergence. *)
+let parallel_domains = [ 2; 4 ]
+
+let run_parallel_stage (c : Gen.case) (p : plan)
+    ~(reference : string * (string * int) list) : (unit, divergence) result =
+  (* the reference comes from run_stage, which executed at the ambient
+     domain count; pin a true sequential run if that was not 1 *)
+  let seq =
+    if !Gpusim.Exec.domains = 1 then Ok reference
+    else
+      match with_domains 1 (fun () -> run_plan Gpusim.Exec.Compiled c p) with
+      | r -> Ok r
+      | exception e ->
+        Error { d_stage = "parallel-ref"; d_kind = K_crash;
+                d_detail = "sequential reference: " ^ exn_detail e }
+  in
+  match seq with
+  | Error d -> Error d
+  | Ok (ref_bytes, ref_ctr) ->
+    let rec go = function
+      | [] -> Ok ()
+      | n :: rest ->
+        let stage = Printf.sprintf "parallel-%d" n in
+        (match
+           with_domains n (fun () -> run_plan Gpusim.Exec.Compiled c p)
+         with
+         | exception e ->
+           Error { d_stage = stage; d_kind = K_crash;
+                   d_detail = exn_detail e }
+         | bytes, ctr ->
+           if bytes <> ref_bytes then
+             Error { d_stage = stage; d_kind = K_bytes;
+                     d_detail =
+                       Printf.sprintf
+                         "buffers differ from sequential at %d domains" n }
+           else if ctr <> ref_ctr then
+             Error { d_stage = stage; d_kind = K_counters;
+                     d_detail =
+                       Printf.sprintf "parallel-%d vs sequential: %s" n
+                         (String.concat ", " (counter_diff ctr ref_ctr)) }
+           else go rest)
+    in
+    go parallel_domains
 
 (* ------------------------------------------------------------------ *)
 (* The pyramid                                                         *)
@@ -284,7 +343,10 @@ let run (c : Gen.case) : verdict =
     let plan_a = plan_of_case c prog in
     match run_stage ~stage:"opencl" c plan_a ~reference:None with
     | Error d -> Diverge d
-    | Ok ref_bytes ->
+    | Ok ((ref_bytes, _) as reference) ->
+      match run_parallel_stage c plan_a ~reference with
+      | Error d -> Diverge d
+      | Ok () ->
       match Xlat.Ocl_to_cuda.translate prog with
       | exception Xlat.Ocl_to_cuda.Untranslatable msg ->
         Skip ("untranslatable (ocl->cuda): " ^ msg)

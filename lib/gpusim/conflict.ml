@@ -1,0 +1,291 @@
+(* Cross-block dependence detection for the domain-parallel executor.
+
+   The parallel mode is optimistic: thread blocks run concurrently while
+   every access they make to a *shared* address space (global, constant,
+   host) is logged per block.  After the join, the logs are checked for
+   cross-block dependences; if any exist the attempt is rolled back and
+   the launch replays sequentially, so the observable behaviour is the
+   sequential one by construction.
+
+   Ordinary accesses are kept as byte intervals (coalesced on append:
+   per-item streaming patterns collapse to a handful of ranges).  Atomic
+   read-modify-writes are kept separately as exact cells tagged with a
+   commutativity class: same-class atomics on the same cell commute —
+   the final memory value is independent of interleaving — provided no
+   kernel ever *uses* an atomic's return value, which a static scan of
+   the launched code establishes up front. *)
+
+open Minic.Ast
+
+(* Commutativity class of an atomic RMW.  [Kadd] covers add and subtract
+   on integers (modular, so order-free); [Kinc]/[Kdec] are CUDA's
+   wrapping increment/decrement, order-free only among ops with the same
+   bound; [Kother] (exchange, compare-and-swap, any float op — rounding
+   is order-sensitive) never commutes across blocks. *)
+type klass =
+  | Kadd
+  | Kmin
+  | Kmax
+  | Kinc of int64
+  | Kdec of int64
+  | Kother
+
+(* Shared address spaces are logged into one flat address line; tagging
+   keeps offsets from different arenas from colliding.  Arena offsets
+   are far below 2^45. *)
+let tag (space : addr_space) addr =
+  match space with
+  | AS_global -> addr
+  | AS_constant -> addr + (1 lsl 45)
+  | AS_none -> addr + (2 lsl 45)
+  | AS_local | AS_private -> addr  (* never logged *)
+
+(* --- per-block interval logs --------------------------------------- *)
+
+(* Flat [lo; hi) pairs.  Appends that extend or repeat the previous
+   interval merge in place, which collapses the common streaming access
+   patterns to O(1) entries. *)
+type ilog = {
+  mutable buf : int array;
+  mutable len : int;
+}
+
+let ilog_create () = { buf = Array.make 32 0; len = 0 }
+
+let ilog_push l lo hi =
+  if l.len >= 2 && l.buf.(l.len - 2) <= lo && lo <= l.buf.(l.len - 1) then begin
+    if hi > l.buf.(l.len - 1) then l.buf.(l.len - 1) <- hi
+  end
+  else begin
+    if l.len + 2 > Array.length l.buf then begin
+      let bigger = Array.make (2 * Array.length l.buf) 0 in
+      Array.blit l.buf 0 bigger 0 l.len;
+      l.buf <- bigger
+    end;
+    l.buf.(l.len) <- lo;
+    l.buf.(l.len + 1) <- hi;
+    l.len <- l.len + 2
+  end
+
+(* Sorted, merged (lo, hi) array. *)
+let ilog_finalize l =
+  let n = l.len / 2 in
+  let iv = Array.init n (fun i -> (l.buf.(2 * i), l.buf.(2 * i + 1))) in
+  Array.sort compare iv;
+  let out = ref [] in
+  Array.iter
+    (fun (lo, hi) ->
+       match !out with
+       | (plo, phi) :: rest when lo <= phi -> out := (plo, max phi hi) :: rest
+       | _ -> out := (lo, hi) :: !out)
+    iv;
+  Array.of_list (List.rev !out)
+
+type block_log = {
+  lb_block : int;                          (* linear block id *)
+  lb_reads : ilog;
+  lb_writes : ilog;
+  lb_atomics : (int * int * klass, unit) Hashtbl.t;  (* addr, size, class *)
+}
+
+let block_log block =
+  { lb_block = block;
+    lb_reads = ilog_create ();
+    lb_writes = ilog_create ();
+    lb_atomics = Hashtbl.create 4 }
+
+let record_read b addr size = ilog_push b.lb_reads addr (addr + size)
+let record_write b addr size = ilog_push b.lb_writes addr (addr + size)
+
+let record_atomic b addr size k =
+  Hashtbl.replace b.lb_atomics (addr, size, k) ()
+
+(* --- the cross-block check ----------------------------------------- *)
+
+(* Sorted interval table (parallel arrays) with the owning block id. *)
+type itab = {
+  it_lo : int array;
+  it_hi : int array;
+  it_blk : int array;
+}
+
+let itab_of (entries : (int * int * int) list) =
+  let a = Array.of_list entries in
+  Array.sort compare a;
+  { it_lo = Array.map (fun (lo, _, _) -> lo) a;
+    it_hi = Array.map (fun (_, hi, _) -> hi) a;
+    it_blk = Array.map (fun (_, _, b) -> b) a }
+
+(* Does [lo, hi) overlap any interval of [t] owned by a block other than
+   [blk]?  Intervals in [t] may themselves overlap (reads do); scan from
+   the first candidate. *)
+let itab_hits t ~blk lo hi =
+  let n = Array.length t.it_lo in
+  (* first index whose lo is >= hi bounds the scan; walk left from there *)
+  let rec bsearch a b =
+    if a >= b then a
+    else
+      let m = (a + b) / 2 in
+      if t.it_lo.(m) < hi then bsearch (m + 1) b else bsearch a m
+  in
+  let stop = bsearch 0 n in
+  let rec scan i =
+    if i < 0 then false
+    else if t.it_hi.(i) > lo && t.it_blk.(i) <> blk then true
+    else scan (i - 1)
+  in
+  (* all intervals with lo < hi are candidates; earlier ones may still
+     reach past [lo], so scan them all (logs are merged per block and
+     conflicts short-circuit, so tables stay small in practice) *)
+  scan (stop - 1)
+
+(* [check logs ~atomics_clean] returns [Some reason] if running the
+   logged blocks concurrently could be observed — a cross-block overlap
+   involving a write, or atomics that do not provably commute.
+   [atomics_clean = false] means some reachable code uses an atomic's
+   return value, so atomics are treated as ordinary read-writes. *)
+let check (logs : block_log list) ~atomics_clean : string option =
+  let writes = ref [] and reads = ref [] and atomics = ref [] in
+  List.iter
+    (fun b ->
+       Array.iter
+         (fun (lo, hi) -> writes := (lo, hi, b.lb_block) :: !writes)
+         (ilog_finalize b.lb_writes);
+       Array.iter
+         (fun (lo, hi) -> reads := (lo, hi, b.lb_block) :: !reads)
+         (ilog_finalize b.lb_reads);
+       Hashtbl.iter
+         (fun (addr, size, k) () ->
+            if atomics_clean then
+              atomics := (addr, size, k, b.lb_block) :: !atomics
+            else begin
+              (* a used atomic result is an ordinary read-modify-write *)
+              writes := (addr, addr + size, b.lb_block) :: !writes;
+              reads := (addr, addr + size, b.lb_block) :: !reads
+            end)
+         b.lb_atomics)
+    logs;
+  let wt = itab_of !writes in
+  let rt = itab_of !reads in
+  let conflict = ref None in
+  let set reason = if !conflict = None then conflict := Some reason in
+  (* write-write and read-write overlaps across blocks *)
+  let n = Array.length wt.it_lo in
+  let i = ref 0 in
+  while !conflict = None && !i < n do
+    let lo = wt.it_lo.(!i) and hi = wt.it_hi.(!i) and blk = wt.it_blk.(!i) in
+    (* against later writes: sorted order makes one forward peek enough
+       per pair; walk while starts precede our end *)
+    let j = ref (!i + 1) in
+    while !conflict = None && !j < n && wt.it_lo.(!j) < hi do
+      if wt.it_blk.(!j) <> blk then set "write/write overlap across blocks";
+      incr j
+    done;
+    if !conflict = None && itab_hits rt ~blk lo hi then
+      set "read/write overlap across blocks";
+    incr i
+  done;
+  (* atomics: conflict with any ordinary access from another block, and
+     with atomics of another class (or another cell) from another block *)
+  let atoms = !atomics in
+  List.iter
+    (fun (addr, size, k, blk) ->
+       if !conflict = None then begin
+         if itab_hits wt ~blk addr (addr + size)
+         || itab_hits rt ~blk addr (addr + size) then
+           set "atomic overlaps ordinary access across blocks"
+         else
+           List.iter
+             (fun (addr', size', k', blk') ->
+                if !conflict = None && blk' <> blk
+                && addr < addr' + size' && addr' < addr + size then
+                  if not (addr = addr' && size = size' && k = k' && k <> Kother)
+                  then set "non-commuting atomics on one cell across blocks")
+             atoms
+       end)
+    atoms;
+  !conflict
+
+(* --- static scan: is any atomic's return value used? ----------------- *)
+
+let atomic_names =
+  [ "atomic_add"; "atomic_sub"; "atomic_inc"; "atomic_dec";
+    "atomic_min"; "atomic_max"; "atomic_xchg"; "atomic_cmpxchg";
+    "atomicAdd"; "atomicSub"; "atomicMin"; "atomicMax";
+    "atomicExch"; "atomicCAS"; "atomicInc"; "atomicDec" ]
+
+exception Used
+
+(* [atomic_result_used prog kernel] walks the kernel and every function
+   reachable from it.  An atomic call is "discarded" only as the root of
+   an expression statement (or a for-loop update); anywhere else its
+   value feeds the computation, which makes the interleaving observable
+   and forces the sequential-replay path for overlapping atomics.
+   Conservative: any consumed position counts, whole-launch granularity. *)
+let atomic_result_used (prog : program) (kernel : func) : bool =
+  let is_atomic n = List.mem n atomic_names in
+  let seen = Hashtbl.create 8 in
+  let todo = ref [ kernel ] in
+  let note n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      match find_function prog n with
+      | Some f when f.fn_body <> None -> todo := f :: !todo
+      | _ -> ()
+    end
+  in
+  (* [used] refers to this node's own value *)
+  let rec expr used e =
+    match e with
+    | Call (n, _, args) ->
+      if used && is_atomic n then raise Used;
+      if not (is_atomic n) then note n;
+      List.iter (expr true) args
+    | Launch l ->
+      note l.l_kernel;
+      expr true l.l_grid;
+      expr true l.l_block;
+      Option.iter (expr true) l.l_shmem;
+      Option.iter (expr true) l.l_stream;
+      List.iter (expr true) l.l_args
+    | Unary (_, a) | Cast (_, a) | StaticCast (_, a)
+    | ReinterpretCast (_, a) | Member (a, _) | SizeofE a -> expr true a
+    | Binary (_, a, b) | Index (a, b) | Assign (_, a, b) ->
+      expr true a; expr true b
+    | Cond (c, a, b) -> expr true c; expr true a; expr true b
+    | VecLit (_, l) -> List.iter (expr true) l
+    | IntLit _ | FloatLit _ | StrLit _ | Ident _ | SizeofT _ -> ()
+  in
+  let rec init = function
+    | IExpr e -> expr true e
+    | IList l -> List.iter init l
+  in
+  let rec stmt = function
+    | SExpr e -> expr false e
+    | SDecl d -> Option.iter init d.d_init
+    | SIf (c, a, b) -> expr true c; stmt a; Option.iter stmt b
+    | SWhile (c, b) -> expr true c; stmt b
+    | SDoWhile (b, c) -> stmt b; expr true c
+    | SFor (i, c, u, b) ->
+      Option.iter stmt i;
+      Option.iter (expr true) c;
+      Option.iter (expr false) u;
+      stmt b
+    | SReturn e -> Option.iter (expr true) e
+    | SBreak | SContinue -> ()
+    | SBlock l -> List.iter stmt l
+  in
+  Hashtbl.add seen kernel.fn_name ();
+  match
+    while !todo <> [] do
+      match !todo with
+      | [] -> ()
+      | f :: rest ->
+        todo := rest;
+        (match f.fn_body with
+         | Some body -> List.iter stmt body
+         | None -> ())
+    done
+  with
+  | () -> false
+  | exception Used -> true

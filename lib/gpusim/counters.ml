@@ -66,6 +66,28 @@ let create () = {
   private_accesses = 0;
 }
 
+(* Fold [src] into [dst].  Every field is an additive event count, so
+   per-domain accumulators merged in any order equal the sequential
+   totals exactly — the property the parallel executor's determinism
+   rests on. *)
+let merge dst src =
+  dst.n_items <- dst.n_items + src.n_items;
+  dst.n_groups <- dst.n_groups + src.n_groups;
+  dst.ops_int <- dst.ops_int + src.ops_int;
+  dst.ops_float <- dst.ops_float + src.ops_float;
+  dst.ops_double <- dst.ops_double + src.ops_double;
+  dst.ops_special <- dst.ops_special + src.ops_special;
+  dst.ops_branch <- dst.ops_branch + src.ops_branch;
+  dst.barriers <- dst.barriers + src.barriers;
+  dst.gmem_transactions <- dst.gmem_transactions + src.gmem_transactions;
+  dst.gmem_accesses <- dst.gmem_accesses + src.gmem_accesses;
+  dst.gmem_bytes <- dst.gmem_bytes + src.gmem_bytes;
+  dst.smem_transactions <- dst.smem_transactions + src.smem_transactions;
+  dst.smem_accesses <- dst.smem_accesses + src.smem_accesses;
+  dst.smem_bank_conflict_extra <-
+    dst.smem_bank_conflict_extra + src.smem_bank_conflict_extra;
+  dst.private_accesses <- dst.private_accesses + src.private_accesses
+
 let record_op c (cls : Vm.Interp.op_class) =
   match cls with
   | Op_int -> c.ops_int <- c.ops_int + 1

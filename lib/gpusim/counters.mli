@@ -44,6 +44,11 @@ type t = {
 
 val create : unit -> t
 
+(** Fold [src] into [dst] field-wise.  All fields are additive event
+    counts, so per-domain accumulators merged in any order reproduce
+    the sequential totals exactly. *)
+val merge : t -> t -> unit
+
 val record_op : t -> Vm.Interp.op_class -> unit
 
 val total_ops : t -> int

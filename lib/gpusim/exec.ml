@@ -1,12 +1,23 @@
 (* NDRange / grid execution engine.
 
-   Work-groups run one after another; the work-items of a group are
-   coroutines multiplexed on one OCaml fibre each: an item runs until it
-   finishes or performs the [Barrier] effect, at which point the
-   scheduler parks its continuation and runs the next item.  When every
-   live item of the group has reached the barrier, all are resumed --
-   faithful bulk-synchronous semantics including values communicated
-   through __local/__shared__ memory. *)
+   Work-items of a group are coroutines multiplexed on one OCaml fibre
+   each: an item runs until it finishes or performs the [Barrier]
+   effect, at which point the scheduler parks its continuation and runs
+   the next item.  When every live item of the group has reached the
+   barrier, all are resumed -- faithful bulk-synchronous semantics
+   including values communicated through __local/__shared__ memory.
+
+   Work-groups run sequentially by default.  With [domains] > 1 (env
+   OCLCU_DOMAINS, `oclcu run --domains N`) a persistent domain pool
+   executes blocks concurrently, optimistically: every access a block
+   makes to a shared address space is logged (Conflict), shared arenas
+   are snapshotted and frozen, and simulated global atomics take a real
+   mutex.  After the join the logs are checked for cross-block
+   dependences; if any exist -- or any block faulted, allocated in a
+   frozen arena, etc. -- the attempt is rolled back and the launch
+   replays sequentially.  Either way the observable result (memory,
+   Counters.t, traces, exceptions) is the sequential one, which the
+   fuzzer's parallel stage and test_parallel verify. *)
 
 open Minic.Ast
 open Vm.Value
@@ -36,9 +47,50 @@ type launch_stats = {
   occupancy : Occupancy.result;
 }
 
-(* Atomic read-modify-write helpers; items are sequentialised so plain
-   load/store is atomic. *)
-let atomic_rmw ctx (p : Vm.Interp.tval) f =
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel configuration                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker domains per launch; blocks are distributed over them.  1 is
+   the plain sequential engine.  Defaults to the machine's core count. *)
+let domains =
+  ref
+    (match Sys.getenv_opt "OCLCU_DOMAINS" with
+     | Some s ->
+       (match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> Domain.recommended_domain_count ())
+     | None -> Domain.recommended_domain_count ())
+
+(* What the most recent launch actually did; observability for the
+   determinism tests (a directed case can assert that it exercised the
+   concurrent path rather than silently replaying). *)
+type parallel_outcome =
+  | Seq                  (* sequential engine: 1 domain or 1 block *)
+  | Parallel of int      (* ran concurrently on N workers, accepted *)
+  | Replayed of string   (* parallel attempt rolled back: why *)
+
+let last_outcome = ref Seq
+
+(* Opt-in per-block Kernel spans (OCLCU_TRACE_BLOCKS=1): buffered per
+   domain and flushed in block order, so the trace is identical at every
+   domain count.  Off by default -- `oclcu prof` output stays
+   bit-identical to the historical golden files. *)
+let trace_blocks = ref (Sys.getenv_opt "OCLCU_TRACE_BLOCKS" = Some "1")
+
+(* The process-wide worker pool, spawned on first parallel launch. *)
+let pool = lazy (Pool.create ())
+
+(* One lock stands in for the memory controller's atomic unit: under
+   real concurrency a simulated RMW on shared memory must itself be
+   atomic, whatever interleaving the domains produce. *)
+let atomics_lock = Mutex.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Atomics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let atomic_resolve ctx (p : Vm.Interp.tval) =
   let ptr = Vm.Value.to_int p.Vm.Interp.v in
   let space = Vm.Value.ptr_space ptr in
   let addr = Vm.Value.ptr_offset ptr in
@@ -47,18 +99,31 @@ let atomic_rmw ctx (p : Vm.Interp.tval) f =
     | TPtr t | TArr (t, _) -> t
     | _ -> TScalar Int
   in
+  (space, addr, elt)
+
+let atomic_apply ctx space addr elt f =
   let old = Vm.Interp.load ctx space addr elt in
   let nv = f (Vm.Interp.tv old elt) in
   Vm.Interp.store ctx space addr elt nv.Vm.Interp.v;
   Vm.Interp.tv old elt
+
+(* Sequential read-modify-write: items are sequentialised so plain
+   load/store is atomic.  The commutativity class is unused here; the
+   parallel engine substitutes its own locked, logged implementation. *)
+let atomic_rmw _klass ctx (p : Vm.Interp.tval) f =
+  let space, addr, elt = atomic_resolve ctx p in
+  atomic_apply ctx space addr elt f
 
 let barrier_ext _ctx _args =
   Effect.perform (Vm.Interp.Barrier Vm.Interp.Barrier_local);
   Vm.Interp.tunit
 
 (* Built-ins available in every kernel, both dialects.  Index functions
-   read the mutable [cur] cell owned by the scheduler. *)
-let kernel_externals ~(cur : (int array * int array * int array * int array) ref) () =
+   read the mutable [cur] cell owned by the scheduler; atomics go
+   through [rmw], which carries the op's commutativity class so the
+   parallel engine can log it. *)
+let kernel_externals ~(cur : (int array * int array * int array * int array) ref)
+    ~rmw () =
   let open Vm.Interp in
   let getdim sel d =
     let gid, lid, grp, _ = !cur in
@@ -89,99 +154,103 @@ let kernel_externals ~(cur : (int array * int array * int array * int array) ref
     ("atomic_add",
      (fun ctx args ->
         match args with
-        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Add old v)
+        | [ p; v ] ->
+          rmw Conflict.Kadd ctx p (fun old -> Vm.Interp.binop ctx Add old v)
         | _ -> raise (Launch_error "atomic_add arity")));
     ("atomic_sub",
      (fun ctx args ->
         match args with
-        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Sub old v)
+        | [ p; v ] ->
+          rmw Conflict.Kadd ctx p (fun old -> Vm.Interp.binop ctx Sub old v)
         | _ -> raise (Launch_error "atomic_sub arity")));
     ("atomic_inc",
      (fun ctx args ->
         match args with
         | [ p ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kadd ctx p (fun old ->
               Vm.Interp.binop ctx Add old (tint 1))
         | _ -> raise (Launch_error "atomic_inc arity")));
     ("atomic_dec",
      (fun ctx args ->
         match args with
         | [ p ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kadd ctx p (fun old ->
               Vm.Interp.binop ctx Sub old (tint 1))
         | _ -> raise (Launch_error "atomic_dec arity")));
     ("atomic_min",
      (fun ctx args ->
         match args with
         | [ p; v ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kmin ctx p (fun old ->
               if Vm.Value.to_bool (Vm.Interp.binop ctx Lt old v).v then old else v)
         | _ -> raise (Launch_error "atomic_min arity")));
     ("atomic_max",
      (fun ctx args ->
         match args with
         | [ p; v ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kmax ctx p (fun old ->
               if Vm.Value.to_bool (Vm.Interp.binop ctx Gt old v).v then old else v)
         | _ -> raise (Launch_error "atomic_max arity")));
     ("atomic_xchg",
      (fun ctx args ->
         match args with
-        | [ p; v ] -> atomic_rmw ctx p (fun _ -> v)
+        | [ p; v ] -> rmw Conflict.Kother ctx p (fun _ -> v)
         | _ -> raise (Launch_error "atomic_xchg arity")));
     ("atomic_cmpxchg",
      (fun ctx args ->
         match args with
         | [ p; cmp; v ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kother ctx p (fun old ->
               if Vm.Value.to_int old.v = Vm.Value.to_int cmp.v then v else old)
         | _ -> raise (Launch_error "atomic_cmpxchg arity")));
     (* CUDA atomics; atomicInc wraps at the bound (§3.7) *)
     ("atomicAdd",
      (fun ctx args ->
         match args with
-        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Add old v)
+        | [ p; v ] ->
+          rmw Conflict.Kadd ctx p (fun old -> Vm.Interp.binop ctx Add old v)
         | _ -> raise (Launch_error "atomicAdd arity")));
     ("atomicSub",
      (fun ctx args ->
         match args with
-        | [ p; v ] -> atomic_rmw ctx p (fun old -> Vm.Interp.binop ctx Sub old v)
+        | [ p; v ] ->
+          rmw Conflict.Kadd ctx p (fun old -> Vm.Interp.binop ctx Sub old v)
         | _ -> raise (Launch_error "atomicSub arity")));
     ("atomicMin",
      (fun ctx args ->
         match args with
         | [ p; v ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kmin ctx p (fun old ->
               if Vm.Value.to_bool (Vm.Interp.binop ctx Lt old v).v then old else v)
         | _ -> raise (Launch_error "atomicMin arity")));
     ("atomicMax",
      (fun ctx args ->
         match args with
         | [ p; v ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kmax ctx p (fun old ->
               if Vm.Value.to_bool (Vm.Interp.binop ctx Gt old v).v then old else v)
         | _ -> raise (Launch_error "atomicMax arity")));
     ("atomicExch",
      (fun ctx args ->
         match args with
-        | [ p; v ] -> atomic_rmw ctx p (fun _ -> v)
+        | [ p; v ] -> rmw Conflict.Kother ctx p (fun _ -> v)
         | _ -> raise (Launch_error "atomicExch arity")));
     ("atomicCAS",
      (fun ctx args ->
         match args with
         | [ p; cmp; v ] ->
-          atomic_rmw ctx p (fun old ->
+          rmw Conflict.Kother ctx p (fun old ->
               if Vm.Value.to_int old.v = Vm.Value.to_int cmp.v then v else old)
         | _ -> raise (Launch_error "atomicCAS arity")));
     ("atomicInc",
      (fun ctx args ->
         match args with
         | [ p; bound ] ->
-          atomic_rmw ctx p (fun old ->
-              (* the hardware operates on 32-bit unsigned values: a
-                 sign-extended load of a negative int cell must not
-                 compare above the bound *)
-              let u32 v = Int64.logand (Vm.Value.to_int v) 0xFFFFFFFFL in
+          (* the hardware operates on 32-bit unsigned values: a
+             sign-extended load of a negative int cell must not compare
+             above the bound *)
+          let u32 v = Int64.logand (Vm.Value.to_int v) 0xFFFFFFFFL in
+          rmw (Conflict.Kinc (u32 bound.v)) ctx p (fun old ->
               let o = u32 old.v and b = u32 bound.v in
               if Int64.compare o b >= 0 then tint 0
               else tv (VInt (Int64.add o 1L)) old.ty)
@@ -190,8 +259,8 @@ let kernel_externals ~(cur : (int array * int array * int array * int array) ref
      (fun ctx args ->
         match args with
         | [ p; bound ] ->
-          atomic_rmw ctx p (fun old ->
-              let u32 v = Int64.logand (Vm.Value.to_int v) 0xFFFFFFFFL in
+          let u32 v = Int64.logand (Vm.Value.to_int v) 0xFFFFFFFFL in
+          rmw (Conflict.Kdec (u32 bound.v)) ctx p (fun old ->
               let o = u32 old.v and b = u32 bound.v in
               if o = 0L || Int64.compare o b > 0 then
                 tv (VInt b) old.ty
@@ -238,20 +307,26 @@ let special_ty = function
    build pipelines return a shared AST for a loaded module (and the
    build cache shares it across contexts), so each module compiles once
    per process.  Bounded; structural hashing of whole ASTs would defeat
-   the point. *)
+   the point.  Mutex-protected: compiled programs are shared across
+   domains and tests launch from spawned domains. *)
 let compiled_cache : (Minic.Ast.program * Vm.Compile.program) list ref = ref []
 let compiled_cache_limit = 16
+let compiled_cache_lock = Mutex.create ()
 
 let compiled_for prog =
-  match List.find_opt (fun (p, _) -> p == prog) !compiled_cache with
-  | Some (_, cp) -> cp
-  | None ->
-    let cp = Vm.Compile.make ~special_ty prog in
-    let rest =
-      List.filteri (fun i _ -> i < compiled_cache_limit - 1) !compiled_cache
-    in
-    compiled_cache := (prog, cp) :: rest;
-    cp
+  Mutex.lock compiled_cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock compiled_cache_lock)
+    (fun () ->
+       match List.find_opt (fun (p, _) -> p == prog) !compiled_cache with
+       | Some (_, cp) -> cp
+       | None ->
+         let cp = Vm.Compile.make ~special_ty prog in
+         let rest =
+           List.filteri (fun i _ -> i < compiled_cache_limit - 1) !compiled_cache
+         in
+         compiled_cache := (prog, cp) :: rest;
+         cp)
 
 (* Launch a kernel on a device.
 
@@ -262,7 +337,6 @@ let compiled_for prog =
 let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     ?(extra_externals = []) ~(kernel : func) ~(cfg : config)
     ~(args : karg list) () : launch_stats =
-  let counters = Counters.create () in
   let warp = dev.hw.warp_size in
   let lx = dim3_of cfg.local_size 0
   and ly = dim3_of cfg.local_size 1
@@ -276,17 +350,13 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
          (Printf.sprintf "%s: global size (%d,%d,%d) not divisible by local (%d,%d,%d)"
             kernel.fn_name gx gy gz lx ly lz));
   let nx = gx / lx and ny = gy / ly and nz = gz / lz in
+  let n_blocks = nx * ny * nz in
   let group_threads = lx * ly * lz in
   let num_groups = [| nx; ny; nz |] in
   let global_size = [| gx; gy; gz |] in
   let local_size = [| lx; ly; lz |] in
 
-  (* mutable per-item view: (global_id, local_id, group_id, _) *)
-  let cur = ref ([| 0; 0; 0 |], [| 0; 0; 0 |], [| 0; 0; 0 |], [| 0 |]) in
-  let cur_item = ref 0 in
-  (* special-identifier values, pre-built instead of re-allocated on
-     every read: threadIdx depends only on the linear item id, blockDim
-     and gridDim are launch constants, blockIdx is set once per group *)
+  (* launch-constant special values, shared read-only by all workers *)
   let lid_arrs =
     Array.init group_threads (fun lid ->
         [| lid mod lx; lid mod (lx * ly) / lx; lid / (lx * ly) |])
@@ -297,69 +367,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   let warp_tv = Vm.Interp.tint warp in
   let clk_local_tv = Vm.Interp.tint 1 in
   let clk_global_tv = Vm.Interp.tint 2 in
-  let cur_tid = ref bdim_tv in
-  let cur_bid = ref bdim_tv in
 
-  (* arenas *)
-  let local_arena = Vm.Memory.create ~initial:8192 "local" in
-  let private_pool =
-    Array.init group_threads (fun i ->
-        Vm.Memory.create ~initial:2048 (Printf.sprintf "private.%d" i))
-  in
-  let arena_of : addr_space -> Vm.Memory.arena = function
-    | AS_global -> dev.Device.global
-    | AS_constant -> dev.Device.constant
-    | AS_local -> local_arena
-    | AS_private -> private_pool.(!cur_item)
-    | AS_none -> host_arena
-  in
-
-  (* access streams for warp grouping *)
-  let streams = Array.init group_threads (fun _ -> Counters.stream_create ()) in
-  let on_access kind space addr size =
-    match space with
-    | AS_global | AS_constant | AS_local ->
-      Counters.stream_push streams.(!cur_item)
-        { Counters.a_kind = kind; a_space = space; a_addr = addr; a_size = size }
-    | AS_private | AS_none ->
-      counters.Counters.private_accesses <- counters.Counters.private_accesses + 1
-  in
-  let on_op cls = Counters.record_op counters cls in
-
-  let special_ident name =
-    match name with
-    | "threadIdx" -> Some !cur_tid
-    | "blockIdx" -> Some !cur_bid
-    | "blockDim" -> Some bdim_tv
-    | "gridDim" -> Some gdim_tv
-    | "warpSize" -> Some warp_tv
-    | "CLK_LOCAL_MEM_FENCE" -> Some clk_local_tv
-    | "CLK_GLOBAL_MEM_FENCE" -> Some clk_global_tv
-    | _ -> None
-  in
-
-  (* extras are appended last so they override defaults on name clash *)
-  let externals =
-    kernel_externals ~cur ()
-    @ [ ("get_global_size",
-         (fun _ args ->
-            let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
-            Vm.Interp.tint (dim3_of global_size d)));
-        ("get_local_size",
-         (fun _ args ->
-            let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
-            Vm.Interp.tint (dim3_of local_size d)));
-        ("get_num_groups",
-         (fun _ args ->
-            let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
-            Vm.Interp.tint (dim3_of num_groups d))) ]
-    @ extra_externals
-  in
-
-  let base_ctx =
-    Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access ~on_op
-      ~stack_space:AS_private ~globals ()
-  in
   (* the kernel compiles once per loaded module and is reused across all
      work-items, work-groups and launches *)
   let compiled = match !backend with
@@ -386,116 +394,357 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
       prog
   in
 
-  (* iterate over work-groups *)
-  for bz = 0 to nz - 1 do
-    for by = 0 to ny - 1 do
-      for bx = 0 to nx - 1 do
-        Vm.Memory.reset local_arena;
-        let group_locals = Hashtbl.create 8 in
-        (* dynamic shared memory (CUDA extern __shared__) *)
-        let dynshared_addr =
-          if cfg.dyn_shared > 0 then
-            Some (Vm.Memory.alloc local_arena ~align:16 cfg.dyn_shared)
-          else None
-        in
-        (* OpenCL dynamic __local arguments: one allocation per group *)
-        let resolved_args =
-          List.map
-            (function
-              | Arg_val v -> v
-              | Arg_local bytes ->
-                let addr = Vm.Memory.alloc local_arena ~align:16 (max 1 bytes) in
-                Vm.Interp.tv
-                  (VInt (Vm.Value.make_ptr AS_local addr))
-                  (TPtr (TQual (AS_local, TScalar Char))))
-            args
-        in
-        let args_arr = Array.of_list resolved_args in
-        let grp_arr = [| bx; by; bz |] in
-        let bid_tv = uint3 grp_arr in
-        let set_cur lid_lin =
-          cur_item := lid_lin;
-          let lid = lid_arrs.(lid_lin) in
-          cur :=
-            ( [| (bx * lx) + lid.(0); (by * ly) + lid.(1);
-                 (bz * lz) + lid.(2) |],
-              lid, grp_arr, [| 0 |] );
-          cur_tid := tid_tvs.(lid_lin);
-          cur_bid := bid_tv
-        in
-        let make_item lid_lin () =
-          set_cur lid_lin;
-          Vm.Memory.reset private_pool.(lid_lin);
-          let ctx =
-            { base_ctx with
-              Vm.Interp.scopes = [];
-              group_locals = Some group_locals }
-          in
-          (* the compiled backend binds locals in frame slots, so the
-             item scope only exists to hold the $dynshared aliases *)
-          if compiled = None || dynshared_addr <> None then begin
-            Vm.Interp.push_scope ctx;
-            match dynshared_addr with
-            | Some addr ->
-              let b =
-                { Vm.Interp.b_space = AS_local; b_addr = addr;
-                  b_ty = TArr (TScalar Char, None) }
-              in
-              Vm.Interp.bind_raw ctx "$dynshared" b;
-              List.iter (fun n -> Vm.Interp.bind_raw ctx n b) extern_shared_names
-            | None -> ()
-          end;
-          (match compiled_kernel with
-           | Some f -> ignore (f ctx args_arr)
-           | None -> ignore (Vm.Interp.call_function ctx kernel resolved_args))
-        in
-        (* cooperative scheduling: run items, parking at barriers *)
-        let waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t =
-          Queue.create ()
-        in
-        let run_root lid f =
-          Effect.Deep.match_with f ()
-            { retc = (fun () -> ());
-              exnc = (fun e -> raise e);
-              effc =
-                (fun (type a) (eff : a Effect.t) ->
-                   match eff with
-                   | Vm.Interp.Barrier _ ->
-                     (* the GADT match refines a = unit *)
-                     Some
-                       (fun (k : (a, unit) Effect.Deep.continuation) ->
-                          Queue.add (lid, k) waiting)
-                   | _ -> None) }
-        in
-        for lid = 0 to group_threads - 1 do
-          run_root lid (make_item lid)
-        done;
-        (* barrier rounds *)
-        while not (Queue.is_empty waiting) do
-          counters.Counters.barriers <- counters.Counters.barriers + 1;
-          let n = Queue.length waiting in
-          for _ = 1 to n do
-            let lid, k = Queue.pop waiting in
-            (* restore this item's index view *)
-            set_cur lid;
-            Effect.Deep.continue k ()
-          done
-        done;
-        (* cost the group's memory traffic *)
-        Counters.finish_group counters ~warp_size:warp
-          ~smem_word:dev.Device.fw.smem_word ~banks:dev.Device.hw.smem_banks
-          ~model_conflicts:dev.Device.model_bank_conflicts streams;
-        Array.iter (fun s -> s.Counters.len <- 0) streams
-      done
-    done
-  done;
+  let block_spans = !trace_blocks && Trace.Sink.is_enabled () in
 
-  let layout = base_ctx.Vm.Interp.layout in
+  (* One worker owns everything mutable a block touches that is not a
+     shared arena: local/private arenas, counters, access streams, the
+     scheduler's index cells and its interpreter context.  The
+     sequential engine is a single worker run over all blocks in order;
+     the parallel engine is N workers pulling blocks from a shared
+     counter, plus access logging and a locked RMW. *)
+  let make_worker ~par () =
+    let counters = Counters.create () in
+    (* mutable per-item view: (global_id, local_id, group_id, _) *)
+    let cur = ref ([| 0; 0; 0 |], [| 0; 0; 0 |], [| 0; 0; 0 |], [| 0 |]) in
+    let cur_item = ref 0 in
+    let cur_tid = ref bdim_tv in
+    let cur_bid = ref bdim_tv in
+
+    (* arenas *)
+    let local_arena = Vm.Memory.create ~initial:8192 "local" in
+    let private_pool =
+      Array.init group_threads (fun i ->
+          Vm.Memory.create ~initial:2048 (Printf.sprintf "private.%d" i))
+    in
+    let arena_of : addr_space -> Vm.Memory.arena = function
+      | AS_global -> dev.Device.global
+      | AS_constant -> dev.Device.constant
+      | AS_local -> local_arena
+      | AS_private -> private_pool.(!cur_item)
+      | AS_none -> host_arena
+    in
+
+    (* access streams for warp grouping *)
+    let streams = Array.init group_threads (fun _ -> Counters.stream_create ()) in
+    let cur_log : Conflict.block_log option ref = ref None in
+    let in_atomic = ref false in
+    let on_access_plain kind space addr size =
+      match space with
+      | AS_global | AS_constant | AS_local ->
+        Counters.stream_push streams.(!cur_item)
+          { Counters.a_kind = kind; a_space = space; a_addr = addr;
+            a_size = size }
+      | AS_private | AS_none ->
+        counters.Counters.private_accesses <-
+          counters.Counters.private_accesses + 1
+    in
+    let on_access =
+      if not par then on_access_plain
+      else
+        fun kind space addr size ->
+          on_access_plain kind space addr size;
+          (* the RMW wrapper logs its own cell; its raw load/store must
+             not also register as an ordinary dependence *)
+          if not !in_atomic then
+            match space with
+            | AS_global | AS_constant | AS_none ->
+              (match !cur_log with
+               | Some bl ->
+                 let a = Conflict.tag space addr in
+                 (match kind with
+                  | Vm.Memory.Load -> Conflict.record_read bl a size
+                  | Vm.Memory.Store -> Conflict.record_write bl a size)
+               | None -> ())
+            | AS_local | AS_private -> ()
+    in
+    let on_op cls = Counters.record_op counters cls in
+
+    let rmw =
+      if not par then atomic_rmw
+      else
+        fun klass ctx p f ->
+          let space, addr, elt = atomic_resolve ctx p in
+          match space with
+          | AS_global | AS_constant | AS_none ->
+            (* float RMWs never commute: rounding is order-sensitive *)
+            let klass =
+              match Vm.Layout.resolve ctx.Vm.Interp.layout elt with
+              | TScalar s when not (is_float_scalar s) -> klass
+              | _ -> Conflict.Kother
+            in
+            (match !cur_log with
+             | Some bl ->
+               let size = Vm.Layout.sizeof ctx.Vm.Interp.layout elt in
+               Conflict.record_atomic bl (Conflict.tag space addr) size klass
+             | None -> ());
+            in_atomic := true;
+            Mutex.lock atomics_lock;
+            let r =
+              try atomic_apply ctx space addr elt f
+              with e ->
+                Mutex.unlock atomics_lock;
+                in_atomic := false;
+                raise e
+            in
+            Mutex.unlock atomics_lock;
+            in_atomic := false;
+            r
+          | AS_local | AS_private ->
+            (* block-private: the owning worker is the only toucher *)
+            atomic_apply ctx space addr elt f
+    in
+
+    let special_ident name =
+      match name with
+      | "threadIdx" -> Some !cur_tid
+      | "blockIdx" -> Some !cur_bid
+      | "blockDim" -> Some bdim_tv
+      | "gridDim" -> Some gdim_tv
+      | "warpSize" -> Some warp_tv
+      | "CLK_LOCAL_MEM_FENCE" -> Some clk_local_tv
+      | "CLK_GLOBAL_MEM_FENCE" -> Some clk_global_tv
+      | _ -> None
+    in
+
+    (* extras are appended last so they override defaults on name clash *)
+    let externals =
+      kernel_externals ~cur ~rmw ()
+      @ [ ("get_global_size",
+           (fun _ args ->
+              let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
+              Vm.Interp.tint (dim3_of global_size d)));
+          ("get_local_size",
+           (fun _ args ->
+              let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
+              Vm.Interp.tint (dim3_of local_size d)));
+          ("get_num_groups",
+           (fun _ args ->
+              let d = match args with a :: _ -> Int64.to_int (Vm.Value.to_int a.Vm.Interp.v) | [] -> 0 in
+              Vm.Interp.tint (dim3_of num_groups d))) ]
+      @ extra_externals
+    in
+
+    let base_ctx =
+      Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access
+        ~on_op ~stack_space:AS_private ~globals ()
+    in
+
+    let logs : Conflict.block_log list ref = ref [] in
+    let spans : (int * string * (string * string) list) list ref = ref [] in
+
+    let run_block b =
+      let bx = b mod nx and by = (b / nx) mod ny and bz = b / (nx * ny) in
+      if par then cur_log := Some (Conflict.block_log b);
+      Vm.Memory.reset local_arena;
+      let group_locals = Hashtbl.create 8 in
+      (* dynamic shared memory (CUDA extern __shared__) *)
+      let dynshared_addr =
+        if cfg.dyn_shared > 0 then
+          Some (Vm.Memory.alloc local_arena ~align:16 cfg.dyn_shared)
+        else None
+      in
+      (* OpenCL dynamic __local arguments: one allocation per group *)
+      let resolved_args =
+        List.map
+          (function
+            | Arg_val v -> v
+            | Arg_local bytes ->
+              let addr = Vm.Memory.alloc local_arena ~align:16 (max 1 bytes) in
+              Vm.Interp.tv
+                (VInt (Vm.Value.make_ptr AS_local addr))
+                (TPtr (TQual (AS_local, TScalar Char))))
+          args
+      in
+      let args_arr = Array.of_list resolved_args in
+      let grp_arr = [| bx; by; bz |] in
+      let bid_tv = uint3 grp_arr in
+      let set_cur lid_lin =
+        cur_item := lid_lin;
+        let lid = lid_arrs.(lid_lin) in
+        cur :=
+          ( [| (bx * lx) + lid.(0); (by * ly) + lid.(1);
+               (bz * lz) + lid.(2) |],
+            lid, grp_arr, [| 0 |] );
+        cur_tid := tid_tvs.(lid_lin);
+        cur_bid := bid_tv
+      in
+      let make_item lid_lin () =
+        set_cur lid_lin;
+        Vm.Memory.reset private_pool.(lid_lin);
+        let ctx =
+          { base_ctx with
+            Vm.Interp.scopes = [];
+            group_locals = Some group_locals }
+        in
+        (* the compiled backend binds locals in frame slots, so the
+           item scope only exists to hold the $dynshared aliases *)
+        if compiled = None || dynshared_addr <> None then begin
+          Vm.Interp.push_scope ctx;
+          match dynshared_addr with
+          | Some addr ->
+            let b =
+              { Vm.Interp.b_space = AS_local; b_addr = addr;
+                b_ty = TArr (TScalar Char, None) }
+            in
+            Vm.Interp.bind_raw ctx "$dynshared" b;
+            List.iter (fun n -> Vm.Interp.bind_raw ctx n b) extern_shared_names
+          | None -> ()
+        end;
+        (match compiled_kernel with
+         | Some f -> ignore (f ctx args_arr)
+         | None -> ignore (Vm.Interp.call_function ctx kernel resolved_args))
+      in
+      (* cooperative scheduling: run items, parking at barriers *)
+      let waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t =
+        Queue.create ()
+      in
+      let run_root lid f =
+        Effect.Deep.match_with f ()
+          { retc = (fun () -> ());
+            exnc = (fun e -> raise e);
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                 match eff with
+                 | Vm.Interp.Barrier _ ->
+                   (* the GADT match refines a = unit *)
+                   Some
+                     (fun (k : (a, unit) Effect.Deep.continuation) ->
+                        Queue.add (lid, k) waiting)
+                 | _ -> None) }
+      in
+      for lid = 0 to group_threads - 1 do
+        run_root lid (make_item lid)
+      done;
+      (* barrier rounds *)
+      while not (Queue.is_empty waiting) do
+        counters.Counters.barriers <- counters.Counters.barriers + 1;
+        let n = Queue.length waiting in
+        for _ = 1 to n do
+          let lid, k = Queue.pop waiting in
+          (* restore this item's index view *)
+          set_cur lid;
+          Effect.Deep.continue k ()
+        done
+      done;
+      (* cost the group's memory traffic *)
+      Counters.finish_group counters ~warp_size:warp
+        ~smem_word:dev.Device.fw.smem_word ~banks:dev.Device.hw.smem_banks
+        ~model_conflicts:dev.Device.model_bank_conflicts streams;
+      Array.iter (fun s -> s.Counters.len <- 0) streams;
+      if par then begin
+        (match !cur_log with Some bl -> logs := bl :: !logs | None -> ());
+        cur_log := None
+      end;
+      if block_spans then
+        spans :=
+          (b, kernel.fn_name,
+           [ ("block", Printf.sprintf "%d,%d,%d" bx by bz) ])
+          :: !spans
+    in
+    (counters, base_ctx.Vm.Interp.layout, run_block, logs, spans)
+  in
+
+  (* Per-block Kernel spans are buffered and flushed in block order, so
+     the emitted stream is identical at every domain count. *)
+  let flush_block_spans spans =
+    if spans <> [] then begin
+      let buf = Trace.Sink.buffer_create () in
+      let t = dev.Device.sim_time_ns in
+      List.iter
+        (fun (_, name, args) ->
+           Trace.Sink.buffer_add buf ~cat:Trace.Event.Kernel ~name ~args
+             ~t0:t ~t1:t ())
+        (List.sort compare spans);
+      Trace.Sink.buffer_flush buf
+    end
+  in
+
+  let run_sequential () =
+    let counters, layout, run_block, _, spans = make_worker ~par:false () in
+    for b = 0 to n_blocks - 1 do
+      run_block b
+    done;
+    flush_block_spans !spans;
+    (counters, layout)
+  in
+
+  let run_parallel n_workers =
+    let atomics_clean = not (Conflict.atomic_result_used prog kernel) in
+    let shared = [ dev.Device.global; dev.Device.constant; host_arena ] in
+    let snaps = List.map (fun a -> (a, Vm.Memory.snapshot a)) shared in
+    List.iter Vm.Memory.freeze shared;
+    let workers = Array.init n_workers (fun _ -> make_worker ~par:true ()) in
+    let next = Atomic.make 0 in
+    let hazards = Array.make n_workers None in
+    let body i =
+      let _, _, run_block, _, _ = workers.(i) in
+      let rec loop () =
+        if hazards.(i) = None then begin
+          let b = Atomic.fetch_and_add next 1 in
+          if b < n_blocks then begin
+            (try run_block b with
+             | e -> hazards.(i) <- Some (Printexc.to_string e));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter Vm.Memory.thaw shared)
+      (fun () -> Pool.run (Lazy.force pool) ~workers:n_workers body);
+    let hazard =
+      Array.fold_left
+        (fun acc h -> match acc with Some _ -> acc | None -> h)
+        None hazards
+    in
+    let verdict =
+      match hazard with
+      | Some reason -> Some reason
+      | None ->
+        let logs =
+          Array.fold_left
+            (fun acc (_, _, _, logs, _) -> !logs @ acc)
+            [] workers
+        in
+        Conflict.check logs ~atomics_clean
+    in
+    match verdict with
+    | Some reason ->
+      (* roll back and replay: the sequential engine is the semantics *)
+      List.iter (fun (a, s) -> Vm.Memory.restore a s) snaps;
+      last_outcome := Replayed reason;
+      run_sequential ()
+    | None ->
+      last_outcome := Parallel n_workers;
+      let total = Counters.create () in
+      Array.iter
+        (fun (c, _, _, _, _) -> Counters.merge total c)
+        workers;
+      let spans =
+        Array.fold_left
+          (fun acc (_, _, _, _, spans) -> !spans @ acc)
+          [] workers
+      in
+      flush_block_spans spans;
+      let _, layout, _, _, _ = workers.(0) in
+      (total, layout)
+  in
+
+  let n_workers = min !domains n_blocks in
+  let counters, layout =
+    if n_workers <= 1 then begin
+      last_outcome := Seq;
+      run_sequential ()
+    end
+    else run_parallel n_workers
+  in
+
   let occupancy =
     Occupancy.of_kernel dev layout kernel ~block_threads:group_threads
       ~dyn_shared:cfg.dyn_shared
   in
   { counters;
     block_threads = group_threads;
-    n_blocks = nx * ny * nz;
+    n_blocks;
     occupancy }

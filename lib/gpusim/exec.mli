@@ -1,14 +1,40 @@
 (** NDRange / grid execution engine.
 
-    Work-groups run one after another; the work-items of a group are
-    coroutines multiplexed on OCaml fibres: an item runs until it
-    finishes or performs the {!Vm.Interp.Barrier} effect, at which point
-    the scheduler parks its continuation and runs the next item.  When
-    every live item of the group has reached the barrier, all are
-    resumed — faithful bulk-synchronous semantics including values
-    communicated through [__local]/[__shared__] memory. *)
+    The work-items of a group are coroutines multiplexed on OCaml
+    fibres: an item runs until it finishes or performs the
+    {!Vm.Interp.Barrier} effect, at which point the scheduler parks its
+    continuation and runs the next item.  When every live item of the
+    group has reached the barrier, all are resumed — faithful
+    bulk-synchronous semantics including values communicated through
+    [__local]/[__shared__] memory.
+
+    Work-groups run sequentially when {!domains} is 1, and otherwise on
+    a persistent pool of OCaml domains under an optimistic
+    detect-and-replay protocol that keeps every observable output
+    (memory, counters, traces, exceptions) byte-identical to the
+    sequential engine. *)
 
 exception Launch_error of string
+
+(** Worker domains per launch (blocks are distributed over them); 1 is
+    the plain sequential engine.  Initialised from [OCLCU_DOMAINS],
+    defaulting to the machine's core count; [oclcu run --domains] also
+    sets it. *)
+val domains : int ref
+
+(** What the most recent {!launch} actually did — observability for the
+    determinism tests. *)
+type parallel_outcome =
+  | Seq                  (** sequential engine: 1 domain or 1 block *)
+  | Parallel of int      (** ran concurrently on N workers, accepted *)
+  | Replayed of string   (** parallel attempt rolled back: why *)
+
+val last_outcome : parallel_outcome ref
+
+(** Emit one {!Trace.Event.Kernel} span per executed block (buffered and
+    flushed in block order, so the trace is identical at every domain
+    count).  Off by default; initialised from [OCLCU_TRACE_BLOCKS=1]. *)
+val trace_blocks : bool ref
 
 (** One kernel argument as the launcher receives it. *)
 type karg =

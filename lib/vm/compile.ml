@@ -51,6 +51,32 @@ type cfunc = {
   cf_ret : ty;  (* declared return type; returned values convert to it *)
 }
 
+(* Compiled programs are shared across domains (the module AST compiles
+   once per process), but compilation itself mutates shared state: the
+   cp_cache table, and the fold ctx's arena during constant folding.
+   One process-wide lock serialises all lazy forcing; a domain that
+   re-enters (a function compiling its callees) must not dead-lock on
+   the non-reentrant mutex, hence the domain-local "held" flag.  The
+   fast path — the cfunc is already forced — takes no lock at all. *)
+let compile_lock = Mutex.create ()
+let compile_lock_held = Domain.DLS.new_key (fun () -> false)
+
+let with_compile_lock f =
+  if Domain.DLS.get compile_lock_held then f ()
+  else begin
+    Mutex.lock compile_lock;
+    Domain.DLS.set compile_lock_held true;
+    Fun.protect
+      ~finally:(fun () ->
+          Domain.DLS.set compile_lock_held false;
+          Mutex.unlock compile_lock)
+      f
+  end
+
+let force_cfunc (l : cfunc Lazy.t) : cfunc =
+  if Lazy.is_val l then Lazy.force l
+  else with_compile_lock (fun () -> Lazy.force l)
+
 type program = {
   cp_funcs : (string, func) Hashtbl.t;
   cp_layout : Layout.env;
@@ -791,7 +817,7 @@ and compile_call sc name tmpl args : cexpr =
             for i = 0 to n - 1 do
               argv.(i) <- cargs.(i) env
             done;
-            call_cfunc (Lazy.force cf) env.ectx argv))
+            call_cfunc (force_cfunc cf) env.ectx argv))
   | None ->
     let cargs = List.map (fun a -> force (compile_expr_safe sc a)) args in
     Dyn
@@ -1175,18 +1201,25 @@ let prepare st (f : func) : I.ctx -> I.tval array -> I.tval =
   (match f.fn_body with
    | None -> I.fail "calling prototype %s" f.fn_name
    | Some _ -> ());
-  if not (Hashtbl.mem st.cp_funcs f.fn_name) then
-    Hashtbl.replace st.cp_funcs f.fn_name f;
-  let cf = Lazy.force (get_cfunc st f.fn_name) in
+  let cf =
+    with_compile_lock (fun () ->
+        if not (Hashtbl.mem st.cp_funcs f.fn_name) then
+          Hashtbl.replace st.cp_funcs f.fn_name f;
+        Lazy.force (get_cfunc st f.fn_name))
+  in
   fun ctx args -> call_cfunc cf ctx args
 
 let call st (ctx : I.ctx) (f : func) (args : I.tval list) : I.tval =
   (match f.fn_body with
    | None -> I.fail "calling prototype %s" f.fn_name
    | Some _ -> ());
-  if not (Hashtbl.mem st.cp_funcs f.fn_name) then
-    Hashtbl.replace st.cp_funcs f.fn_name f;
-  call_cfunc (Lazy.force (get_cfunc st f.fn_name)) ctx (Array.of_list args)
+  let cf =
+    with_compile_lock (fun () ->
+        if not (Hashtbl.mem st.cp_funcs f.fn_name) then
+          Hashtbl.replace st.cp_funcs f.fn_name f;
+        Lazy.force (get_cfunc st f.fn_name))
+  in
+  call_cfunc cf ctx (Array.of_list args)
 
 let run st (ctx : I.ctx) name (args : I.tval list) : I.tval =
   match Hashtbl.find_opt st.cp_funcs name with

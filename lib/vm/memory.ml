@@ -12,14 +12,17 @@ type arena = {
   mutable data : Bytes.t;
   mutable brk : int;                       (* bump pointer *)
   mutable high_water : int;
+  mutable frozen : bool;                   (* allocations forbidden *)
   name : string;
 }
 
 exception Out_of_memory of string
 exception Fault of string * int
+exception Frozen of string
 
 let create ?(initial = 4096) name =
-  { data = Bytes.make initial '\000'; brk = 16; high_water = 16; name }
+  { data = Bytes.make initial '\000'; brk = 16; high_water = 16;
+    frozen = false; name }
   (* offset 0 is reserved so that a zero offset is never a valid address *)
 
 let size a = a.brk
@@ -46,6 +49,7 @@ let ensure a n =
 let align_up n a = (n + a - 1) land lnot (a - 1)
 
 let alloc a ?(align = 16) bytes =
+  if a.frozen then raise (Frozen a.name);
   let bytes = max bytes 1 in
   let addr = align_up a.brk align in
   ensure a (addr + bytes);
@@ -56,6 +60,35 @@ let alloc a ?(align = 16) bytes =
 (* Stack-style deallocation used for call frames. *)
 let mark a = a.brk
 let release a m = a.brk <- m
+
+(* Freezing an arena turns any allocation into a [Frozen] fault.  The
+   parallel executor freezes the shared arenas (global, constant, host)
+   for the duration of a concurrent run: loads and stores are logged and
+   checked after the fact, but a concurrent bump allocation could hand
+   two blocks the same address, so it must abort the attempt instead. *)
+let freeze a = a.frozen <- true
+let thaw a = a.frozen <- false
+
+(* Whole-arena snapshots back the optimistic parallel run: copy the used
+   prefix, and on restore also zero whatever the aborted run wrote above
+   it so the "bytes past [high_water] are zero" invariant holds. *)
+type snapshot = {
+  snap_data : Bytes.t;
+  snap_brk : int;
+  snap_high_water : int;
+}
+
+let snapshot a =
+  { snap_data = Bytes.sub a.data 0 a.high_water;
+    snap_brk = a.brk;
+    snap_high_water = a.high_water }
+
+let restore a s =
+  let touched = min a.high_water (Bytes.length a.data) in
+  Bytes.fill a.data 0 touched '\000';
+  Bytes.blit s.snap_data 0 a.data 0 s.snap_high_water;
+  a.brk <- s.snap_brk;
+  a.high_water <- s.snap_high_water
 
 (* Any address outside [0, brk) is a fault: the allocator's frontier is
    the boundary of valid memory, so wild stores cannot silently grow an

@@ -11,6 +11,7 @@ type arena = {
   mutable data : Bytes.t;
   mutable brk : int;         (** bump pointer *)
   mutable high_water : int;
+  mutable frozen : bool;     (** allocations forbidden; see {!freeze} *)
   name : string;             (** used in fault messages *)
 }
 
@@ -18,6 +19,9 @@ exception Out_of_memory of string
 
 (** Raised on out-of-bounds access: arena name and offending address. *)
 exception Fault of string * int
+
+(** Raised by {!alloc} on a frozen arena. *)
+exception Frozen of string
 
 val create : ?initial:int -> string -> arena
 
@@ -38,6 +42,22 @@ val alloc : arena -> ?align:int -> int -> int
 val mark : arena -> int
 
 val release : arena -> int -> unit
+
+(** While frozen, {!alloc} raises {!Frozen}; loads and stores still work.
+    The domain-parallel executor freezes the shared arenas during a
+    concurrent run — a bump allocation from two domains could hand out
+    overlapping addresses, so it must abort the optimistic attempt. *)
+val freeze : arena -> unit
+
+val thaw : arena -> unit
+
+(** Copy-out/copy-back of an arena's used prefix, for optimistic
+    execution: {!restore} also re-zeroes bytes the aborted run wrote
+    above the snapshot's frontier. *)
+type snapshot
+
+val snapshot : arena -> snapshot
+val restore : arena -> snapshot -> unit
 
 val load_bytes : arena -> int -> int -> Bytes.t
 val store_bytes : arena -> int -> Bytes.t -> unit

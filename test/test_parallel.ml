@@ -1,0 +1,381 @@
+(* Determinism harness for the domain-parallel execution engine.
+
+   The contract under test: running a launch with [Gpusim.Exec.domains]
+   set to any value is observationally indistinguishable from the
+   sequential engine — output buffers byte-for-byte, the full
+   {!Gpusim.Counters.t}, traces, goldens and exceptions.  The directed
+   cases additionally pin down *which* path produced the result
+   (accepted-parallel vs detected-conflict-and-replayed) via
+   {!Gpusim.Exec.last_outcome}, so a regression that silently forces
+   everything through replay still fails. *)
+
+open Minic.Ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_domains n f =
+  let saved = !Gpusim.Exec.domains in
+  Gpusim.Exec.domains := n;
+  Fun.protect ~finally:(fun () -> Gpusim.Exec.domains := saved) f
+
+let gbuf (dev : Gpusim.Device.t) bytes =
+  Vm.Memory.alloc dev.global ~align:256 bytes
+
+let iptr addr =
+  Gpusim.Exec.Arg_val
+    (Vm.Interp.tv
+       (Vm.Value.VInt (Vm.Value.make_ptr AS_global addr))
+       (TPtr (TScalar Int)))
+
+let read_ints (dev : Gpusim.Device.t) addr n =
+  Array.init n (fun i ->
+      Int64.to_int (Vm.Memory.load_int dev.global (addr + (4 * i)) 4))
+
+let launch_at ~domains ?(dialect = Minic.Parser.OpenCL) ~src ~kernel ~gws ~lws
+    ~args () =
+  with_domains domains @@ fun () ->
+  let prog = Minic.Parser.program ~dialect src in
+  let dev = Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.opencl_on_nvidia in
+  let host = Vm.Memory.create "host" in
+  let k = Option.get (find_function prog kernel) in
+  let stats =
+    Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4) ~host_arena:host
+      ~kernel:k
+      ~cfg:{ global_size = gws; local_size = lws; dyn_shared = 0 }
+      ~args:(args dev) ()
+  in
+  (dev, stats)
+
+let outcome_name = function
+  | Gpusim.Exec.Seq -> "seq"
+  | Gpusim.Exec.Parallel n -> Printf.sprintf "parallel-%d" n
+  | Gpusim.Exec.Replayed r -> "replayed: " ^ r
+
+let expect_parallel () =
+  match !Gpusim.Exec.last_outcome with
+  | Gpusim.Exec.Parallel _ -> ()
+  | o -> Alcotest.fail ("expected the accepted-parallel path, got " ^ outcome_name o)
+
+let expect_replayed () =
+  match !Gpusim.Exec.last_outcome with
+  | Gpusim.Exec.Replayed _ -> ()
+  | o -> Alcotest.fail ("expected conflict-and-replay, got " ^ outcome_name o)
+
+(* --- qcheck: generated kernels across domain counts -------------------- *)
+
+(* Reuse the fuzzer's launch plans: a generated case is executed under
+   domain counts {1, 2, 4, 8} and every run must reproduce the
+   sequential buffers and counters exactly — or fail with the same
+   exception (replay re-raises deterministically). *)
+let run_case_at backend case plan n =
+  with_domains n (fun () ->
+      match Fuzz.Pyramid.run_plan backend case plan with
+      | r -> Ok r
+      | exception e -> Error (Printexc.to_string e))
+
+let prop_domain_counts =
+  QCheck.Test.make ~count:30
+    ~name:"generated kernels agree across domain counts {1,2,4,8}"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+       let case = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+       let plan = Fuzz.Pyramid.plan_of_case case case.Fuzz.Gen.c_prog in
+       let reference = run_case_at Gpusim.Exec.Compiled case plan 1 in
+       List.for_all
+         (fun n ->
+            run_case_at Gpusim.Exec.Compiled case plan n = reference)
+         [ 2; 4; 8 ])
+
+let prop_domain_counts_interp =
+  QCheck.Test.make ~count:10
+    ~name:"interpreter backend agrees across domain counts too"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+       let case = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+       let plan = Fuzz.Pyramid.plan_of_case case case.Fuzz.Gen.c_prog in
+       run_case_at Gpusim.Exec.Interp case plan 4
+       = run_case_at Gpusim.Exec.Interp case plan 1)
+
+(* --- directed regressions ---------------------------------------------- *)
+
+let directed_tests =
+  [ Alcotest.test_case "global-atomic contention stays parallel" `Quick
+      (fun () ->
+         (* every block hammers one counter cell; add commutes and no
+            result is consumed, so the optimistic path must be accepted *)
+         let src = {|
+__kernel void count(__global int* c, __global int* out) {
+  atomic_add(c, 2);
+  out[get_global_id(0)] = get_local_id(0);
+}
+|}
+         in
+         let cell = ref 0 in
+         let dev, _ =
+           launch_at ~domains:4 ~src ~kernel:"count" ~gws:[| 64; 1; 1 |]
+             ~lws:[| 8; 1; 1 |]
+             ~args:(fun dev ->
+                 let c = gbuf dev 4 and o = gbuf dev (64 * 4) in
+                 cell := c;
+                 [ iptr c; iptr o ])
+             ()
+         in
+         expect_parallel ();
+         check_int "64 adds of 2" 128 (read_ints dev !cell 1).(0));
+    Alcotest.test_case "used atomic result forces replay, value exact" `Quick
+      (fun () ->
+         (* consuming the returned ticket makes the interleaving
+            observable: must replay and reproduce sequential tickets *)
+         let src = {|
+__kernel void ticket(__global int* c, __global int* out) {
+  out[get_global_id(0)] = atomic_add(c, 1);
+}
+|}
+         in
+         let out = ref 0 in
+         let dev, _ =
+           launch_at ~domains:4 ~src ~kernel:"ticket" ~gws:[| 32; 1; 1 |]
+             ~lws:[| 4; 1; 1 |]
+             ~args:(fun dev ->
+                 let c = gbuf dev 4 and o = gbuf dev (32 * 4) in
+                 out := o;
+                 [ iptr c; iptr o ])
+             ()
+         in
+         expect_replayed ();
+         (* sequential block order: item i draws ticket i *)
+         Alcotest.(check (array int)) "sequential tickets"
+           (Array.init 32 (fun i -> i))
+           (read_ints dev !out 32));
+    Alcotest.test_case "CAS contention forces replay" `Quick (fun () ->
+        let src = {|
+__kernel void grab(__global int* c) {
+  atomic_cmpxchg(c, 0, (int)get_group_id(0) + 1);
+}
+|}
+        in
+        let cell = ref 0 in
+        let dev, _ =
+          launch_at ~domains:4 ~src ~kernel:"grab" ~gws:[| 16; 1; 1 |]
+            ~lws:[| 2; 1; 1 |]
+            ~args:(fun dev ->
+                let c = gbuf dev 4 in
+                cell := c;
+                [ iptr c ])
+            ()
+        in
+        expect_replayed ();
+        (* sequential winner is block 0's first item *)
+        check_int "first block wins" 1 (read_ints dev !cell 1).(0));
+    Alcotest.test_case "cross-block overlapping writes replay sequentially"
+      `Quick (fun () ->
+          let src = {|
+__kernel void clobber(__global int* c) {
+  c[0] = (int)get_group_id(0);
+}
+|}
+          in
+          let cell = ref 0 in
+          let dev, _ =
+            launch_at ~domains:4 ~src ~kernel:"clobber" ~gws:[| 32; 1; 1 |]
+              ~lws:[| 4; 1; 1 |]
+              ~args:(fun dev ->
+                  let c = gbuf dev 4 in
+                  cell := c;
+                  [ iptr c ])
+              ()
+          in
+          expect_replayed ();
+          (* sequentially the last block writes last *)
+          check_int "last block wins" 7 (read_ints dev !cell 1).(0));
+    Alcotest.test_case "barrier-heavy blocks run parallel and agree" `Quick
+      (fun () ->
+         let src = {|
+__kernel void reduce(__global int* out, __local int* tmp) {
+  int t = get_local_id(0);
+  tmp[t] = t + (int)get_group_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 4; s > 0; s /= 2) {
+    if (t < s) tmp[t] = tmp[t] + tmp[t + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (t == 0) out[get_group_id(0)] = tmp[0];
+}
+|}
+         in
+         let run n =
+           let out = ref 0 in
+           let dev, stats =
+             launch_at ~domains:n ~src ~kernel:"reduce" ~gws:[| 64; 1; 1 |]
+               ~lws:[| 8; 1; 1 |]
+               ~args:(fun dev ->
+                   let o = gbuf dev (8 * 4) in
+                   out := o;
+                   [ iptr o; Gpusim.Exec.Arg_local (8 * 4) ])
+               ()
+           in
+           (read_ints dev !out 8, stats.Gpusim.Exec.counters)
+         in
+         let seq_out, seq_ctr = run 1 in
+         let par_out, par_ctr = run 4 in
+         expect_parallel ();
+         Alcotest.(check (array int)) "per-block sums" seq_out par_out;
+         check_int "barrier rounds" seq_ctr.Gpusim.Counters.barriers
+           par_ctr.Gpusim.Counters.barriers;
+         check "full counters equal" true (seq_ctr = par_ctr));
+    Alcotest.test_case "degenerate single-block launch takes the seq path"
+      `Quick (fun () ->
+          (* a zero/one-block geometry has nothing to parallelise; the
+             engine must not spin up the pool for it *)
+          let src = "__kernel void one(__global int* p) { p[get_global_id(0)] = 7; }" in
+          let out = ref 0 in
+          let dev, stats =
+            launch_at ~domains:8 ~src ~kernel:"one" ~gws:[| 0; 0; 0 |]
+              ~lws:[| 1; 1; 1 |]
+              ~args:(fun dev ->
+                  let o = gbuf dev 4 in
+                  out := o;
+                  [ iptr o ])
+              ()
+          in
+          check "seq outcome" true (!Gpusim.Exec.last_outcome = Gpusim.Exec.Seq);
+          check_int "one block" 1 stats.Gpusim.Exec.n_blocks;
+          check_int "wrote" 7 (read_ints dev !out 1).(0));
+    Alcotest.test_case "deterministic crash is identical across domains"
+      `Quick (fun () ->
+          let src = {|
+__kernel void boom(__global int* p) {
+  p[get_global_id(0)] = 1 / (p[get_global_id(0)] - p[get_global_id(0)]);
+}
+|}
+          in
+          let attempt n =
+            match
+              launch_at ~domains:n ~src ~kernel:"boom" ~gws:[| 16; 1; 1 |]
+                ~lws:[| 4; 1; 1 |]
+                ~args:(fun dev -> [ iptr (gbuf dev (16 * 4)) ])
+                ()
+            with
+            | _ -> "no exception"
+            | exception e -> Printexc.to_string e
+          in
+          Alcotest.(check string) "same exception" (attempt 1) (attempt 4)) ]
+
+(* --- domain-safety of shared infrastructure ----------------------------- *)
+
+let safety_tests =
+  [ Alcotest.test_case "concurrent launches share the compiled cache" `Quick
+      (fun () ->
+         (* four domains launch the same loaded module simultaneously,
+            exercising the compiled-program cache and the lazy
+            compilation lock; each must see correct results *)
+         with_domains 1 @@ fun () ->
+         let src = {|
+__kernel void fill(__global int* p) {
+  p[get_global_id(0)] = (int)get_global_id(0) * 3;
+}
+|}
+         in
+         let prog = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
+         let k = Option.get (find_function prog "fill") in
+         let run () =
+           let dev =
+             Gpusim.Device.create Gpusim.Device.titan
+               Gpusim.Device.opencl_on_nvidia
+           in
+           let host = Vm.Memory.create "host" in
+           let b = gbuf dev (32 * 4) in
+           ignore
+             (Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4)
+                ~host_arena:host ~kernel:k
+                ~cfg:
+                  { global_size = [| 32; 1; 1 |]; local_size = [| 8; 1; 1 |];
+                    dyn_shared = 0 }
+                ~args:[ iptr b ] ());
+           read_ints dev b 32
+         in
+         let expected = Array.init 32 (fun i -> i * 3) in
+         let spawned = Array.init 4 (fun _ -> Domain.spawn run) in
+         Array.iteri
+           (fun i d ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "domain %d" i) expected (Domain.join d))
+           spawned);
+    Alcotest.test_case "fuzz rng streams are per-instance" `Quick (fun () ->
+        let draw () =
+          let r = Fuzz.Rng.create 99 in
+          Array.init 512 (fun _ -> Fuzz.Rng.int r 1_000_000)
+        in
+        let a = Domain.spawn draw and b = Domain.spawn draw in
+        let ra = Domain.join a and rb = Domain.join b in
+        Alcotest.(check (array int)) "identical streams" ra rb;
+        Alcotest.(check (array int)) "match the host's" (draw ()) ra) ]
+
+(* --- traces and goldens under parallel execution ------------------------ *)
+
+let trace_tests =
+  [ Alcotest.test_case "block spans are identical at 1 and 4 domains" `Quick
+      (fun () ->
+         let src = {|
+__kernel void work(__global int* p) {
+  p[get_global_id(0)] = (int)get_group_id(0);
+}
+|}
+         in
+         let spans_at n =
+           let saved = !Gpusim.Exec.trace_blocks in
+           Gpusim.Exec.trace_blocks := true;
+           Fun.protect
+             ~finally:(fun () -> Gpusim.Exec.trace_blocks := saved)
+             (fun () ->
+                Trace.Sink.enable ();
+                ignore
+                  (launch_at ~domains:n ~src ~kernel:"work" ~gws:[| 32; 1; 1 |]
+                     ~lws:[| 4; 1; 1 |]
+                     ~args:(fun dev -> [ iptr (gbuf dev (32 * 4)) ])
+                     ());
+                let evs = Trace.Sink.events () in
+                Trace.Sink.disable ();
+                List.map
+                  (fun sp ->
+                     ( sp.Trace.Event.sp_id, sp.Trace.Event.sp_name,
+                       sp.Trace.Event.sp_cat, sp.Trace.Event.sp_t0,
+                       sp.Trace.Event.sp_t1, sp.Trace.Event.sp_args ))
+                  evs)
+         in
+         let seq = spans_at 1 in
+         check_int "one span per block" 8 (List.length seq);
+         check "bit-identical stream" true (seq = spans_at 4));
+    Alcotest.test_case "prof golden files unchanged at 4 domains" `Quick
+      (fun () ->
+         with_domains 4 @@ fun () ->
+         let runs =
+           Test_golden.profile_cuda_src "deviceQuery"
+             (Test_golden.devicequery_src ())
+         in
+         Test_golden.check_golden "prof_devicequery.txt"
+           (Test_golden.summary_text runs));
+    Alcotest.test_case "chrome trace golden unchanged at 4 domains" `Quick
+      (fun () ->
+         with_domains 4 @@ fun () ->
+         let runs =
+           Test_golden.profile_cuda_src "deviceQuery"
+             (Test_golden.devicequery_src ())
+         in
+         let pairs =
+           List.map
+             (fun tr -> (tr.Test_golden.tr_label, tr.Test_golden.tr_spans))
+             runs
+         in
+         let json = Trace.Chrome.to_json pairs in
+         Test_golden.check_golden "chrome_devicequery.json"
+           (Test_golden.normalize_chrome (Trace.Json.to_string json))) ]
+
+let suites =
+  [ ("parallel.directed", directed_tests);
+    ( "parallel.qcheck",
+      [ QCheck_alcotest.to_alcotest prop_domain_counts;
+        QCheck_alcotest.to_alcotest prop_domain_counts_interp ] );
+    ("parallel.safety", safety_tests);
+    ("parallel.trace", trace_tests) ]
