@@ -5,8 +5,8 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe fig7a      -- one experiment
      (table1 table2 fig7a fig7b fig7c fig8a fig8b table3
-      ablation-banks ablation-occupancy wrappers svm analyze smoke
-      fuzz backends bechamel)
+      ablation-banks ablation-occupancy wrappers svm analyze validate
+      smoke fuzz backends bechamel)
 
    Times are simulated nanoseconds from the GPU model; figures print the
    same normalised series as the paper's charts.  Besides the tables, a
@@ -580,6 +580,74 @@ let analyze () =
     elapsed
 
 (* ------------------------------------------------------------------ *)
+(* Extension: layered translation validation over the corpus           *)
+(* ------------------------------------------------------------------ *)
+
+let validate_bench () =
+  header "Extension E3: layered validator throughput (L0-L3, both directions)";
+  (* corpus capture is application execution, which we keep off the clock *)
+  let ocl_srcs =
+    List.concat_map
+      (fun (a : ocl_app) -> Suite.Capture.kernel_sources a)
+      Suite.Registry.all_opencl
+  in
+  let cuda_srcs =
+    List.filter_map
+      (fun (c : Suite.Registry.cuda_app) ->
+         if c.cu_expect_translatable then Some c.cu_src else None)
+      Suite.Registry.all_cuda
+  in
+  let equivalent = ref 0 and unsupported = ref 0 and diverged = ref 0 in
+  let layers_run = ref 0 and vacuous = ref 0 in
+  let tally = function
+    | Error _ -> ()
+    | Ok outcomes ->
+      List.iter
+        (fun (_, outcome) ->
+           match outcome with
+           | Xlat_validate.Layered.Unsupported _ -> incr unsupported
+           | Xlat_validate.Layered.Checked r ->
+             List.iter
+               (fun (_, st) ->
+                  match st with
+                  | Xlat_validate.Layered.Vacuous _ -> incr vacuous
+                  | _ -> incr layers_run)
+               r.Xlat_validate.Layered.rp_layers;
+             (match r.Xlat_validate.Layered.rp_diverged with
+              | None -> incr equivalent
+              | Some _ -> incr diverged))
+        outcomes
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun src -> tally (Xlat_validate.Layered.check_opencl_source src))
+    ocl_srcs;
+  List.iter
+    (fun src -> tally (Xlat_validate.Layered.check_cuda_source src))
+    cuda_srcs;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let kernels = !equivalent + !unsupported + !diverged in
+  let rate = float_of_int kernels /. elapsed in
+  Printf.printf "%-32s %d kernels (%d OCL + %d CUDA programs)\n" "corpus"
+    kernels (List.length ocl_srcs) (List.length cuda_srcs);
+  Printf.printf "%-32s %d equivalent, %d unsupported, %d divergent\n"
+    "verdicts" !equivalent !unsupported !diverged;
+  Printf.printf "%-32s %d run, %d sliced vacuous\n" "layers" !layers_run
+    !vacuous;
+  Printf.printf "%-32s %10.1f kernels/s (%.3f s wall)\n" "throughput" rate
+    elapsed;
+  record "validate"
+    (J.Obj
+       [ ("kernels", J.Int kernels);
+         ("equivalent", J.Int !equivalent);
+         ("unsupported", J.Int !unsupported);
+         ("divergent", J.Int !diverged);
+         ("layers_run", J.Int !layers_run);
+         ("layers_vacuous", J.Int !vacuous);
+         ("rate_kernels_per_s", J.Float rate);
+         ("wall_s", J.Float elapsed) ])
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: tracing pipeline end-to-end + perf-regression gate           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1115,6 +1183,7 @@ let experiments =
     ("wrappers", wrappers);
     ("svm", svm);
     ("analyze", analyze);
+    ("validate", validate_bench);
     ("smoke", smoke);
     ("fuzz", fuzz_bench);
     ("backends", backends);

@@ -64,6 +64,35 @@ let report_validation = function
             (List.length o.Xlat_analysis.Validate.v_introduced) )
     end
 
+(* Layered (dynamic) translation validation: run source and translation
+   under per-layer truncated observation and localize any divergence to
+   the lowest semantic layer that introduces it. *)
+let print_layered_outcomes outcomes =
+  let diverged = ref 0 in
+  List.iter
+    (fun (name, outcome) ->
+       match outcome with
+       | Xlat_validate.Layered.Unsupported why ->
+         Printf.printf "kernel %-24s layered: unsupported (%s)\n" name why
+       | Xlat_validate.Layered.Checked r ->
+         (match r.Xlat_validate.Layered.rp_diverged with
+          | None -> Printf.printf "kernel %-24s layered: equivalent\n" name
+          | Some _ -> incr diverged);
+         List.iter
+           (fun line -> Printf.printf "  %s\n" line)
+           (Xlat_validate.Layered.report_lines r))
+    outcomes;
+  !diverged
+
+let report_layered = function
+  | Error msg -> `Error (false, "layered: " ^ msg)
+  | Ok outcomes ->
+    (match print_layered_outcomes outcomes with
+     | 0 -> `Ok ()
+     | n ->
+       `Error
+         (false, Printf.sprintf "layered validation: %d kernel(s) diverge" n))
+
 let translate_cmd =
   let input =
     Arg.(required & pos 0 (some file) None
@@ -75,7 +104,15 @@ let translate_cmd =
              ~doc:"Analyze the kernels before and after translation and fail \
                    if the translation introduces a diagnostic")
   in
-  let run input validate =
+  let layered =
+    Arg.(value & opt bool true
+         & info [ "layered" ] ~docv:"BOOL"
+             ~doc:"With $(b,--validate): also run the layered dynamic \
+                   validator (L0 arithmetic, L1 +local memory, L2 +global \
+                   memory, L3 +scheduling) and localize any divergence to \
+                   the lowest layer introducing it (default: true)")
+  in
+  let run input validate layered =
     catching_sys_error @@ fun () ->
     let src = read_file input in
     if ends_with ~suffix:".cl" input then begin
@@ -95,7 +132,12 @@ let translate_cmd =
                ki.Xlat.Ocl_to_cuda.ki_name dyn)
           result.Xlat.Ocl_to_cuda.kernels;
         if validate then
-          report_validation (Xlat_analysis.Validate.validate_opencl_source src)
+          match
+            report_validation (Xlat_analysis.Validate.validate_opencl_source src)
+          with
+          | `Ok () when layered ->
+            report_layered (Xlat_validate.Layered.check_opencl_source src)
+          | r -> r
         else `Ok ()
       | exception Xlat.Ocl_to_cuda.Untranslatable msg ->
         `Error (false, "untranslatable: " ^ msg)
@@ -128,7 +170,12 @@ let translate_cmd =
                 | None -> ""))
           result.Xlat.Cuda_to_ocl.kmetas;
         if validate then
-          report_validation (Xlat_analysis.Validate.validate_cuda_source src)
+          match
+            report_validation (Xlat_analysis.Validate.validate_cuda_source src)
+          with
+          | `Ok () when layered ->
+            report_layered (Xlat_validate.Layered.check_cuda_source src)
+          | r -> r
         else `Ok ()
       | exception Minic.Parser.Error (msg, line) ->
         `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
@@ -137,7 +184,7 @@ let translate_cmd =
   Cmd.v
     (Cmd.info "translate"
        ~doc:"Translate between CUDA (.cu) and OpenCL (.cl) source")
-    Term.(ret (const run $ input $ validate))
+    Term.(ret (const run $ input $ validate $ layered))
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -183,34 +230,84 @@ let analyze_cmd =
              ~doc:"Kernel source to analyze; .cl parses as OpenCL, anything \
                    else as CUDA")
   in
-  let run input =
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero when warnings are present (by default only \
+                   errors fail the command)")
+  in
+  let no_layers =
+    Arg.(value & flag
+         & info [ "no-layers" ]
+             ~doc:"Skip the per-kernel layer-refinement section (which \
+                   translates the source and checks L0-L3 equivalence)")
+  in
+  let run input strict no_layers =
+    (* the exit-code contract (see the man page) promises exactly 0/1,
+       so errors bypass Cmdliner's 124 convention *)
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg -> Printf.eprintf "oclcu: analyze: %s\n" msg; exit 1)
+        fmt
+    in
     let src = read_file input in
+    let is_cl = ends_with ~suffix:".cl" input in
     let dialect =
-      if ends_with ~suffix:".cl" input then Minic.Parser.OpenCL
-      else Minic.Parser.Cuda
+      if is_cl then Minic.Parser.OpenCL else Minic.Parser.Cuda
     in
     match Minic.Parser.program ~dialect src with
     | prog ->
-      (match Xlat_analysis.Checks.analyze_program prog with
-       | [] ->
-         print_endline "clean: no barrier-divergence, race or address-space \
-                        diagnostics";
-         `Ok ()
-       | diags ->
-         List.iter
-           (fun d -> print_endline (Xlat_analysis.Diag.to_string d))
-           diags;
-         `Error (false, Printf.sprintf "%d diagnostic(s)" (List.length diags)))
+      let warnings =
+        match Xlat_analysis.Checks.analyze_program prog with
+        | [] ->
+          print_endline "clean: no barrier-divergence, race or address-space \
+                         diagnostics";
+          0
+        | diags ->
+          List.iter
+            (fun d ->
+               print_endline ("warning: " ^ Xlat_analysis.Diag.to_string d))
+            diags;
+          List.length diags
+      in
+      let diverged =
+        if no_layers then 0
+        else begin
+          print_endline "layer refinement (vs own translation):";
+          match
+            if is_cl then Xlat_validate.Layered.check_opencl_source src
+            else Xlat_validate.Layered.check_cuda_source src
+          with
+          | Error why ->
+            Printf.printf "  skipped: %s\n" why;
+            0
+          | Ok outcomes -> print_layered_outcomes outcomes
+        end
+      in
+      if diverged > 0 then
+        fail "%d kernel(s) diverge from their translation" diverged
+      else if warnings > 0 && strict then
+        fail "%d warning(s) with --strict" warnings
+      else `Ok ()
     | exception Minic.Parser.Error (msg, line) ->
-      `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+      fail "%s:%d: %s" input line msg
     | exception Minic.Lexer.Error (msg, line) ->
-      `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+      fail "%s:%d: %s" input line msg
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static analysis of kernels: barrier divergence, local-memory \
-             races, address-space misuse")
-    Term.(ret (const run $ input))
+             races, address-space misuse; plus a layer-refinement section \
+             validating the source against its own translation"
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "Exit status follows a warnings/errors contract:";
+           `I ("0", "the source is clean, or carries only warnings (static \
+                     diagnostics) without $(b,--strict).");
+           `I ("1", "errors: a kernel diverges from its translation at some \
+                     layer, the source fails to parse, or warnings are \
+                     present and $(b,--strict) was given.") ])
+    Term.(ret (const run $ input $ strict $ no_layers))
 
 (* --- run ---------------------------------------------------------------- *)
 
@@ -547,6 +644,88 @@ let fuzz_cmd =
              backends; any divergence is shrunk to a minimal repro.")
     Term.(ret (const run $ seed $ count $ time $ out $ replay))
 
+(* --- validate-sweep ----------------------------------------------------- *)
+
+let validate_sweep_cmd =
+  let direction =
+    Arg.(value & opt (enum [ ("both", `Both); ("ocl", `Ocl); ("cuda", `Cuda) ])
+           `Both
+         & info [ "direction" ] ~docv:"DIR"
+             ~doc:"Which translation direction(s) to sweep: $(b,ocl) \
+                   (OpenCL->CUDA over the captured suite kernels), $(b,cuda) \
+                   (CUDA->OpenCL), or $(b,both)")
+  in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Only sweep the first $(docv) applications per direction")
+  in
+  let run direction limit =
+    let checked = ref 0 and unsupported = ref 0 and diverged = ref 0 in
+    let tally outcomes =
+      List.iter
+        (fun (name, outcome) ->
+           match outcome with
+           | Xlat_validate.Layered.Unsupported why ->
+             incr unsupported;
+             Printf.printf "    kernel %-24s unsupported (%s)\n" name why
+           | Xlat_validate.Layered.Checked r ->
+             incr checked;
+             (match r.Xlat_validate.Layered.rp_diverged with
+              | None -> ()
+              | Some (l, site) ->
+                incr diverged;
+                Printf.printf "    kernel %-24s DIVERGES %s: %s\n" name
+                  (Xlat_validate.Layered.layer_name l) site))
+        outcomes
+    in
+    let take l =
+      match limit with
+      | None -> l
+      | Some n -> List.filteri (fun i _ -> i < n) l
+    in
+    if direction <> `Cuda then begin
+      print_endline "== OpenCL -> CUDA (captured suite kernels) ==";
+      List.iter
+        (fun (app : Bridge.Framework.ocl_app) ->
+           let srcs = Suite.Capture.kernel_sources app in
+           Printf.printf "  %s/%s (%d program(s))\n" app.oa_suite app.oa_name
+             (List.length srcs);
+           List.iter
+             (fun src ->
+                match Xlat_validate.Layered.check_opencl_source src with
+                | Error why -> Printf.printf "    skipped: %s\n" why
+                | Ok outcomes -> tally outcomes)
+             srcs)
+        (take Suite.Registry.all_opencl)
+    end;
+    if direction <> `Ocl then begin
+      print_endline "== CUDA -> OpenCL (suite sources) ==";
+      List.iter
+        (fun (c : Suite.Registry.cuda_app) ->
+           if c.cu_expect_translatable then begin
+             Printf.printf "  %s/%s\n" c.cu_suite c.cu_name;
+             match Xlat_validate.Layered.check_cuda_source c.cu_src with
+             | Error why -> Printf.printf "    skipped: %s\n" why
+             | Ok outcomes -> tally outcomes
+           end)
+        (take Suite.Registry.all_cuda)
+    end;
+    Printf.printf
+      "swept %d kernel(s): %d equivalent at every layer, %d unsupported, \
+       %d divergent\n"
+      (!checked + !unsupported) !checked !unsupported !diverged;
+    if !diverged > 0 then
+      `Error (false, Printf.sprintf "%d kernel(s) diverge" !diverged)
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "validate-sweep"
+       ~doc:"Run the layered translation validator (L0-L3) over the whole \
+             benchmark suite in both translation directions; fails on any \
+             divergence")
+    Term.(ret (const run $ direction $ limit))
+
 (* --- devices ------------------------------------------------------------ *)
 
 let devices_cmd =
@@ -572,4 +751,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; check_cmd; analyze_cmd; run_cmd; prof_cmd; fuzz_cmd;
-            devices_cmd ]))
+            validate_sweep_cmd; devices_cmd ]))

@@ -1,0 +1,118 @@
+(* Per-kernel semantic-layer footprint.
+
+   Which of the validator's layers a kernel can exercise at all, decided
+   statically over the CFG of its body and (transitively) its callees:
+   local-memory traffic, global/constant-memory traffic, and scheduling
+   constructs (barriers, atomics).  The layered validator slices its
+   refinement ladder with this — a layer with no statically reachable
+   traffic is vacuously equivalent and never has to run. *)
+
+open Minic.Ast
+
+type t = {
+  fp_local : bool;   (* touches __local / __shared__ memory *)
+  fp_global : bool;  (* touches __global / __constant / generic pointers *)
+  fp_sched : bool;   (* barriers or atomics *)
+}
+
+let empty = { fp_local = false; fp_global = false; fp_sched = false }
+
+let union a b =
+  { fp_local = a.fp_local || b.fp_local;
+    fp_global = a.fp_global || b.fp_global;
+    fp_sched = a.fp_sched || b.fp_sched }
+
+(* The OpenCL 1.2 and CUDA atomics the simulator implements. *)
+let atomic_names =
+  [ "atomic_add"; "atomic_sub"; "atomic_inc"; "atomic_dec"; "atomic_min";
+    "atomic_max"; "atomic_xchg"; "atomic_cmpxchg"; "atomicAdd"; "atomicSub";
+    "atomicMin"; "atomicMax"; "atomicExch"; "atomicCAS"; "atomicInc";
+    "atomicDec" ]
+
+let is_atomic_name n = List.mem n atomic_names
+
+let fold_expr f acc e =
+  let acc = ref acc in
+  ignore (map_expr (fun e -> acc := f !acc e; e) e);
+  !acc
+
+(* A pointer/array parameter contributes the space it points into;
+   an unqualified pointer is assumed global (the common case for
+   kernel buffer arguments in both dialects). *)
+let param_footprint (pa : param) =
+  match unqual pa.pa_ty with
+  | TPtr t | TArr (t, _) ->
+    let sp =
+      match pa.pa_space, type_space t with
+      | AS_none, sp -> sp
+      | sp, _ -> sp
+    in
+    (match sp with
+     | AS_local -> { empty with fp_local = true }
+     | _ -> { empty with fp_global = true })
+  | _ -> empty
+
+(* The footprint of [k] in [prog], callee-transitive (memoized,
+   cycle-safe: a recursive cycle contributes what its bodies show). *)
+let of_kernel (prog : program) (k : func) : t =
+  let has_global_vars =
+    List.exists
+      (function
+        | TVar d ->
+          (match type_space d.d_ty with
+           | AS_global | AS_constant -> true
+           | _ -> false)
+        | _ -> false)
+      prog
+  in
+  let memo : (string, t) Hashtbl.t = Hashtbl.create 8 in
+  let rec fp_of seen (f : func) =
+    match Hashtbl.find_opt memo f.fn_name with
+    | Some fp -> fp
+    | None when List.mem f.fn_name seen -> empty
+    | None ->
+      let seen = f.fn_name :: seen in
+      let body = Option.value f.fn_body ~default:[] in
+      let cfg = Cfg.of_body body in
+      let on_expr acc e =
+        match e with
+        | Call (n, _, _) ->
+          let acc =
+            if Checks.is_barrier_name n || is_atomic_name n then
+              { acc with fp_sched = true }
+            else acc
+          in
+          (match Minic.Ast.find_function prog n with
+           | Some callee when callee.fn_name <> f.fn_name ->
+             union acc (fp_of seen callee)
+           | _ -> acc)
+        | _ -> acc
+      in
+      let on_instr acc = function
+        | Cfg.I_decl d ->
+          let acc =
+            if type_space d.d_ty = AS_local then { acc with fp_local = true }
+            else acc
+          in
+          let rec fold_init acc = function
+            | IExpr e -> fold_expr on_expr acc e
+            | IList l -> List.fold_left fold_init acc l
+          in
+          (match d.d_init with None -> acc | Some i -> fold_init acc i)
+        | Cfg.I_expr e -> fold_expr on_expr acc e
+      in
+      let fp =
+        Array.fold_left
+          (fun acc (nd : Cfg.node) ->
+             let acc = List.fold_left on_instr acc nd.instrs in
+             match nd.branch with
+             | Some e -> fold_expr on_expr acc e
+             | None -> acc)
+          empty cfg.Cfg.nodes
+      in
+      Hashtbl.replace memo f.fn_name fp;
+      fp
+  in
+  let fp = fp_of [] k in
+  let fp = List.fold_left (fun a p -> union a (param_footprint p)) fp k.fn_params in
+  if has_global_vars then { fp with fp_global = true } else fp

@@ -68,9 +68,15 @@ let run ?(out_dir = "_fuzz") ?time_budget ?(log = fun _ -> ()) ~seed ~count ()
       log
         (Printf.sprintf "case %d: shrunk %d -> %d lines in %d attempts" index
            (source_lines case) (source_lines small) attempts);
+      let layer = Diagnose.layer_verdict small in
+      log
+        (Printf.sprintf "case %d: layer diagnosis: %s%s" index (fst layer)
+           (if snd layer = "" then "" else " (" ^ snd layer ^ ")"));
       if List.length stats.repro_dirs < 8 then begin
         let name = Printf.sprintf "seed%d-case%d" seed index in
-        let dir = Repro.write ~out_dir ~name ~case:small ~d ~seed ~index in
+        let dir =
+          Repro.write ~out_dir ~name ~case:small ~d ~layer ~seed ~index
+        in
         stats.repro_dirs <- dir :: stats.repro_dirs;
         log (Printf.sprintf "case %d: minimal repro written to %s" index dir)
       end
@@ -92,6 +98,10 @@ let summary (s : stats) =
    diverges (i.e. the bug is still present). *)
 let replay ?(log = fun _ -> ()) dir : bool =
   let case = Repro.load dir in
+  let layer_verdict, layer_site = Repro.layer dir in
+  log
+    (Printf.sprintf "replay: stored layer verdict: %s%s" layer_verdict
+       (if layer_site = "" then "" else " (" ^ layer_site ^ ")"));
   match Pyramid.run case with
   | Pyramid.Agree -> log "replay: all six executions agree"; false
   | Pyramid.Skip reason -> log ("replay: skipped (" ^ reason ^ ")"); false

@@ -35,11 +35,12 @@ let config_str (c : Gen.case) extra =
         @ extra))
 
 let write ~out_dir ~name ~(case : Gen.case) ~(d : Pyramid.divergence)
-    ~seed ~index : string =
+    ~(layer : string * string) ~seed ~index : string =
   ensure_dir out_dir;
   let dir = Filename.concat out_dir name in
   ensure_dir dir;
   let src = Gen.source case in
+  let layer_verdict, layer_site = layer in
   write_file (Filename.concat dir "kernel.cl") src;
   write_file (Filename.concat dir "config")
     (config_str case
@@ -47,29 +48,42 @@ let write ~out_dir ~name ~(case : Gen.case) ~(d : Pyramid.divergence)
          ("index", string_of_int index);
          ("stage", d.Pyramid.d_stage);
          ("kind", Pyramid.kind_name d.Pyramid.d_kind);
-         ("detail", d.Pyramid.d_detail) ]);
+         ("detail", d.Pyramid.d_detail);
+         ("layer", layer_verdict);
+         ("layer_site", layer_site) ]);
   write_file (Filename.concat dir "README.md")
     (Printf.sprintf
-       "# Fuzz divergence: %s (%s)\n\n%s\n\nReplay with:\n\n    oclcu fuzz --replay %s\n"
+       "# Fuzz divergence: %s (%s)\n\n%s\n\nLayer verdict: %s%s\n\n\
+        Replay with:\n\n    oclcu fuzz --replay %s\n"
        d.Pyramid.d_stage (Pyramid.kind_name d.Pyramid.d_kind)
-       d.Pyramid.d_detail dir);
+       d.Pyramid.d_detail layer_verdict
+       (if layer_site = "" then "" else " (" ^ layer_site ^ ")")
+       dir);
   dir
+
+let config_kv dir =
+  let config = read_file (Filename.concat dir "config") in
+  List.filter_map
+    (fun line ->
+       match String.index_opt line '=' with
+       | Some i ->
+         Some
+           ( String.sub line 0 i,
+             String.sub line (i + 1) (String.length line - i - 1) )
+       | None -> None)
+    (String.split_on_char '\n' config)
+
+(* The stored layer diagnosis; repros written before the layered
+   validator existed have no [layer] key and read back as "-". *)
+let layer dir : string * string =
+  let kv = config_kv dir in
+  ( Option.value (List.assoc_opt "layer" kv) ~default:"-",
+    Option.value (List.assoc_opt "layer_site" kv) ~default:"" )
 
 (* Re-load a written repro as a runnable case. *)
 let load dir : Gen.case =
   let src = read_file (Filename.concat dir "kernel.cl") in
-  let config = read_file (Filename.concat dir "config") in
-  let kv =
-    List.filter_map
-      (fun line ->
-         match String.index_opt line '=' with
-         | Some i ->
-           Some
-             ( String.sub line 0 i,
-               String.sub line (i + 1) (String.length line - i - 1) )
-         | None -> None)
-      (String.split_on_char '\n' config)
-  in
+  let kv = config_kv dir in
   let get k =
     match List.assoc_opt k kv with
     | Some v -> int_of_string v

@@ -335,7 +335,7 @@ let compiled_for prog =
    [host_arena] backs AS_none so kernels can read host constants if a
    runtime chooses to pass them (not used by well-formed code). *)
 let launch ~(dev : Device.t) ~prog ~globals ~host_arena
-    ?(extra_externals = []) ~(kernel : func) ~(cfg : config)
+    ?(extra_externals = []) ?observer ~(kernel : func) ~(cfg : config)
     ~(args : karg list) () : launch_stats =
   let warp = dev.hw.warp_size in
   let lx = dim3_of cfg.local_size 0
@@ -526,7 +526,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
 
     let base_ctx =
       Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access
-        ~on_op ~stack_space:AS_private ~globals ()
+        ~on_op ~stack_space:AS_private ~globals ?observer ()
     in
 
     let logs : Conflict.block_log list ref = ref [] in

@@ -75,7 +75,9 @@ type launch_stats = {
     [globals] must already hold the module's device-global bindings;
     [host_arena] backs host-space pointers a runtime may pass through;
     [extra_externals] append (and may override) the built-in kernel
-    externals — the runtimes use this for image and texture fetches.
+    externals — the runtimes use this for image and texture fetches;
+    [observer] installs {!Vm.Interp.observer} hooks in every work-item's
+    context (the layered translation validator uses this).
     The global size must be divisible by the local size.
     @raise Launch_error on bad geometry or argument mismatch. *)
 val launch :
@@ -83,5 +85,6 @@ val launch :
   globals:(string, Vm.Interp.binding) Hashtbl.t ->
   host_arena:Vm.Memory.arena ->
   ?extra_externals:(string * (Vm.Interp.ctx -> Vm.Interp.tval list -> Vm.Interp.tval)) list ->
+  ?observer:Vm.Interp.observer ->
   kernel:Minic.Ast.func -> cfg:config -> args:karg list -> unit ->
   launch_stats

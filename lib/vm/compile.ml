@@ -167,7 +167,7 @@ let compiled_load st ty : I.ctx -> addr_space -> int -> Value.t =
       Value.VInt (Memory.load_int (ctx.I.arena_of space) addr 8)
   | TQual _ | TConst _ -> assert false
 
-let rec compiled_store st ty : I.ctx -> addr_space -> int -> Value.t -> unit =
+let rec compiled_store_raw st ty : I.ctx -> addr_space -> int -> Value.t -> unit =
   match Layout.resolve st.cp_layout ty with
   | TScalar ((Float | Double) as s) ->
     let n = scalar_size s in
@@ -213,8 +213,19 @@ let rec compiled_store st ty : I.ctx -> addr_space -> int -> Value.t -> unit =
     fun ctx space addr v ->
       ctx.I.on_access Memory.Store space addr 8;
       Memory.store_int (ctx.I.arena_of space) addr 8 (Value.to_int v)
-  | TArr (elt, _) -> compiled_store st (TPtr elt)
+  | TArr (elt, _) -> compiled_store_raw st (TPtr elt)
   | TQual _ | TConst _ -> assert false
+
+(* Mirror Interp.store: report the store to the observer (if installed)
+   before the write, which [obs_perform] can veto. *)
+let compiled_store st ty : I.ctx -> addr_space -> int -> Value.t -> unit =
+  let raw = compiled_store_raw st ty in
+  fun ctx space addr v ->
+    match ctx.I.observer with
+    | None -> raw ctx space addr v
+    | Some o ->
+      o.I.obs_store ctx space addr ty v;
+      if o.I.obs_perform space then raw ctx space addr v
 
 (* Generic load/store for dynamically shaped lvalues (mirror
    Interp.load_lvalue / Interp.store_lvalue). *)
@@ -521,7 +532,7 @@ let rec compile_expr sc (e : expr) : cexpr =
     Dyn
       (fun env ->
          env.ectx.I.on_op I.Op_branch;
-         if Value.to_bool (ca env).I.v then
+         if I.obs_branch env.ectx (Value.to_bool (ca env).I.v) then
            I.tv (Value.of_bool (Value.to_bool (cb env).I.v)) (TScalar Int)
          else I.tv (Value.VInt 0L) (TScalar Int))
   | Binary (Lor, a, b) ->
@@ -530,7 +541,8 @@ let rec compile_expr sc (e : expr) : cexpr =
     Dyn
       (fun env ->
          env.ectx.I.on_op I.Op_branch;
-         if Value.to_bool (ca env).I.v then I.tv (Value.VInt 1L) (TScalar Int)
+         if I.obs_branch env.ectx (Value.to_bool (ca env).I.v) then
+           I.tv (Value.VInt 1L) (TScalar Int)
          else I.tv (Value.of_bool (Value.to_bool (cb env).I.v)) (TScalar Int))
   | Binary (op, a, b) ->
     let ca = force (compile_expr_safe sc a) in
@@ -575,7 +587,8 @@ let rec compile_expr sc (e : expr) : cexpr =
     Dyn
       (fun env ->
          env.ectx.I.on_op I.Op_branch;
-         if Value.to_bool (cc env).I.v then ca env else cb env)
+         if I.obs_branch env.ectx (Value.to_bool (cc env).I.v) then ca env
+         else cb env)
   | Call (name, tmpl, args) -> compile_call sc name tmpl args
   | Cast (t, a) | StaticCast (t, a) | ReinterpretCast (t, a) ->
     (match compile_expr_safe sc a with
@@ -866,6 +879,10 @@ and call_cfunc cf (ctx : I.ctx) (args : I.tval array) : I.tval =
   end;
   let arena = ctx.I.arena_of ctx.I.stack_space in
   let m = Memory.mark arena in
+  (match ctx.I.observer with Some o -> o.I.obs_enter cf.cf_name | None -> ());
+  let obs_leave () =
+    match ctx.I.observer with Some o -> o.I.obs_leave cf.cf_name | None -> ()
+  in
   let env = { ectx = ctx; slots = Array.make cf.cf_nslots dummy_binding } in
   (* hand-rolled Fun.protect: the frame pop runs on every exit path but
      costs no closure allocation on the hot non-raising one *)
@@ -876,16 +893,19 @@ and call_cfunc cf (ctx : I.ctx) (args : I.tval array) : I.tval =
   | () ->
     Memory.release arena m;
     ctx.I.call_depth <- ctx.I.call_depth - 1;
+    obs_leave ();
     I.tunit
   | exception I.Return_exc v ->
     Memory.release arena m;
     ctx.I.call_depth <- ctx.I.call_depth - 1;
+    obs_leave ();
     (* C semantics: convert to the declared return type (matches
        Interp.call_function) *)
     if equal_ty v.I.ty cf.cf_ret then v else I.cast_value ctx cf.cf_ret v
   | exception e ->
     Memory.release arena m;
     ctx.I.call_depth <- ctx.I.call_depth - 1;
+    obs_leave ();
     raise e
 
 and compile_param sc ~fn_name i (pa : param) : env -> I.tval array -> unit =
@@ -1112,7 +1132,7 @@ and compile_stmt sc (s : stmt) : env -> unit =
     let cb = Option.map (compile_stmt_safe sc) b in
     fun env ->
       env.ectx.I.on_op I.Op_branch;
-      if Value.to_bool (cc env).I.v then ca env
+      if I.obs_branch env.ectx (Value.to_bool (cc env).I.v) then ca env
       else (match cb with Some f -> f env | None -> ())
   | SWhile (c, body) ->
     let cc = force (compile_expr_safe sc c) in
@@ -1121,7 +1141,7 @@ and compile_stmt sc (s : stmt) : env -> unit =
       (try
          while
            env.ectx.I.on_op I.Op_branch;
-           Value.to_bool (cc env).I.v
+           I.obs_branch env.ectx (Value.to_bool (cc env).I.v)
          do
            try cbody env with I.Continue_exc -> ()
          done
@@ -1135,7 +1155,7 @@ and compile_stmt sc (s : stmt) : env -> unit =
          while !continue_ do
            (try cbody env with I.Continue_exc -> ());
            env.ectx.I.on_op I.Op_branch;
-           continue_ := Value.to_bool (cc env).I.v
+           continue_ := I.obs_branch env.ectx (Value.to_bool (cc env).I.v)
          done
        with I.Break_exc -> ())
   | SFor (init, cond, update, body) ->
@@ -1152,7 +1172,7 @@ and compile_stmt sc (s : stmt) : env -> unit =
            env.ectx.I.on_op I.Op_branch;
            match ccond with
            | None -> true
-           | Some c -> Value.to_bool (c env).I.v
+           | Some c -> I.obs_branch env.ectx (Value.to_bool (c env).I.v)
          do
            (try cbody env with I.Continue_exc -> ());
            (match cupd with Some u -> ignore (u env) | None -> ())

@@ -55,6 +55,22 @@ type ctx = {
      native CUDA runtime installs this, the translated host never needs
      it because the translator removed all launches *)
   mutable launch_handler : (ctx -> Minic.Ast.launch -> tval) option;
+  (* layered-observation hooks; absent in normal execution *)
+  observer : observer option;
+}
+
+(* Observation hooks for the translation validator's layered runs.  When
+   installed, every branch decision, typed store and user-function call
+   boundary is reported, and [obs_perform] can veto the memory write of a
+   store: evaluation proceeds unchanged, but effects in address spaces
+   above the validator's active semantic layer never land.  [obs_store]
+   fires before the write, with the unwrapped value. *)
+and observer = {
+  obs_branch : bool -> unit;
+  obs_store : ctx -> addr_space -> int -> ty -> Value.t -> unit;
+  obs_perform : addr_space -> bool;
+  obs_enter : string -> unit;   (* entering a defined function, by name *)
+  obs_leave : string -> unit;
 }
 
 exception Return_exc of tval
@@ -71,7 +87,7 @@ let no_special _ = None
 
 let make ~prog ~arena_of ?(externals = []) ?(special_ident = no_special)
     ?(on_access = no_access) ?(on_op = no_op)
-    ?(stack_space = AS_none) ?group_locals ?globals () =
+    ?(stack_space = AS_none) ?group_locals ?globals ?observer () =
   let funcs = Hashtbl.create 31 in
   List.iter
     (function
@@ -93,7 +109,8 @@ let make ~prog ~arena_of ?(externals = []) ?(special_ident = no_special)
     group_locals;
     strings = Hashtbl.create 7;
     call_depth = 0;
-    launch_handler = None }
+    launch_handler = None;
+    observer }
 
 let add_external ctx name f = Hashtbl.replace ctx.externals name f
 
@@ -134,7 +151,7 @@ let load ctx space addr ty : Value.t =
     VInt (Memory.load_int a addr 8)
   | TQual _ | TConst _ -> assert false
 
-let rec store ctx space addr ty (v : Value.t) =
+let rec store_raw ctx space addr ty (v : Value.t) =
   let a = ctx.arena_of space in
   match Layout.resolve ctx.layout ty with
   | TScalar (Float | Double as s) ->
@@ -179,8 +196,20 @@ let rec store ctx space addr ty (v : Value.t) =
     Memory.store_int a addr 8 (Value.to_int v)
   | TArr (elt, _) ->
     (* array initialisation from a same-layout array address *)
-    store ctx space addr (TPtr elt) v
+    store_raw ctx space addr (TPtr elt) v
   | TQual _ | TConst _ -> assert false
+
+let store ctx space addr ty (v : Value.t) =
+  match ctx.observer with
+  | None -> store_raw ctx space addr ty v
+  | Some o ->
+    o.obs_store ctx space addr ty v;
+    if o.obs_perform space then store_raw ctx space addr ty v
+
+(* Report a branch decision to the observer, if any, and return it. *)
+let obs_branch ctx b =
+  (match ctx.observer with Some o -> o.obs_branch b | None -> ());
+  b
 
 (* ------------------------------------------------------------------ *)
 (* Scopes and variable allocation                                      *)
@@ -801,12 +830,12 @@ and eval ctx (e : expr) : tval =
     if op = Preinc || op = Predec then nv else old
   | Binary (Land, a, b) ->
     ctx.on_op Op_branch;
-    if Value.to_bool (eval ctx a).v then
+    if obs_branch ctx (Value.to_bool (eval ctx a).v) then
       tv (Value.of_bool (Value.to_bool (eval ctx b).v)) (TScalar Int)
     else tv (VInt 0L) (TScalar Int)
   | Binary (Lor, a, b) ->
     ctx.on_op Op_branch;
-    if Value.to_bool (eval ctx a).v then tv (VInt 1L) (TScalar Int)
+    if obs_branch ctx (Value.to_bool (eval ctx a).v) then tv (VInt 1L) (TScalar Int)
     else tv (Value.of_bool (Value.to_bool (eval ctx b).v)) (TScalar Int)
   | Binary (op, a, b) -> binop ctx op (eval ctx a) (eval ctx b)
   | Assign (op, lhs, rhs) ->
@@ -820,7 +849,8 @@ and eval ctx (e : expr) : tval =
     x
   | Cond (c, a, b) ->
     ctx.on_op Op_branch;
-    if Value.to_bool (eval ctx c).v then eval ctx a else eval ctx b
+    if obs_branch ctx (Value.to_bool (eval ctx c).v) then eval ctx a
+    else eval ctx b
   | Call (name, tmpl, args) -> eval_call ctx name tmpl args
   | Cast (t, a) | StaticCast (t, a) | ReinterpretCast (t, a) ->
     cast_value ctx t (eval ctx a)
@@ -910,6 +940,7 @@ and call_function ctx f args =
   let body = Option.get f.fn_body in
   let arena = ctx.arena_of ctx.stack_space in
   let m = Memory.mark arena in
+  (match ctx.observer with Some o -> o.obs_enter f.fn_name | None -> ());
   push_scope ctx;
   let saved_scopes = ctx.scopes in
   Fun.protect
@@ -917,7 +948,8 @@ and call_function ctx f args =
         ctx.scopes <- saved_scopes;
         pop_scope ctx;
         Memory.release arena m;
-        ctx.call_depth <- ctx.call_depth - 1)
+        ctx.call_depth <- ctx.call_depth - 1;
+        match ctx.observer with Some o -> o.obs_leave f.fn_name | None -> ())
     (fun () ->
        let args = Array.of_list args in
        List.iteri
@@ -1042,13 +1074,13 @@ and exec_stmt ctx (s : stmt) =
   | SExpr e -> ignore (eval ctx e)
   | SIf (c, a, b) ->
     ctx.on_op Op_branch;
-    if Value.to_bool (eval ctx c).v then exec_stmt ctx a
+    if obs_branch ctx (Value.to_bool (eval ctx c).v) then exec_stmt ctx a
     else Option.iter (exec_stmt ctx) b
   | SWhile (c, body) ->
     (try
        while
          ctx.on_op Op_branch;
-         Value.to_bool (eval ctx c).v
+         obs_branch ctx (Value.to_bool (eval ctx c).v)
        do
          try exec_stmt ctx body with Continue_exc -> ()
        done
@@ -1059,7 +1091,7 @@ and exec_stmt ctx (s : stmt) =
        while !continue_ do
          (try exec_stmt ctx body with Continue_exc -> ());
          ctx.on_op Op_branch;
-         continue_ := Value.to_bool (eval ctx c).v
+         continue_ := obs_branch ctx (Value.to_bool (eval ctx c).v)
        done
      with Break_exc -> ())
   | SFor (init, cond, update, body) ->
@@ -1073,7 +1105,7 @@ and exec_stmt ctx (s : stmt) =
              ctx.on_op Op_branch;
              match cond with
              | None -> true
-             | Some c -> Value.to_bool (eval ctx c).v
+             | Some c -> obs_branch ctx (Value.to_bool (eval ctx c).v)
            do
              (try exec_stmt ctx body with Continue_exc -> ());
              Option.iter (fun u -> ignore (eval ctx u)) update

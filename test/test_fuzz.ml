@@ -151,9 +151,13 @@ let repro_tests =
          in
          let dir =
            Fuzz.Repro.write ~out_dir:(tmp_dir "oclcu-fuzz-repro")
-             ~name:"unit" ~case ~d ~seed:11 ~index:0
+             ~name:"unit" ~case ~d ~layer:("L2", "work-item 1, event 7")
+             ~seed:11 ~index:0
          in
          let case' = Fuzz.Repro.load dir in
+         let verdict, site = Fuzz.Repro.layer dir in
+         check_str "layer verdict stored" "L2" verdict;
+         check_str "layer site stored" "work-item 1, event 7" site;
          check_str "program preserved" (Fuzz.Gen.source case)
            (Fuzz.Gen.source case');
          check_int "gws" case.Fuzz.Gen.c_gws case'.Fuzz.Gen.c_gws;
@@ -162,7 +166,15 @@ let repro_tests =
          check_int "init_seed" case.Fuzz.Gen.c_init_seed
            case'.Fuzz.Gen.c_init_seed;
          (* a healthy translator means the replay no longer diverges *)
-         check "replay agrees" false (Fuzz.Driver.replay dir))
+         check "replay agrees" false (Fuzz.Driver.replay dir));
+    Alcotest.test_case "diagnosis of a healthy case reads equivalent" `Quick
+      (fun () ->
+         let case = Fuzz.Gen.generate (Fuzz.Rng.create 5) in
+         let verdict, _site = Fuzz.Diagnose.layer_verdict case in
+         (* generated kernels may trip an Unsupported corner, but a
+            diagnosed one must never read as a divergence *)
+         check "not a layer verdict" false
+           (List.mem verdict [ "L0"; "L1"; "L2"; "L3" ]))
   ]
 
 let suites =
