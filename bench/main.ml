@@ -1174,6 +1174,67 @@ __kernel void reduce(__global int* out, __local int* tmp) {
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Attribution overhead: --attribute vs plain profiling                *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-site tables ride the hot counting path (an Attr.get plus a
+   handful of integer bumps per warp row), so the budget is a wall-clock
+   gate: attributed profiling of the conflict-heaviest app (FT, both
+   frameworks) must stay within 10% of plain profiling. *)
+let attribute_bench () =
+  header "Attribute: per-site attribution overhead vs plain profiling";
+  let app =
+    List.find (fun (a : ocl_app) -> a.oa_name = "FT") Suite.Registry.npb_opencl
+  in
+  let one_run ~attributed () =
+    Minic.Site.enabled := attributed;
+    Gpusim.Exec.attribute := attributed;
+    Minic.Site.reset ();
+    let t0 = Unix.gettimeofday () in
+    let _, ms =
+      with_metrics (fun () ->
+          ignore (run_app_native app ());
+          ignore (run_app_on_cuda app ()))
+    in
+    (Unix.gettimeofday () -. t0, ms)
+  in
+  (* best-of-N wall time: robust against scheduler noise either way *)
+  let best f =
+    let reps = 5 in
+    let t = ref infinity and ms = ref [] in
+    for _ = 1 to reps do
+      let dt, m = f () in
+      if dt < !t then begin t := dt; ms := m end
+    done;
+    (!t, !ms)
+  in
+  ignore (one_run ~attributed:false ());   (* warm caches *)
+  let base_t, _ = best (one_run ~attributed:false) in
+  let attr_t, attr_ms = best (one_run ~attributed:true) in
+  Minic.Site.enabled := false;
+  Gpusim.Exec.attribute := false;
+  let ratio = attr_t /. base_t in
+  let sites = Trace.Summary.collect_sites attr_ms in
+  Printf.printf "%-34s %8.2f ms\n" "plain profile (FT, both fw)"
+    (base_t *. 1e3);
+  Printf.printf "%-34s %8.2f ms   (%d attributed site(s))\n"
+    "with --attribute" (attr_t *. 1e3) (List.length sites);
+  Printf.printf "%-34s %8.3f   (budget 1.10)\n" "overhead ratio" ratio;
+  let ok = ratio <= 1.10 in
+  record "attribute"
+    (J.Obj
+       [ ("base_wall_s", J.Float base_t);
+         ("attributed_wall_s", J.Float attr_t);
+         ("overhead_ratio", J.Float ratio);
+         ("sites", J.Int (List.length sites));
+         ("within_budget", J.Bool ok) ]);
+  if not ok then begin
+    Printf.printf "attribution overhead EXCEEDS the 10%% budget\n";
+    write_results ();
+    exit 1
+  end
+
 let experiments =
   [ ("table1", table1); ("table2", table2);
     ("fig7a", fig7a); ("fig7b", fig7b); ("fig7c", fig7c);
@@ -1188,6 +1249,7 @@ let experiments =
     ("fuzz", fuzz_bench);
     ("backends", backends);
     ("parallel", parallel_bench);
+    ("attribute", attribute_bench);
     ("bechamel", bechamel) ]
 
 let () =

@@ -323,16 +323,21 @@ type traced_run = {
   tr_label : string;
   tr_spans : Trace.Event.span list;
   tr_metrics : Trace.Metrics.t list;
+  tr_dropped_spans : int;          (* ring-buffer evictions during the run *)
+  tr_dropped_metrics : int;
 }
 
 let traced_run label f =
   if not (Trace.Sink.is_enabled ()) then Trace.Sink.enable ();
   Trace.Sink.clear ();
   let finish () =
+    (* harvest the drop counters before [clear] resets them *)
     let r =
       { tr_label = label;
         tr_spans = Trace.Sink.events ();
-        tr_metrics = Trace.Sink.metrics () }
+        tr_metrics = Trace.Sink.metrics ();
+        tr_dropped_spans = Trace.Sink.dropped_spans ();
+        tr_dropped_metrics = Trace.Sink.dropped_metrics () }
     in
     Trace.Sink.clear ();
     r
@@ -341,14 +346,27 @@ let traced_run label f =
   | v -> (finish (), Ok v)
   | exception e -> (finish (), Error e)
 
-let print_profile (tr : traced_run) =
+let print_profile ?(attribute = false) (tr : traced_run) =
   print_string (Trace.Summary.to_string ~label:tr.tr_label tr.tr_spans);
+  if tr.tr_dropped_spans > 0 || tr.tr_dropped_metrics > 0 then
+    Printf.printf
+      "!! trace truncated: the ring buffer evicted %d span(s) and %d metrics \
+       record(s);\n!! totals above undercount the earliest events of this \
+       run\n"
+      tr.tr_dropped_spans tr.tr_dropped_metrics;
   print_string (Trace.Summary.metrics_to_string tr.tr_metrics);
   let amps = Trace.Summary.amplifications tr.tr_spans in
-  if amps <> [] then print_string (Trace.Summary.amplification_to_string amps)
+  if amps <> [] then print_string (Trace.Summary.amplification_to_string amps);
+  if attribute then begin
+    print_string (Trace.Summary.attribution_to_string tr.tr_metrics);
+    print_string (Trace.Summary.pool_to_string tr.tr_metrics)
+  end
 
 let chrome_runs trs =
   List.map (fun tr -> (tr.tr_label, tr.tr_spans)) trs
+
+let chrome_metrics trs =
+  List.map (fun tr -> (tr.tr_label, tr.tr_metrics)) trs
 
 let trace_arg =
   Arg.(value & opt (some string) None
@@ -361,6 +379,24 @@ let csv_arg =
   Arg.(value & opt (some string) None
        & info [ "csv" ] ~docv:"OUT.csv"
            ~doc:"Write the per-kernel metrics records as CSV")
+
+let attribute_arg =
+  Arg.(value & flag
+       & info [ "attribute" ]
+           ~doc:"Attribute counted events (ops, memory transactions, bank \
+                 conflicts, barriers, warp divergence) to source statements: \
+                 annotate every statement with a stable site id, track the \
+                 executing site through both backends, and print a per-site \
+                 hot-spot table plus worker-pool telemetry.  The \
+                 $(b,OCLCU_ATTRIBUTE) environment variable sets the default")
+
+(* Flip the attribution machinery on for this process: site annotation in
+   the parsers/translators and per-site counter tables in the engine.
+   [Site.reset] makes site numbering deterministic per invocation. *)
+let enable_attribution () =
+  Minic.Site.enabled := true;
+  Gpusim.Exec.attribute := true;
+  Minic.Site.reset ()
 
 let run_cmd =
   let input =
@@ -400,10 +436,12 @@ let run_cmd =
                    $(b,OCLCU_DOMAINS) environment variable sets the default \
                    (machine core count otherwise)")
   in
-  let run input device trace profile backend domains =
+  let run input device trace profile attribute backend domains =
     catching_sys_error @@ fun () ->
     Gpusim.Exec.backend := backend;
     Gpusim.Exec.domains := max 1 domains;
+    if attribute then enable_attribution ();
+    let profile = profile || attribute in
     let src = read_file input in
     let tracing = trace <> None || profile in
     let execute () =
@@ -444,10 +482,12 @@ let run_cmd =
       | Ok (Error msg) -> `Error (false, msg)
       | Ok (Ok r) ->
         finish r;
-        if profile then print_profile tr;
+        if profile then print_profile ~attribute tr;
         (match trace with
          | Some path ->
-           Trace.Chrome.write_file path (chrome_runs [ tr ]);
+           Trace.Chrome.write_file path
+             ~metrics:(chrome_metrics [ tr ])
+             (chrome_runs [ tr ]);
            Printf.printf "wrote %s (%d spans)\n" path (List.length tr.tr_spans)
          | None -> ());
         `Ok ()
@@ -457,8 +497,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a CUDA program on a simulated device")
     Term.(
       ret
-        (const run $ input $ device $ trace_arg $ profile $ backend
-         $ domains_arg))
+        (const run $ input $ device $ trace_arg $ profile $ attribute_arg
+         $ backend $ domains_arg))
 
 (* --- prof --------------------------------------------------------------- *)
 
@@ -517,8 +557,21 @@ let prof_cmd =
     (match wrap_outcome with Error e -> raise e | Ok _ -> ());
     [ native; wrapped ]
   in
-  let run target trace csv =
+  let diff_arg =
+    Arg.(value & flag
+         & info [ "diff" ]
+             ~doc:"Print a translation cost diff: run the target natively \
+                   and translated with $(b,--attribute) on, align the two \
+                   per-site tables by origin site id (annotation is \
+                   deterministic, so both sides number the same statements \
+                   identically), and show the per-site deltas plus the \
+                   translator-injected code's share (site 0).  Implies \
+                   $(b,--attribute)")
+  in
+  let run target attribute diff trace csv =
     catching_sys_error @@ fun () ->
+    let attribute = attribute || diff in
+    if attribute then enable_attribution ();
     let runs =
       if Sys.file_exists target && not (Sys.is_directory target) then begin
         if not (ends_with ~suffix:".cu" target) then
@@ -554,8 +607,21 @@ let prof_cmd =
       List.iteri
         (fun i tr ->
            if i > 0 then print_newline ();
-           print_profile tr)
+           print_profile ~attribute tr)
         runs;
+      (* --diff: the first run is always the native side and the second,
+         when present, the translated (or wrapped) one *)
+      (if diff then
+         match runs with
+         | [ native; translated ] ->
+           print_newline ();
+           print_string
+             (Trace.Summary.diff_to_string ~native:native.tr_metrics
+                ~translated:translated.tr_metrics)
+         | _ ->
+           print_newline ();
+           print_endline
+             "--diff: nothing to compare (the translated run is missing)");
       (match
          List.filter
            (fun (_, hits, misses) -> hits + misses > 0)
@@ -571,7 +637,9 @@ let prof_cmd =
            used);
       (match trace with
        | Some path ->
-         Trace.Chrome.write_file path (chrome_runs runs);
+         Trace.Chrome.write_file path
+           ~metrics:(chrome_metrics runs)
+           (chrome_runs runs);
          Printf.printf "\nwrote %s (%d spans)\n" path
            (List.fold_left (fun a tr -> a + List.length tr.tr_spans) 0 runs)
        | None -> ());
@@ -587,8 +655,11 @@ let prof_cmd =
     (Cmd.info "prof"
        ~doc:"Profile a program or miniature benchmark on every framework \
              it runs on (nvprof-style summary, per-kernel metrics, wrapper \
-             amplification)")
-    Term.(ret (const run $ target $ trace_arg $ csv_arg))
+             amplification; $(b,--attribute) adds a per-site hot-spot table \
+             and $(b,--diff) a native-vs-translated cost diff aligned by \
+             source site)")
+    Term.(ret (const run $ target $ attribute_arg $ diff_arg $ trace_arg
+               $ csv_arg))
 
 (* --- fuzz --------------------------------------------------------------- *)
 

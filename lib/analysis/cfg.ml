@@ -156,6 +156,7 @@ let rec build_stmt b env (cur : node) (s : stmt) : node =
      | Some t -> add_edge cur t
      | None -> add_edge cur env.exit_node);
     new_block b
+  | SSite (_, s) -> build_stmt b env cur s
 
 let of_body (body : stmt list) : t =
   let b = { blocks = []; count = 0 } in

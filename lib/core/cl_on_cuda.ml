@@ -89,8 +89,9 @@ let build_program t src =
   Gpusim.Device.api_call (dev t);
   (* kernel.cl -> kernel.cl.cu -> PTX -> cuModuleLoad (Fig. 2) *)
   let cuda_src, result =
-    Trace.Build_cache.memo xlat_cache src @@ fun () ->
-    Xlat.Ocl_to_cuda.translate_source src
+    Trace.Build_cache.find_or_build xlat_cache
+      ~key:(Trace.Build_cache.key src ^ Minic.Site.cache_salt ())
+      (fun () -> Xlat.Ocl_to_cuda.translate_source src)
   in
   (* cache hits skip the translator's wall-clock cost only: the simulated
      build time and the per-context module load are unchanged *)

@@ -322,7 +322,10 @@ let launch_handler (cu : Cuda.Cudart.t) (m : Cuda.Cudart.modul) launches =
 (* ------------------------------------------------------------------ *)
 
 let run ~(dev : Gpusim.Device.t) ~(src : string) : run_result =
-  let prog = Minic.Parser.program ~dialect:Minic.Parser.Cuda src in
+  let prog =
+    Minic.Site.maybe_annotate
+      (Minic.Parser.program ~dialect:Minic.Parser.Cuda src)
+  in
   let session = Hostrun.make_session () in
   let cu = Cuda.Cudart.create ~host:session.Hostrun.arena dev in
   let m = Cuda.Cudart.load_module cu prog in

@@ -73,9 +73,18 @@ let ensure_built t =
   | None ->
     let t0 = t.cl.Opencl.Cl.dev.Gpusim.Device.sim_time_ns in
     (* the device program is the pretty-printed .cl file, re-parsed and
-       built by the OpenCL runtime exactly like a hand-written one *)
+       built by the OpenCL runtime exactly like a hand-written one.
+       Under --attribute the translated AST is handed over directly
+       instead: the textual round-trip would drop the origin-site
+       markers and renumber them against the translated text, breaking
+       the native-vs-translated alignment `prof --diff` depends on. *)
     let src = Xlat.Cuda_to_ocl.cl_source t.result in
-    let p = Opencl.Cl.create_program_with_source t.cl src in
+    let p =
+      if !Minic.Site.enabled then
+        Opencl.Cl.create_program_with_ast t.cl src
+          t.result.Xlat.Cuda_to_ocl.cl_prog
+      else Opencl.Cl.create_program_with_source t.cl src
+    in
     Opencl.Cl.build_program t.cl p;
     t.prog <- Some p;
     (* symbols (__device__ globals and runtime-initialised __constant__)

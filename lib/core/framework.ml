@@ -107,7 +107,7 @@ let translate_cuda ?(tex1d_texels = None) ?(cl_target = Xlat.Feature.CL12)
       (match cl_target with Xlat.Feature.CL12 -> "cl12" | CL20 -> "cl20")
   in
   Trace.Build_cache.find_or_build translate_cache
-    ~key:(Trace.Build_cache.key src ^ opts)
+    ~key:(Trace.Build_cache.key src ^ opts ^ Minic.Site.cache_salt ())
   @@ fun () ->
   let prog =
     match Minic.Parser.program ~dialect:Minic.Parser.Cuda src with

@@ -136,7 +136,8 @@ let counter_fields (c : Gpusim.Counters.t) =
     ("smem_transactions", c.smem_transactions);
     ("smem_accesses", c.smem_accesses);
     ("smem_bank_conflict_extra", c.smem_bank_conflict_extra);
-    ("private_accesses", c.private_accesses) ]
+    ("private_accesses", c.private_accesses);
+    ("warp_div_rows", c.warp_div_rows) ]
 
 (* Deterministic initial contents: small finite values so float
    arithmetic stays well-behaved.  The fill stream consumes the same
@@ -160,8 +161,11 @@ let fill_buffer rng elt (b : Bytes.t) =
     | _ -> Bytes.set b off (Char.chr (Rng.int rng 256))
   done
 
-let run_plan backend (c : Gen.case) (p : plan) :
-  string * (string * int) list =
+(* Execute a plan and return the full launch statistics alongside the
+   flattened output buffers.  [run_plan] keeps the historical shape; the
+   attribution tests use the stats directly (per-site tables). *)
+let launch_plan backend (c : Gen.case) (p : plan) :
+  Gpusim.Exec.launch_stats * string =
   let saved = !Gpusim.Exec.backend in
   Gpusim.Exec.backend := backend;
   Fun.protect ~finally:(fun () -> Gpusim.Exec.backend := saved) @@ fun () ->
@@ -213,6 +217,11 @@ let run_plan backend (c : Gen.case) (p : plan) :
       !bufs
     |> String.concat ""
   in
+  (stats, out)
+
+let run_plan backend (c : Gen.case) (p : plan) :
+  string * (string * int) list =
+  let stats, out = launch_plan backend c p in
   (out, counter_fields stats.Gpusim.Exec.counters)
 
 let exn_detail e =

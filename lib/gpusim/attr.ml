@@ -1,0 +1,69 @@
+(* Per-site event attribution for one kernel launch.
+
+   A site is a source statement tagged by Minic.Site.annotate (site 0 is
+   translator-injected code).  The executor charges every counted event
+   to exactly one site — an aligned warp row's cost goes to the site of
+   its first access, a barrier round to the site the first parked item
+   was executing — so summing any field over all sites reproduces the
+   corresponding aggregate [Counters.t] field byte-exactly, at any
+   domain count and under both VM backends.  Every field is an additive
+   event count, so per-domain tables merge in any order (like
+   Counters.merge). *)
+
+type site = {
+  mutable ops : int;                   (* all op classes *)
+  mutable gmem_transactions : int;
+  mutable gmem_bytes : int;
+  mutable smem_transactions : int;
+  mutable smem_conflict_extra : int;   (* replays beyond 1 per warp access *)
+  mutable barriers : int;              (* barrier rounds *)
+  mutable div_rows : int;              (* non-uniform branch rows per warp *)
+}
+
+let zero_site () =
+  { ops = 0; gmem_transactions = 0; gmem_bytes = 0; smem_transactions = 0;
+    smem_conflict_extra = 0; barriers = 0; div_rows = 0 }
+
+let site_is_zero s =
+  s.ops = 0 && s.gmem_transactions = 0 && s.gmem_bytes = 0
+  && s.smem_transactions = 0 && s.smem_conflict_extra = 0 && s.barriers = 0
+  && s.div_rows = 0
+
+(* Dense table indexed by site id; site ids are small pre-order
+   integers, so an array beats a hashtable on the hot per-event path. *)
+type t = { mutable sites : site array }
+
+let create () = { sites = Array.init 16 (fun _ -> zero_site ()) }
+
+let get t id =
+  let n = Array.length t.sites in
+  if id >= n then begin
+    let bigger = Array.init (max (id + 1) (2 * n)) (fun _ -> zero_site ()) in
+    Array.blit t.sites 0 bigger 0 n;
+    t.sites <- bigger
+  end;
+  t.sites.(id)
+
+let merge dst src =
+  Array.iteri
+    (fun id s ->
+       if not (site_is_zero s) then begin
+         let d = get dst id in
+         d.ops <- d.ops + s.ops;
+         d.gmem_transactions <- d.gmem_transactions + s.gmem_transactions;
+         d.gmem_bytes <- d.gmem_bytes + s.gmem_bytes;
+         d.smem_transactions <- d.smem_transactions + s.smem_transactions;
+         d.smem_conflict_extra <- d.smem_conflict_extra + s.smem_conflict_extra;
+         d.barriers <- d.barriers + s.barriers;
+         d.div_rows <- d.div_rows + s.div_rows
+       end)
+    src.sites
+
+(* (site id, counters) for every site that recorded at least one event,
+   in site-id order. *)
+let to_list t =
+  let out = ref [] in
+  for id = Array.length t.sites - 1 downto 0 do
+    if not (site_is_zero t.sites.(id)) then out := (id, t.sites.(id)) :: !out
+  done;
+  !out

@@ -274,6 +274,7 @@ let atomic_result_used (prog : program) (kernel : func) : bool =
     | SReturn e -> Option.iter (expr true) e
     | SBreak | SContinue -> ()
     | SBlock l -> List.iter stmt l
+    | SSite (_, s) -> stmt s
   in
   Hashtbl.add seen kernel.fn_name ();
   match

@@ -21,6 +21,8 @@ type access = {
   a_space : addr_space;
   a_addr : int;
   a_size : int;
+  a_site : int;    (* source site (Minic.Site) issuing the access; 0 when
+                      attribution is off or the code is unannotated *)
 }
 
 type stream = {
@@ -28,7 +30,7 @@ type stream = {
   mutable len : int;
 }
 
-let stream_create () = { items = Array.make 64 { a_kind = Load; a_space = AS_none; a_addr = 0; a_size = 0 }; len = 0 }
+let stream_create () = { items = Array.make 64 { a_kind = Load; a_space = AS_none; a_addr = 0; a_size = 0; a_site = 0 }; len = 0 }
 
 let stream_push s a =
   if s.len = Array.length s.items then begin
@@ -38,6 +40,26 @@ let stream_push s a =
   end;
   s.items.(s.len) <- a;
   s.len <- s.len + 1
+
+(* Branch-decision streams, one per item, recorded only in attribution
+   mode: each entry packs (site lsl 1) lor decision.  Aligned per warp
+   exactly like access streams; a position where live lanes disagree is
+   one divergent warp row. *)
+type bstream = {
+  mutable b_items : int array;
+  mutable b_len : int;
+}
+
+let bstream_create () = { b_items = Array.make 64 0; b_len = 0 }
+
+let bstream_push s ~site taken =
+  if s.b_len = Array.length s.b_items then begin
+    let bigger = Array.make (2 * s.b_len) 0 in
+    Array.blit s.b_items 0 bigger 0 s.b_len;
+    s.b_items <- bigger
+  end;
+  s.b_items.(s.b_len) <- (site lsl 1) lor (if taken then 1 else 0);
+  s.b_len <- s.b_len + 1
 
 type t = {
   mutable n_items : int;
@@ -55,6 +77,7 @@ type t = {
   mutable smem_accesses : int;
   mutable smem_bank_conflict_extra : int;  (* replays beyond 1 per access *)
   mutable private_accesses : int;
+  mutable warp_div_rows : int;       (* non-uniform branch rows per warp *)
 }
 
 let create () = {
@@ -63,7 +86,7 @@ let create () = {
   barriers = 0;
   gmem_transactions = 0; gmem_accesses = 0; gmem_bytes = 0;
   smem_transactions = 0; smem_accesses = 0; smem_bank_conflict_extra = 0;
-  private_accesses = 0;
+  private_accesses = 0; warp_div_rows = 0;
 }
 
 (* Fold [src] into [dst].  Every field is an additive event count, so
@@ -86,7 +109,8 @@ let merge dst src =
   dst.smem_accesses <- dst.smem_accesses + src.smem_accesses;
   dst.smem_bank_conflict_extra <-
     dst.smem_bank_conflict_extra + src.smem_bank_conflict_extra;
-  dst.private_accesses <- dst.private_accesses + src.private_accesses
+  dst.private_accesses <- dst.private_accesses + src.private_accesses;
+  dst.warp_div_rows <- dst.warp_div_rows + src.warp_div_rows
 
 let record_op c (cls : Vm.Interp.op_class) =
   match cls with
@@ -105,11 +129,15 @@ let segment_size = 128
 
 module Iset = Set.Make (Int)
 
-(* Cost one aligned row of accesses from the items of a warp. *)
-let cost_row c ~smem_word ~banks ~model_conflicts (row : access list) =
+(* Cost one aligned row of accesses from the items of a warp.  When
+   [attr] is given, the whole row's cost is charged to the site of its
+   first access — each transaction lands on exactly one site, so summing
+   sites reproduces the aggregates byte-exactly. *)
+let cost_row c ?attr ~smem_word ~banks ~model_conflicts (row : access list) =
   match row with
   | [] -> ()
   | first :: _ ->
+    let site = match attr with None -> None | Some a -> Some (Attr.get a first.a_site) in
     (match first.a_space with
      | AS_global | AS_constant ->
        let segments =
@@ -121,35 +149,51 @@ let cost_row c ~smem_word ~banks ~model_conflicts (row : access list) =
               add acc s0)
            Iset.empty row
        in
-       c.gmem_transactions <- c.gmem_transactions + Iset.cardinal segments;
+       let txns = Iset.cardinal segments in
+       let bytes = List.fold_left (fun n a -> n + a.a_size) 0 row in
+       c.gmem_transactions <- c.gmem_transactions + txns;
        c.gmem_accesses <- c.gmem_accesses + List.length row;
-       c.gmem_bytes <- c.gmem_bytes + List.fold_left (fun n a -> n + a.a_size) 0 row
+       c.gmem_bytes <- c.gmem_bytes + bytes;
+       (match site with
+        | None -> ()
+        | Some s ->
+          s.Attr.gmem_transactions <- s.Attr.gmem_transactions + txns;
+          s.Attr.gmem_bytes <- s.Attr.gmem_bytes + bytes)
      | AS_local ->
        c.smem_accesses <- c.smem_accesses + List.length row;
-       if not model_conflicts then
-         c.smem_transactions <- c.smem_transactions + 1
-       else begin
-         (* words wanted per bank *)
-         let per_bank = Array.make banks Iset.empty in
-         List.iter
-           (fun a ->
-              let w0 = a.a_addr / smem_word in
-              let w1 = (a.a_addr + a.a_size - 1) / smem_word in
-              for w = w0 to w1 do
-                let b = w mod banks in
-                per_bank.(b) <- Iset.add w per_bank.(b)
-              done)
-           row;
-         let ways = Array.fold_left (fun m s -> max m (Iset.cardinal s)) 1 per_bank in
-         c.smem_transactions <- c.smem_transactions + ways;
-         c.smem_bank_conflict_extra <- c.smem_bank_conflict_extra + (ways - 1)
-       end
+       let ways =
+         if not model_conflicts then 1
+         else begin
+           (* words wanted per bank *)
+           let per_bank = Array.make banks Iset.empty in
+           List.iter
+             (fun a ->
+                let w0 = a.a_addr / smem_word in
+                let w1 = (a.a_addr + a.a_size - 1) / smem_word in
+                for w = w0 to w1 do
+                  let b = w mod banks in
+                  per_bank.(b) <- Iset.add w per_bank.(b)
+                done)
+             row;
+           Array.fold_left (fun m s -> max m (Iset.cardinal s)) 1 per_bank
+         end
+       in
+       c.smem_transactions <- c.smem_transactions + ways;
+       c.smem_bank_conflict_extra <- c.smem_bank_conflict_extra + (ways - 1);
+       (match site with
+        | None -> ()
+        | Some s ->
+          s.Attr.smem_transactions <- s.Attr.smem_transactions + ways;
+          s.Attr.smem_conflict_extra <- s.Attr.smem_conflict_extra + (ways - 1))
      | AS_private | AS_none ->
        c.private_accesses <- c.private_accesses + List.length row)
 
-(* After a group completes: fold the per-item streams warp by warp. *)
-let finish_group c ~warp_size ~smem_word ~banks ~model_conflicts
-    (streams : stream array) =
+(* After a group completes: fold the per-item streams warp by warp.
+   [branches], when present, holds the per-item branch-decision streams;
+   aligned rows where live lanes disagree count as divergent warp rows
+   (charged to the first lane's site when [attr] is also given). *)
+let finish_group c ?attr ?branches ~warp_size ~smem_word ~banks
+    ~model_conflicts (streams : stream array) =
   c.n_groups <- c.n_groups + 1;
   let n = Array.length streams in
   c.n_items <- c.n_items + n;
@@ -173,7 +217,34 @@ let finish_group c ~warp_size ~smem_word ~banks ~model_conflicts
         (fun sp ->
            match by_space sp with
            | [] -> ()
-           | r -> cost_row c ~smem_word ~banks ~model_conflicts r)
+           | r -> cost_row c ?attr ~smem_word ~banks ~model_conflicts r)
         [ AS_global; AS_constant; AS_local; AS_private; AS_none ]
-    done
+    done;
+    (match branches with
+     | None -> ()
+     | Some (bs : bstream array) ->
+       let max_blen = ref 0 in
+       for i = lo to hi do
+         max_blen := max !max_blen bs.(i).b_len
+       done;
+       for pos = 0 to !max_blen - 1 do
+         (* one decision row: first live lane fixes the reference;
+            any live lane disagreeing makes the row divergent *)
+         let first = ref (-1) and divergent = ref false in
+         for i = lo to hi do
+           if pos < bs.(i).b_len then begin
+             let v = bs.(i).b_items.(pos) in
+             if !first < 0 then first := v
+             else if v land 1 <> !first land 1 then divergent := true
+           end
+         done;
+         if !divergent then begin
+           c.warp_div_rows <- c.warp_div_rows + 1;
+           match attr with
+           | None -> ()
+           | Some a ->
+             let s = Attr.get a (!first lsr 1) in
+             s.Attr.div_rows <- s.Attr.div_rows + 1
+         end
+       done)
   done

@@ -14,6 +14,9 @@ type access = {
   a_space : Minic.Ast.addr_space;
   a_addr : int;
   a_size : int;
+  a_site : int;
+      (** source site (Minic.Site) issuing the access; 0 when
+          attribution is off or the code is unannotated *)
 }
 
 type stream = {
@@ -23,6 +26,16 @@ type stream = {
 
 val stream_create : unit -> stream
 val stream_push : stream -> access -> unit
+
+(** Per-item branch-decision stream, recorded only in attribution mode;
+    each entry packs [(site lsl 1) lor decision]. *)
+type bstream = {
+  mutable b_items : int array;
+  mutable b_len : int;
+}
+
+val bstream_create : unit -> bstream
+val bstream_push : bstream -> site:int -> bool -> unit
 
 type t = {
   mutable n_items : int;
@@ -40,6 +53,8 @@ type t = {
   mutable smem_accesses : int;
   mutable smem_bank_conflict_extra : int; (** replays beyond 1 per access *)
   mutable private_accesses : int;
+  mutable warp_div_rows : int;
+      (** aligned branch rows where lanes of one warp disagree *)
 }
 
 val create : unit -> t
@@ -57,13 +72,16 @@ val total_ops : t -> int
 val segment_size : int
 
 (** Cost one aligned row of same-space accesses from one warp; exposed
-    for the oracle-based property tests. *)
+    for the oracle-based property tests.  With [?attr] the row's cost is
+    additionally charged to the site of its first access. *)
 val cost_row :
-  t -> smem_word:int -> banks:int -> model_conflicts:bool -> access list ->
-  unit
+  t -> ?attr:Attr.t -> smem_word:int -> banks:int -> model_conflicts:bool ->
+  access list -> unit
 
 (** Fold a finished group's per-item streams into the counters, warp by
-    warp. *)
+    warp.  [?branches] supplies per-item branch-decision streams for
+    warp-divergence counting; [?attr] charges every row to the site of
+    its first access. *)
 val finish_group :
-  t -> warp_size:int -> smem_word:int -> banks:int -> model_conflicts:bool ->
-  stream array -> unit
+  t -> ?attr:Attr.t -> ?branches:bstream array -> warp_size:int ->
+  smem_word:int -> banks:int -> model_conflicts:bool -> stream array -> unit

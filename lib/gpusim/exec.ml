@@ -39,12 +39,32 @@ let dim3_of arr i = if i < Array.length arr then max 1 arr.(i) else 1
 (* indices must NOT be clamped like sizes: dimension 0 has index 0 *)
 let idx_of arr i = if i >= 0 && i < Array.length arr then arr.(i) else 0
 
+(* What a launch actually did; observability for the determinism tests
+   (a directed case can assert that it exercised the concurrent path
+   rather than silently replaying). *)
+type parallel_outcome =
+  | Seq                  (* sequential engine: 1 domain or 1 block *)
+  | Parallel of int      (* ran concurrently on N workers, accepted *)
+  | Replayed of string   (* parallel attempt rolled back: why *)
+
+(* Structured pool telemetry for one launch: how the domain pool divided
+   the blocks.  [worker_blocks.(i)] is the number of blocks worker [i]
+   executed — length 1 on the sequential engine; on a rolled-back
+   attempt it reports the aborted parallel distribution (the replay
+   cause is in [outcome]). *)
+type pool_stats = {
+  outcome : parallel_outcome;
+  worker_blocks : int array;
+}
+
 (* Result of one launch: raw event counters plus launch geometry. *)
 type launch_stats = {
   counters : Counters.t;
+  attr : Attr.t option;        (* per-site attribution when [attribute] *)
   block_threads : int;
   n_blocks : int;
   occupancy : Occupancy.result;
+  pool : pool_stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -62,15 +82,17 @@ let domains =
         | _ -> Domain.recommended_domain_count ())
      | None -> Domain.recommended_domain_count ())
 
-(* What the most recent launch actually did; observability for the
-   determinism tests (a directed case can assert that it exercised the
-   concurrent path rather than silently replaying). *)
-type parallel_outcome =
-  | Seq                  (* sequential engine: 1 domain or 1 block *)
-  | Parallel of int      (* ran concurrently on N workers, accepted *)
-  | Replayed of string   (* parallel attempt rolled back: why *)
-
+(* Deprecated: a global snapshot of the most recent launch's outcome.
+   Racy when launches overlap across domains — prefer the per-launch
+   [launch_stats.pool.outcome].  Kept so existing callers keep working. *)
 let last_outcome = ref Seq
+
+(* Per-site attribution (`oclcu prof --attribute`): when on, every
+   counted event is charged to the Minic.Site of the statement that
+   caused it, and per-item branch decisions are recorded for the
+   warp-divergence counter.  Off by default — the extra stream pushes
+   cost real time on the hot path.  Initialised from OCLCU_ATTRIBUTE=1. *)
+let attribute = ref (Sys.getenv_opt "OCLCU_ATTRIBUTE" = Some "1")
 
 (* Opt-in per-block Kernel spans (OCLCU_TRACE_BLOCKS=1): buffered per
    domain and flushed in block order, so the trace is identical at every
@@ -328,6 +350,17 @@ let compiled_for prog =
          compiled_cache := (prog, cp) :: rest;
          cp)
 
+(* Everything mutable one worker owns; see [make_worker] below. *)
+type worker = {
+  w_counters : Counters.t;
+  w_attr : Attr.t option;
+  w_layout : Vm.Layout.env;
+  w_run_block : int -> unit;
+  w_logs : Conflict.block_log list ref;
+  w_spans : (int * string * (string * string) list) list ref;
+  w_blocks : int ref;          (* blocks this worker executed *)
+}
+
 (* Launch a kernel on a device.
 
    [prog] is the loaded device module (kernels + helpers + globals);
@@ -404,9 +437,13 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
      counter, plus access logging and a locked RMW. *)
   let make_worker ~par () =
     let counters = Counters.create () in
+    let attr = if !attribute then Some (Attr.create ()) else None in
     (* mutable per-item view: (global_id, local_id, group_id, _) *)
     let cur = ref ([| 0; 0; 0 |], [| 0; 0; 0 |], [| 0; 0; 0 |], [| 0 |]) in
     let cur_item = ref 0 in
+    (* innermost SSite of the running item; maintained by the VM's
+       SSite save/restore and re-established on barrier resume *)
+    let cur_site = ref 0 in
     let cur_tid = ref bdim_tv in
     let cur_bid = ref bdim_tv in
 
@@ -426,6 +463,13 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
 
     (* access streams for warp grouping *)
     let streams = Array.init group_threads (fun _ -> Counters.stream_create ()) in
+    (* branch-decision streams; attribution mode only (extra pushes on
+       every branch cost real time otherwise) *)
+    let bstreams =
+      if !attribute then
+        Some (Array.init group_threads (fun _ -> Counters.bstream_create ()))
+      else None
+    in
     let cur_log : Conflict.block_log option ref = ref None in
     let in_atomic = ref false in
     let on_access_plain kind space addr size =
@@ -433,7 +477,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
       | AS_global | AS_constant | AS_local ->
         Counters.stream_push streams.(!cur_item)
           { Counters.a_kind = kind; a_space = space; a_addr = addr;
-            a_size = size }
+            a_size = size; a_site = !cur_site }
       | AS_private | AS_none ->
         counters.Counters.private_accesses <-
           counters.Counters.private_accesses + 1
@@ -457,7 +501,22 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
                | None -> ())
             | AS_local | AS_private -> ()
     in
-    let on_op cls = Counters.record_op counters cls in
+    let on_op =
+      match attr with
+      | None -> fun cls -> Counters.record_op counters cls
+      | Some a ->
+        fun cls ->
+          Counters.record_op counters cls;
+          let s = Attr.get a !cur_site in
+          s.Attr.ops <- s.Attr.ops + 1
+    in
+    let on_branch =
+      match bstreams with
+      | None -> None
+      | Some bs ->
+        Some (fun taken ->
+            Counters.bstream_push bs.(!cur_item) ~site:!cur_site taken)
+    in
 
     let rmw =
       if not par then atomic_rmw
@@ -526,13 +585,16 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
 
     let base_ctx =
       Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access
-        ~on_op ~stack_space:AS_private ~globals ?observer ()
+        ~on_op ~cur_site ?on_branch ~stack_space:AS_private ~globals
+        ?observer ()
     in
 
     let logs : Conflict.block_log list ref = ref [] in
     let spans : (int * string * (string * string) list) list ref = ref [] in
+    let blocks_run = ref 0 in
 
     let run_block b =
+      incr blocks_run;
       let bx = b mod nx and by = (b / nx) mod ny and bz = b / (nx * ny) in
       if par then cur_log := Some (Conflict.block_log b);
       Vm.Memory.reset local_arena;
@@ -594,8 +656,10 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
          | Some f -> ignore (f ctx args_arr)
          | None -> ignore (Vm.Interp.call_function ctx kernel resolved_args))
       in
-      (* cooperative scheduling: run items, parking at barriers *)
-      let waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t =
+      (* cooperative scheduling: run items, parking at barriers; each
+         parked entry carries the item's innermost site so the round can
+         be attributed and the site restored on resume *)
+      let waiting : (int * int * (unit, unit) Effect.Deep.continuation) Queue.t =
         Queue.create ()
       in
       let run_root lid f =
@@ -609,28 +673,39 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
                    (* the GADT match refines a = unit *)
                    Some
                      (fun (k : (a, unit) Effect.Deep.continuation) ->
-                        Queue.add (lid, k) waiting)
+                        Queue.add (lid, !cur_site, k) waiting)
                  | _ -> None) }
       in
       for lid = 0 to group_threads - 1 do
         run_root lid (make_item lid)
       done;
-      (* barrier rounds *)
+      (* barrier rounds; each round is charged to the site the first
+         parked item was executing *)
       while not (Queue.is_empty waiting) do
         counters.Counters.barriers <- counters.Counters.barriers + 1;
+        (match attr with
+         | Some a ->
+           let _, site, _ = Queue.peek waiting in
+           let s = Attr.get a site in
+           s.Attr.barriers <- s.Attr.barriers + 1
+         | None -> ());
         let n = Queue.length waiting in
         for _ = 1 to n do
-          let lid, k = Queue.pop waiting in
-          (* restore this item's index view *)
+          let lid, site, k = Queue.pop waiting in
+          (* restore this item's index view and site *)
           set_cur lid;
+          cur_site := site;
           Effect.Deep.continue k ()
         done
       done;
       (* cost the group's memory traffic *)
-      Counters.finish_group counters ~warp_size:warp
+      Counters.finish_group counters ?attr ?branches:bstreams ~warp_size:warp
         ~smem_word:dev.Device.fw.smem_word ~banks:dev.Device.hw.smem_banks
         ~model_conflicts:dev.Device.model_bank_conflicts streams;
       Array.iter (fun s -> s.Counters.len <- 0) streams;
+      (match bstreams with
+       | Some bs -> Array.iter (fun s -> s.Counters.b_len <- 0) bs
+       | None -> ());
       if par then begin
         (match !cur_log with Some bl -> logs := bl :: !logs | None -> ());
         cur_log := None
@@ -641,7 +716,9 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
            [ ("block", Printf.sprintf "%d,%d,%d" bx by bz) ])
           :: !spans
     in
-    (counters, base_ctx.Vm.Interp.layout, run_block, logs, spans)
+    { w_counters = counters; w_attr = attr;
+      w_layout = base_ctx.Vm.Interp.layout; w_run_block = run_block;
+      w_logs = logs; w_spans = spans; w_blocks = blocks_run }
   in
 
   (* Per-block Kernel spans are buffered and flushed in block order, so
@@ -660,12 +737,12 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   in
 
   let run_sequential () =
-    let counters, layout, run_block, _, spans = make_worker ~par:false () in
+    let w = make_worker ~par:false () in
     for b = 0 to n_blocks - 1 do
-      run_block b
+      w.w_run_block b
     done;
-    flush_block_spans !spans;
-    (counters, layout)
+    flush_block_spans !(w.w_spans);
+    (w.w_counters, w.w_attr, w.w_layout, [| !(w.w_blocks) |])
   in
 
   let run_parallel n_workers =
@@ -677,7 +754,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     let next = Atomic.make 0 in
     let hazards = Array.make n_workers None in
     let body i =
-      let _, _, run_block, _, _ = workers.(i) in
+      let run_block = workers.(i).w_run_block in
       let rec loop () =
         if hazards.(i) = None then begin
           let b = Atomic.fetch_and_add next 1 in
@@ -703,48 +780,57 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
       | Some reason -> Some reason
       | None ->
         let logs =
-          Array.fold_left
-            (fun acc (_, _, _, logs, _) -> !logs @ acc)
-            [] workers
+          Array.fold_left (fun acc w -> !(w.w_logs) @ acc) [] workers
         in
         Conflict.check logs ~atomics_clean
     in
     match verdict with
     | Some reason ->
-      (* roll back and replay: the sequential engine is the semantics *)
+      (* roll back and replay: the sequential engine is the semantics;
+         telemetry keeps the aborted attempt's block distribution *)
       List.iter (fun (a, s) -> Vm.Memory.restore a s) snaps;
-      last_outcome := Replayed reason;
-      run_sequential ()
+      let counters, attr, layout, _ = run_sequential () in
+      (counters, attr, layout,
+       Array.map (fun w -> !(w.w_blocks)) workers, Replayed reason)
     | None ->
-      last_outcome := Parallel n_workers;
       let total = Counters.create () in
-      Array.iter
-        (fun (c, _, _, _, _) -> Counters.merge total c)
-        workers;
+      Array.iter (fun w -> Counters.merge total w.w_counters) workers;
+      let attr =
+        if not !attribute then None
+        else begin
+          let t = Attr.create () in
+          Array.iter
+            (fun w ->
+               match w.w_attr with Some a -> Attr.merge t a | None -> ())
+            workers;
+          Some t
+        end
+      in
       let spans =
-        Array.fold_left
-          (fun acc (_, _, _, _, spans) -> !spans @ acc)
-          [] workers
+        Array.fold_left (fun acc w -> !(w.w_spans) @ acc) [] workers
       in
       flush_block_spans spans;
-      let _, layout, _, _, _ = workers.(0) in
-      (total, layout)
+      (total, attr, workers.(0).w_layout,
+       Array.map (fun w -> !(w.w_blocks)) workers, Parallel n_workers)
   in
 
   let n_workers = min !domains n_blocks in
-  let counters, layout =
+  let counters, attr, layout, worker_blocks, outcome =
     if n_workers <= 1 then begin
-      last_outcome := Seq;
-      run_sequential ()
+      let counters, attr, layout, wb = run_sequential () in
+      (counters, attr, layout, wb, Seq)
     end
     else run_parallel n_workers
   in
+  last_outcome := outcome;
 
   let occupancy =
     Occupancy.of_kernel dev layout kernel ~block_threads:group_threads
       ~dyn_shared:cfg.dyn_shared
   in
   { counters;
+    attr;
     block_threads = group_threads;
     n_blocks;
-    occupancy }
+    occupancy;
+    pool = { outcome; worker_blocks } }

@@ -22,14 +22,23 @@ exception Launch_error of string
     sets it. *)
 val domains : int ref
 
-(** What the most recent {!launch} actually did — observability for the
-    determinism tests. *)
+(** What a {!launch} actually did — observability for the determinism
+    tests. *)
 type parallel_outcome =
   | Seq                  (** sequential engine: 1 domain or 1 block *)
   | Parallel of int      (** ran concurrently on N workers, accepted *)
   | Replayed of string   (** parallel attempt rolled back: why *)
 
+(** Deprecated: global snapshot of the most recent launch's outcome —
+    racy when launches overlap across domains.  Prefer the per-launch
+    {!launch_stats.pool}[.outcome]. *)
 val last_outcome : parallel_outcome ref
+
+(** Per-site attribution (`oclcu prof --attribute`): charge every
+    counted event to the {!Minic.Site} of the statement that caused it
+    and record per-item branch decisions for the warp-divergence
+    counter.  Off by default; initialised from [OCLCU_ATTRIBUTE=1]. *)
+val attribute : bool ref
 
 (** Emit one {!Trace.Event.Kernel} span per executed block (buffered and
     flushed in block order, so the trace is identical at every domain
@@ -63,11 +72,23 @@ val backend : backend ref
 
 val dim3_of : int array -> int -> int
 
+(** How the domain pool divided the launch's blocks.
+    [worker_blocks.(i)] is the number of blocks worker [i] executed —
+    length 1 on the sequential engine; on a rolled-back attempt it
+    reports the aborted parallel distribution (the replay cause is in
+    [outcome]). *)
+type pool_stats = {
+  outcome : parallel_outcome;
+  worker_blocks : int array;
+}
+
 type launch_stats = {
   counters : Counters.t;
+  attr : Attr.t option;  (** per-site attribution when {!attribute} *)
   block_threads : int;
   n_blocks : int;
   occupancy : Occupancy.result;
+  pool : pool_stats;
 }
 
 (** Launch [kernel] from the loaded [prog] on [dev].

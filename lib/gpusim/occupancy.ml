@@ -71,6 +71,7 @@ let rec stmt_reg_stats (words, depth) (s : stmt) =
   | SReturn (Some e) -> (words, max depth (expr_depth e))
   | SReturn None | SBreak | SContinue -> (words, depth)
   | SBlock l -> List.fold_left stmt_reg_stats (words, depth) l
+  | SSite (_, s) -> stmt_reg_stats (words, depth) s
 
 (* Estimated registers per thread for a kernel under a given framework. *)
 let estimate_regs (fw : Device.framework) (f : func) =
@@ -97,6 +98,7 @@ let static_smem_bytes layout (f : func) =
       (match b with None -> acc | Some b -> go acc b)
     | SWhile (_, b) | SDoWhile (b, _) | SFor (_, _, _, b) -> go acc b
     | SBlock l -> List.fold_left go acc l
+    | SSite (_, s) -> go acc s
     | SDecl _ | SExpr _ | SReturn _ | SBreak | SContinue -> acc
   in
   List.fold_left go 0 body

@@ -133,6 +133,35 @@ let finish_launch (dev : Device.t) ~name (ls : Exec.launch_stats) =
         m_smem_transactions = c.Counters.smem_transactions;
         m_smem_accesses = c.Counters.smem_accesses;
         m_smem_bank_conflict_extra = c.Counters.smem_bank_conflict_extra;
-        m_private_accesses = c.Counters.private_accesses }
+        m_private_accesses = c.Counters.private_accesses;
+        m_warp_div_rows = c.Counters.warp_div_rows;
+        m_outcome =
+          (match ls.Exec.pool.Exec.outcome with
+           | Exec.Seq -> "seq"
+           | Exec.Parallel n -> Printf.sprintf "par:%d" n
+           | Exec.Replayed why -> "replay:" ^ why);
+        m_worker_blocks = Array.to_list ls.Exec.pool.Exec.worker_blocks;
+        m_sites =
+          (match ls.Exec.attr with
+           | None -> []
+           | Some a ->
+             List.map
+               (fun (id, (s : Attr.site)) ->
+                  let func, snippet =
+                    match Minic.Site.describe id with
+                    | Some d -> d
+                    | None -> ("?", "?")
+                  in
+                  { Trace.Metrics.s_site = id;
+                    s_func = func;
+                    s_snippet = snippet;
+                    s_ops = s.Attr.ops;
+                    s_gmem_transactions = s.Attr.gmem_transactions;
+                    s_gmem_bytes = s.Attr.gmem_bytes;
+                    s_smem_transactions = s.Attr.smem_transactions;
+                    s_smem_conflict_extra = s.Attr.smem_conflict_extra;
+                    s_barriers = s.Attr.barriers;
+                    s_div_rows = s.Attr.div_rows })
+               (Attr.to_list a)) }
   end;
   Device.add_time dev t

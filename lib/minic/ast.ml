@@ -136,6 +136,11 @@ type stmt =
   | SBreak
   | SContinue
   | SBlock of stmt list
+  | SSite of int * stmt
+      (* attribution wrapper: the statement belongs to source site [id].
+         Inserted by Site.annotate (profiling only); transparent to
+         pretty-printing and semantics.  Site 0 is reserved for
+         translator-injected code ("translation overhead"). *)
 [@@deriving show { with_path = false }, eq]
 
 (* Function kinds across both dialects. *)
@@ -281,6 +286,7 @@ let rec map_stmt ~expr ~stmt s =
     | SReturn e -> SReturn (Option.map re e)
     | SBreak | SContinue -> s
     | SBlock l -> SBlock (List.map rs l)
+    | SSite (id, s) -> SSite (id, rs s)
   in
   stmt s'
 
@@ -313,6 +319,7 @@ let rec fold_stmt_exprs f acc s =
   | SReturn (Some e) -> fe acc e
   | SReturn None | SBreak | SContinue -> acc
   | SBlock l -> List.fold_left (fold_stmt_exprs f) acc l
+  | SSite (_, s) -> fold_stmt_exprs f acc s
 
 let fold_body_exprs f acc body = List.fold_left (fold_stmt_exprs f) acc body
 

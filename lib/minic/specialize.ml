@@ -53,6 +53,7 @@ let subst_stmt map s =
      | SDecl d ->
        SDecl { d with d_ty = subst_ty map d.d_ty;
                       d_init = Option.map (subst_init map) d.d_init }
+     | SSite (id, s) -> SSite (id, go s)
      | SBreak | SContinue -> s')
   in
   go s

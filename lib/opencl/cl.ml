@@ -47,6 +47,10 @@ type set_arg =
 type program = {
   p_id : int;
   p_src : string;
+  (* pre-built AST supplied at creation (translator hand-off under
+     --attribute, where origin-site markers must survive); [build_program]
+     uses it instead of re-parsing [p_src] *)
+  p_pre : Minic.Ast.program option;
   mutable p_ast : Minic.Ast.program option;
   mutable p_globals : (string, Vm.Interp.binding) Hashtbl.t;
   mutable p_log : string;
@@ -310,18 +314,29 @@ let enqueue_read_image cl img ~host_ptr () =
 (* Programs and kernels                                                *)
 (* ------------------------------------------------------------------ *)
 
-let create_program_with_source cl src =
-  traced cl "clCreateProgramWithSource"
-    ~args:[ ("bytes", string_of_int (String.length src)) ]
-  @@ fun () ->
+let create_program_gen cl ?pre src =
   api cl;
   let p =
-    { p_id = 0; p_src = src; p_ast = None;
+    { p_id = 0; p_src = src; p_pre = pre; p_ast = None;
       p_globals = Hashtbl.create 8; p_log = "" }
   in
   let p = { p with p_id = fresh cl (O_program p) } in
   Hashtbl.replace cl.objects p.p_id (O_program p);
   p
+
+let create_program_with_source cl src =
+  traced cl "clCreateProgramWithSource"
+    ~args:[ ("bytes", string_of_int (String.length src)) ]
+  @@ fun () -> create_program_gen cl src
+
+(* Translator hand-off: the program text is [src] (build time is still
+   charged per byte) but the device code is the given, already-annotated
+   AST — origin site ids survive where a textual round-trip would drop
+   them and renumber.  Used by the CUDA wrapper under --attribute. *)
+let create_program_with_ast cl src ast =
+  traced cl "clCreateProgramWithSource"
+    ~args:[ ("bytes", string_of_int (String.length src)) ]
+  @@ fun () -> create_program_gen cl ~pre:ast src
 
 (* Materialise file-scope __constant/__global variables of the device
    program into the device arenas. *)
@@ -351,21 +366,33 @@ let build_program cl (p : program) =
   api cl;
   cl.build_count <- cl.build_count + 1;
   let warn = !Xlat_analysis.Checks.pipeline_warnings in
+  let warnings_of ast =
+    if warn then
+      List.map
+        (fun d ->
+           Printf.sprintf "clBuildProgram warning: %s"
+             (Xlat_analysis.Diag.to_string d))
+        (Xlat_analysis.Checks.analyze_program ast)
+    else []
+  in
   (match
-     Trace.Build_cache.find_or_build parse_cache
-       ~key:(Trace.Build_cache.key p.p_src ^ if warn then "+w" else "")
-       (fun () ->
-          let ast = Minic.Parser.program ~dialect:Minic.Parser.OpenCL p.p_src in
-          let warnings =
-            if warn then
-              List.map
-                (fun d ->
-                   Printf.sprintf "clBuildProgram warning: %s"
-                     (Xlat_analysis.Diag.to_string d))
-                (Xlat_analysis.Checks.analyze_program ast)
-            else []
-          in
-          (ast, warnings))
+     match p.p_pre with
+     | Some ast ->
+       (* translator hand-off: no parse, and no re-annotation — the AST
+          already carries its origin sites *)
+       (ast, warnings_of ast)
+     | None ->
+       Trace.Build_cache.find_or_build parse_cache
+         ~key:(Trace.Build_cache.key p.p_src
+               ^ (if warn then "+w" else "")
+               ^ Minic.Site.cache_salt ())
+         (fun () ->
+            let ast =
+              Minic.Parser.program ~dialect:Minic.Parser.OpenCL p.p_src
+            in
+            let warnings = warnings_of ast in
+            (* annotate after analysis so the checks see the plain AST *)
+            (Minic.Site.maybe_annotate ast, warnings))
    with
    | ast, warnings ->
      p.p_ast <- Some ast;

@@ -40,6 +40,9 @@ type set_arg =
 type program = {
   p_id : int;
   p_src : string;
+  p_pre : Minic.Ast.program option;
+      (** pre-built AST from [create_program_with_ast]; built in place of
+          re-parsing [p_src] so site annotations survive *)
   mutable p_ast : Minic.Ast.program option;  (** set by clBuildProgram *)
   mutable p_globals : (string, Vm.Interp.binding) Hashtbl.t;
   mutable p_log : string;                    (** build log on failure *)
@@ -120,6 +123,12 @@ val enqueue_read_image : t -> image -> host_ptr:int64 -> unit -> event
 (** {2 Programs and kernels} *)
 
 val create_program_with_source : t -> string -> program
+
+(** Like {!create_program_with_source}, but the device code is the given
+    already-annotated AST rather than a re-parse of the text; the CUDA
+    wrapper uses this under [--attribute] so origin site ids survive
+    translation (a textual round-trip would renumber them). *)
+val create_program_with_ast : t -> string -> Minic.Ast.program -> program
 
 (** Parse and load the device program, materialising its file-scope
     [__constant]/[__global] variables into the device arenas (the

@@ -68,16 +68,69 @@ let process_name_event ~pid label =
       ("name", Json.Str "process_name");
       ("args", Json.Obj [ ("name", Json.Str label) ]) ]
 
+(* Counter events ("ph":"C") from per-launch metrics snapshots: one
+   sample per kernel launch at its simulated start time, on tid 0 so the
+   counter track sits beside the span track.  When a launch carries
+   per-site attribution, each counter's args hold one series per site —
+   Perfetto renders them stacked. *)
+let counter_events ~pid (metrics : Metrics.t list) =
+  let ev ts name series =
+    Json.Obj
+      [ ("ph", Json.Str "C"); ("ts", Json.Float (us_of_ns ts));
+        ("pid", Json.Int pid); ("tid", Json.Int 0);
+        ("name", Json.Str name);
+        ("args", Json.Obj series) ]
+  in
+  let sorted =
+    List.sort
+      (fun a b -> compare a.Metrics.m_sim_start_ns b.Metrics.m_sim_start_ns)
+      metrics
+  in
+  List.concat_map
+    (fun (m : Metrics.t) ->
+       let ts = m.m_sim_start_ns in
+       let agg name v = ev ts name [ ("value", Json.Int v) ] in
+       let base =
+         [ agg "gmem_transactions" m.m_gmem_transactions;
+           agg "smem_transactions" m.m_smem_transactions;
+           agg "smem_bank_conflict_extra" m.m_smem_bank_conflict_extra;
+           agg "warp_div_rows" m.m_warp_div_rows ]
+       in
+       let site_series f =
+         List.map
+           (fun (s : Metrics.site_counters) ->
+              (Printf.sprintf "site %d" s.s_site, Json.Int (f s)))
+           m.m_sites
+       in
+       if m.m_sites = [] then base
+       else
+         base
+         @ [ ev ts "site_ops" (site_series (fun s -> s.s_ops));
+             ev ts "site_gmem_transactions"
+               (site_series (fun s -> s.s_gmem_transactions));
+             ev ts "site_smem_transactions"
+               (site_series (fun s -> s.s_smem_transactions)) ])
+    sorted
+
 (* One process per labelled run, so `oclcu prof`'s native-vs-wrapped
-   comparison loads as two parallel tracks in Perfetto. *)
-let to_json (runs : (string * Event.span list) list) : Json.t =
+   comparison loads as two parallel tracks in Perfetto.  [metrics], when
+   given, associates a run label with its launch metrics for counter
+   tracks. *)
+let to_json ?(metrics : (string * Metrics.t list) list = [])
+    (runs : (string * Event.span list) list) : Json.t =
   let events =
     List.concat
       (List.mapi
          (fun i (label, spans) ->
             let pid = i + 1 in
-            process_name_event ~pid label
-            :: events_of_forest ~pid ~tid:1 (forest spans))
+            let counters =
+              match List.assoc_opt label metrics with
+              | Some ms -> counter_events ~pid ms
+              | None -> []
+            in
+            (process_name_event ~pid label
+             :: events_of_forest ~pid ~tid:1 (forest spans))
+            @ counters)
          runs)
   in
   Json.Obj
@@ -87,13 +140,13 @@ let to_json (runs : (string * Event.span list) list) : Json.t =
        Json.Obj [ ("clock", Json.Str "simulated");
                   ("generator", Json.Str "oclcu trace") ]) ]
 
-let to_string runs = Json.to_string (to_json runs)
+let to_string ?metrics runs = Json.to_string (to_json ?metrics runs)
 
-let write_file path runs =
+let write_file ?metrics path runs =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string runs))
+    (fun () -> output_string oc (to_string ?metrics runs))
 
 (* --- validation ------------------------------------------------------
 
@@ -127,6 +180,13 @@ let validate (doc : Json.t) : (unit, string) result =
     let* ph = field ev "ph" in
     match Json.to_string_opt ph with
     | Some "M" -> Ok ()
+    | Some "C" ->
+      (* counter sample: needs a ts and args but no stack discipline
+         (it lives on its own tid-0 track) *)
+      let* ts = field ev "ts" in
+      (match Json.to_float_opt ts with
+       | Some _ -> Ok ()
+       | None -> Error "counter ts is not a number")
     | Some (("B" | "E") as ph) ->
       let* name = field ev "name" in
       let* name =

@@ -7,6 +7,23 @@
    [m_smem_bank_conflict_extra > 0] only under the 32-bit addressing
    mode, and cfd shows the 0.375 vs 0.469 occupancy split. *)
 
+(* Per-site slice of one launch's counters (oclcu prof --attribute).
+   Trace-local mirror of Gpusim.Attr's per-site record (gpusim depends
+   on trace, not the reverse).  [s_site] 0 is the synthetic "translation
+   overhead" site. *)
+type site_counters = {
+  s_site : int;
+  s_func : string;               (* enclosing function *)
+  s_snippet : string;            (* one-line source form of the site *)
+  s_ops : int;
+  s_gmem_transactions : int;
+  s_gmem_bytes : int;
+  s_smem_transactions : int;
+  s_smem_conflict_extra : int;
+  s_barriers : int;
+  s_div_rows : int;
+}
+
 type t = {
   m_kernel : string;
   m_framework : string;          (* framework profile name, e.g. "CUDA" *)
@@ -39,6 +56,12 @@ type t = {
   m_smem_accesses : int;
   m_smem_bank_conflict_extra : int;
   m_private_accesses : int;
+  m_warp_div_rows : int;
+  (* pool telemetry *)
+  m_outcome : string;            (* "seq" | "par:N" | "replay:<why>" *)
+  m_worker_blocks : int list;    (* blocks executed per pool worker *)
+  (* per-site attribution; empty unless --attribute *)
+  m_sites : site_counters list;
 }
 
 let total_ops m =
@@ -75,4 +98,8 @@ let fields (m : t) : (string * string) list =
     ("smem_transactions", string_of_int m.m_smem_transactions);
     ("smem_accesses", string_of_int m.m_smem_accesses);
     ("smem_bank_conflict_extra", string_of_int m.m_smem_bank_conflict_extra);
-    ("private_accesses", string_of_int m.m_private_accesses) ]
+    ("private_accesses", string_of_int m.m_private_accesses);
+    ("warp_div_rows", string_of_int m.m_warp_div_rows);
+    ("outcome", m.m_outcome) ]
+(* the variable-length site list and worker distribution stay out of the
+   flat CSV row; `oclcu prof --attribute` renders them as tables *)

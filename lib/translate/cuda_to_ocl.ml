@@ -136,6 +136,7 @@ let pointer_spaces (env : space_env) body : (string, addr_space list) Hashtbl.t 
     | SWhile (_, b) | SDoWhile (b, _) -> walk b
     | SFor (i, _, _, b) -> Option.iter walk i; walk b
     | SBlock l -> List.iter walk l
+    | SSite (_, s) -> walk s
   in
   List.iter walk body;
   acc
@@ -302,6 +303,7 @@ let rewrite_stmts rw body = List.map (map_stmt ~expr:(fun e -> e) ~stmt:(fun s -
     | SReturn e -> SReturn (Option.map (rewrite_expr rw) e)
     | SBreak | SContinue -> s
     | SBlock l -> SBlock (List.map go l)
+    | SSite (id, s) -> SSite (id, go s)
   in
   List.map go body
 
@@ -471,6 +473,7 @@ let lower_kernel rw ~symbols ~textures_used ?(file_dynshared = []) (f : func) :
          | Some r -> Some r
          | None -> Option.bind b find)
       | SFor (_, _, _, b) | SWhile (_, b) | SDoWhile (b, _) -> find b
+      | SSite (_, s) -> find s
       | _ -> None
     in
     List.fold_left
@@ -517,6 +520,7 @@ let lower_kernel rw ~symbols ~textures_used ?(file_dynshared = []) (f : func) :
     | SBlock l -> List.iter note_decls l
     | SIf (_, a, b) -> note_decls a; Option.iter note_decls b
     | SFor (_, _, _, b) | SWhile (_, b) | SDoWhile (b, _) -> note_decls b
+    | SSite (_, s) -> note_decls s
     | _ -> ()
   in
   List.iter note_decls body;
@@ -615,6 +619,7 @@ let lower_kernel rw ~symbols ~textures_used ?(file_dynshared = []) (f : func) :
     | SReturn e -> SReturn (Option.map rewrite_uses e)
     | SBreak | SContinue -> s
     | SBlock l -> SBlock (List.map fix_ptr_stmt l)
+    | SSite (id, s) -> SSite (id, fix_ptr_stmt s)
   and rewrite_uses e =
     map_expr
       (function
@@ -777,6 +782,7 @@ let rewrite_host_stmt kmetas s =
     | SDoWhile (b, c) -> SDoWhile (go b, c)
     | SFor (i, c, u, b) -> SFor (Option.map go i, c, u, go b)
     | SBlock l -> SBlock (List.map go l)
+    | SSite (id, s) -> SSite (id, go s)
     | s -> s
   in
   go s
@@ -797,6 +803,9 @@ let is_device_fn f =
 let translate (cuda : Minic.Ast.program) : result =
   Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:cuda-to-ocl"
   @@ fun () ->
+  (* attribution: tag source sites before lowering so origin ids ride
+     through the translation and match a native run of the same source *)
+  let cuda = Minic.Site.maybe_annotate cuda in
   let cuda = specialize_templates cuda in
   (* partition *)
   let textures =
@@ -920,7 +929,9 @@ let translate (cuda : Minic.Ast.program) : result =
     else []
   in
   let device_decls = fix_reference_call_sites (List.rev !device_decls) !ref_flags in
-  { cl_prog = atomic_helpers @ device_decls;
+  { cl_prog =
+      (* injected helpers and prologues charge to the overhead site *)
+      Minic.Site.maybe_fill_overhead (atomic_helpers @ device_decls);
     host_prog;
     kmetas;
     symbols;

@@ -367,6 +367,11 @@ let rec lower_stmt types used_wide (s : stmt) : stmt list =
   | SBreak -> [ SBreak ]
   | SContinue -> [ SContinue ]
   | SBlock l -> [ SBlock (List.concat_map (lower_stmt types used_wide) l) ]
+  | SSite (id, s) ->
+    (* keep the origin site over whatever the statement lowers to; wrap
+       each lowered statement individually so a declaration that lowers
+       to several statements is not confined to a fresh block scope *)
+    List.map (fun s' -> SSite (id, s')) (lower_stmt types used_wide s)
 
 and block = function
   | [ s ] -> s
@@ -483,6 +488,10 @@ let translate (ocl : Minic.Ast.program) : result =
   Trace.Sink.with_span ~cat:Trace.Event.Xlat ~name:"xlat:ocl-to-cuda"
   @@ fun () ->
   sw_fresh := 0;
+  (* attribution: tag source sites before lowering so origin ids ride
+     through the translation; deterministic, so they match the ids a
+     native run of the same source assigns *)
+  let ocl = Minic.Site.maybe_annotate ocl in
   let used_wide = ref [] in
   let infos = ref [] in
   let needs_shared_pool = ref false in
@@ -528,7 +537,11 @@ let translate (ocl : Minic.Ast.program) : result =
     List.sort_uniq compare !used_wide
     |> List.map (fun (s, n) -> wide_struct_def s n)
   in
-  { cuda_prog = wide_defs @ pool_decls @ prelude () @ tds;
+  { cuda_prog =
+      (* translator-injected top-level statements (prelude helpers,
+         pointer-deriving prologues) charge to the overhead site *)
+      Minic.Site.maybe_fill_overhead
+        (wide_defs @ pool_decls @ prelude () @ tds);
     kernels = List.rev !infos }
 
 (* Source-to-source entry point: kernel.cl -> kernel.cl.cu (Fig. 2). *)

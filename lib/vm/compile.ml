@@ -1189,6 +1189,19 @@ and compile_stmt sc (s : stmt) : env -> unit =
     let cl = List.map (compile_stmt_safe sc) l in
     pop_cscope sc;
     fun env -> List.iter (fun f -> f env) cl
+  | SSite (id, s) ->
+    (* mirror Interp: set the current attribution site around the inner
+       statement, restoring on every exit path *)
+    let cs = compile_stmt_safe sc s in
+    fun env ->
+      let r = env.ectx.I.cur_site in
+      let saved = !r in
+      r := id;
+      (match cs env with
+       | () -> r := saved
+       | exception e ->
+         r := saved;
+         raise e)
 
 and compile_stmt_safe sc s =
   match compile_stmt sc s with

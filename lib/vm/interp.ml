@@ -46,6 +46,13 @@ type ctx = {
   special_ident : string -> tval option;
   on_access : Memory.access_kind -> addr_space -> int -> int -> unit;
   on_op : op_class -> unit;
+  (* attribution hooks: [cur_site] names the source site (SSite id) the
+     item is currently executing — shared with the launcher so its
+     access/op hooks can charge events per site; [on_branch] fires with
+     every branch decision (same choke point as the observer's
+     obs_branch), feeding warp-divergence detection *)
+  cur_site : int ref;
+  on_branch : bool -> unit;
   stack_space : addr_space;    (* AS_none for host code, AS_private in kernels *)
   group_locals : (string, int) Hashtbl.t option;
       (* per-work-group table making __local declarations idempotent *)
@@ -84,9 +91,11 @@ exception Continue_exc
 let no_access _ _ _ _ = ()
 let no_op _ = ()
 let no_special _ = None
+let no_branch _ = ()
 
 let make ~prog ~arena_of ?(externals = []) ?(special_ident = no_special)
     ?(on_access = no_access) ?(on_op = no_op)
+    ?(cur_site = ref 0) ?(on_branch = no_branch)
     ?(stack_space = AS_none) ?group_locals ?globals ?observer () =
   let funcs = Hashtbl.create 31 in
   List.iter
@@ -105,6 +114,8 @@ let make ~prog ~arena_of ?(externals = []) ?(special_ident = no_special)
     special_ident;
     on_access;
     on_op;
+    cur_site;
+    on_branch;
     stack_space;
     group_locals;
     strings = Hashtbl.create 7;
@@ -206,8 +217,11 @@ let store ctx space addr ty (v : Value.t) =
     o.obs_store ctx space addr ty v;
     if o.obs_perform space then store_raw ctx space addr ty v
 
-(* Report a branch decision to the observer, if any, and return it. *)
+(* Report a branch decision to the attribution hook and the observer,
+   if any, and return it.  Both backends route every branch decision
+   (if/while/do-while/for conditions, &&, ||, ?:) through here. *)
 let obs_branch ctx b =
+  ctx.on_branch b;
   (match ctx.observer with Some o -> o.obs_branch b | None -> ());
   b
 
@@ -1120,6 +1134,16 @@ and exec_stmt ctx (s : stmt) =
     Fun.protect
       ~finally:(fun () -> pop_scope ctx)
       (fun () -> List.iter (exec_stmt ctx) l)
+  | SSite (id, s) ->
+    (* events inside charge to [id]; restoring the caller's site keeps
+       loop-condition re-evaluations on the loop's own site *)
+    let saved = !(ctx.cur_site) in
+    ctx.cur_site := id;
+    (match exec_stmt ctx s with
+     | () -> ctx.cur_site := saved
+     | exception e ->
+       ctx.cur_site := saved;
+       raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Program-level entry points                                          *)

@@ -269,7 +269,8 @@ let conflict_model ~word ~banks ~es ~stride ~n =
         { Gpusim.Counters.a_kind = Vm.Memory.Load;
           a_space = Minic.Ast.AS_local;
           a_addr = i * stride * es;
-          a_size = es })
+          a_size = es;
+          a_site = 0 })
   in
   Gpusim.Counters.cost_row c ~smem_word:word ~banks ~model_conflicts:true row;
   c.Gpusim.Counters.smem_transactions

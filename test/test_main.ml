@@ -7,4 +7,4 @@ let () =
      @ Test_bridge.suites @ Test_svm.suites @ Test_failures.suites
      @ Test_apps.suites @ Test_analysis.suites @ Test_trace.suites
      @ Test_backend.suites @ Test_fuzz.suites @ Test_golden.suites
-     @ Test_parallel.suites @ Test_validate.suites)
+     @ Test_parallel.suites @ Test_validate.suites @ Test_attr.suites)
