@@ -877,10 +877,18 @@ let backends () =
       ~finally:(fun () -> Gpusim.Exec.backend := saved)
       (fun () ->
          ignore (f ()); (* warm the build and compile caches *)
-         let n = 3 in
-         let t0 = Sys.time () in
-         for _ = 1 to n do ignore (f ()) done;
-         (Sys.time () -. t0) /. float_of_int n)
+         (* best-of-n: the minimum is the noise-robust estimator of the
+            intrinsic cost (GC pauses and scheduler interference only
+            ever add time), so the gate below doesn't flake under load *)
+         let n = 5 in
+         let best = ref infinity in
+         for _ = 1 to n do
+           let t0 = Sys.time () in
+           ignore (f ());
+           let t = Sys.time () -. t0 in
+           if t < !best then best := t
+         done;
+         !best)
   in
   let ocl_head apps = List.hd apps in
   let workloads =
@@ -917,6 +925,25 @@ let backends () =
   in
   let speedups = List.map (fun (_, _, _, s) -> s) rows in
   Printf.printf "%-28s %12s %12s %8.2fx\n" "geomean" "" "" (geomean speedups);
+  (* Speedup gate on the fig7a pipeline (the ROADMAP target, raised from
+     the PR 3 baseline of 1.8x once the IR middle-end landed).  Wall
+     clock, but interp and compiled are timed back to back in the same
+     process, so the ratio is stable enough for a floor well under the
+     measured ~4x.  OCLCU_BACKEND_GATE overrides the floor; 0 disables. *)
+  let gate_floor =
+    match Sys.getenv_opt "OCLCU_BACKEND_GATE" with
+    | Some s -> (try float_of_string s with _ -> 3.0)
+    | None -> 3.0
+  in
+  (match List.find_opt (fun (n, _, _, _) -> n = "fig7a.rodinia-wrapped") rows with
+   | Some (_, _, _, s) when gate_floor > 0.0 ->
+     if s >= gate_floor then
+       Printf.printf "backend gate passed: fig7a %.2fx >= %.2fx\n" s gate_floor
+     else begin
+       Printf.printf "backend gate FAILED: fig7a %.2fx < %.2fx\n" s gate_floor;
+       exit 1
+     end
+   | _ -> ());
   record "backends"
     (J.Obj
        [ ("rows",
@@ -930,6 +957,72 @@ let backends () =
                       ("speedup", J.Float s) ])
                rows));
          ("geomean_speedup", J.Float (geomean speedups)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: IR pass pipeline                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* How much of the closure backend's fig7a win each middle-end rewrite
+   carries: the backend speedup with the full pipeline, with each pass
+   disabled individually, and with the pipeline off entirely (the PR 3
+   baseline path).  Feeds the A8 ablation table in EXPERIMENTS.md. *)
+let ablation_ir () =
+  header "Ablation: IR passes (fig7a backend speedup, one pass off at a time)";
+  let f () = run_app_on_cuda (List.hd Suite.Registry.rodinia_opencl) () in
+  let time_under b g =
+    let saved = !Gpusim.Exec.backend in
+    Gpusim.Exec.backend := b;
+    Fun.protect
+      ~finally:(fun () -> Gpusim.Exec.backend := saved)
+      (fun () ->
+         ignore (g ());
+         (* best-of-n, same estimator as the backends gate *)
+         let n = 5 in
+         let best = ref infinity in
+         for _ = 1 to n do
+           let t0 = Sys.time () in
+           ignore (g ());
+           let t = Sys.time () -. t0 in
+           if t < !best then best := t
+         done;
+         !best)
+  in
+  let ti = time_under Gpusim.Exec.Interp f in
+  let configs =
+    ("all", Ir.Pipeline.all)
+    :: List.map
+         (fun p ->
+            match Ir.Pipeline.parse ("all,-" ^ p) with
+            | Ok c -> ("all,-" ^ p, c)
+            | Error e -> failwith e)
+         Ir.Pipeline.pass_names
+    @ [ ("none", Ir.Pipeline.none) ]
+  in
+  Printf.printf "%-16s %12s %9s\n" "passes" "compiled (s)" "speedup";
+  let rows =
+    List.map
+      (fun (name, cfg) ->
+         let tc =
+           Ir.Pipeline.with_passes cfg (fun () ->
+               time_under Gpusim.Exec.Compiled f)
+         in
+         let s = ti /. tc in
+         Printf.printf "%-16s %12.4f %8.2fx\n%!" name tc s;
+         (name, tc, s))
+      configs
+  in
+  record "ablation-ir"
+    (J.Obj
+       [ ("interp_s", J.Float ti);
+         ("rows",
+          J.List
+            (List.map
+               (fun (name, tc, s) ->
+                  J.Obj
+                    [ ("passes", J.Str name);
+                      ("compiled_s", J.Float tc);
+                      ("speedup", J.Float s) ])
+               rows)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Fuzzer throughput                                                   *)
@@ -1019,6 +1112,9 @@ let parallel_bench () =
   let mk_workload ~name ~src ~kernel ~out_ints ~gws ~lws ~extra_args () =
     let prog = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
     let k = Option.get (Minic.Ast.find_function prog kernel) in
+    (* outcome of this workload's most recent launch, for the
+       accepted-parallel assertion below *)
+    let outcome = ref Gpusim.Exec.Seq in
     let run () =
       let dev =
         Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.opencl_on_nvidia
@@ -1032,14 +1128,16 @@ let parallel_bench () =
              (Minic.Ast.TPtr (Minic.Ast.TScalar Minic.Ast.Int)))
         :: extra_args
       in
-      ignore
-        (Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4)
-           ~host_arena:host ~kernel:k
-           ~cfg:{ global_size = gws; local_size = lws; dyn_shared = 0 }
-           ~args ());
+      let stats =
+        Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4)
+          ~host_arena:host ~kernel:k
+          ~cfg:{ global_size = gws; local_size = lws; dyn_shared = 0 }
+          ~args ()
+      in
+      outcome := stats.Gpusim.Exec.pool.Gpusim.Exec.outcome;
       Bytes.to_string (Vm.Memory.load_bytes dev.Gpusim.Device.global out (out_ints * 4))
     in
-    (name, run)
+    (name, run, outcome)
   in
   let compute_loop =
     mk_workload ~name:"compute-loop.64x64"
@@ -1095,7 +1193,7 @@ __kernel void reduce(__global int* out, __local int* tmp) {
     "2 dom (s)" "4 dom (s)" "8 dom (s)" "x at 4";
   let rows =
     List.map
-      (fun (name, run) ->
+      (fun (name, run, outcome) ->
          let reference = with_domains 1 run in
          let times =
            List.map
@@ -1108,7 +1206,7 @@ __kernel void reduce(__global int* out, __local int* tmp) {
                         name n;
                       exit 1
                     end;
-                    (match !Gpusim.Exec.last_outcome with
+                    (match !outcome with
                      | Gpusim.Exec.Replayed r when n > 1 ->
                        Printf.printf
                          "parallel bench FAILED: %s replayed at %d domains (%s)\n"
@@ -1241,6 +1339,7 @@ let experiments =
     ("fig8a", fig8a); ("fig8b", fig8b); ("table3", table3);
     ("ablation-banks", ablation_banks);
     ("ablation-occupancy", ablation_occupancy);
+    ("ablation-ir", ablation_ir);
     ("wrappers", wrappers);
     ("svm", svm);
     ("analyze", analyze);

@@ -112,10 +112,57 @@ let translate_cmd =
                    memory, L3 +scheduling) and localize any divergence to \
                    the lowest layer introducing it (default: true)")
   in
-  let run input validate layered =
+  let ir_dump =
+    Arg.(value & flag
+         & info [ "ir-dump" ]
+             ~doc:"Instead of translating, dump the optimizing \
+                   middle-end's kernel IR for every function after the \
+                   enabled passes ($(b,OCLCU_IR_PASSES) selects them; \
+                   default all), with per-pass rewrite counts and the \
+                   reason for any function left on the closure backend")
+  in
+  let run_ir_dump input src =
+    let dialect =
+      if ends_with ~suffix:".cl" input then Minic.Parser.OpenCL
+      else Minic.Parser.Cuda
+    in
+    match Minic.Parser.program ~dialect src with
+    | exception Minic.Parser.Error (msg, line) ->
+      `Error (false, Printf.sprintf "%s:%d: %s" input line msg)
+    | prog ->
+      let cfg = !Ir.Pipeline.selected in
+      Printf.printf "; IR passes: %s\n" (Ir.Pipeline.signature cfg);
+      let est = Ir.Emit.make ~special_ty:Gpusim.Exec.special_ty ~cfg prog in
+      List.iter
+        (fun name ->
+           print_newline ();
+           match Ir.Emit.ir est name with
+           | Some (Ok fn) ->
+             (match Ir.Emit.stats est name with
+              | Some st ->
+                let parts =
+                  List.filter (fun (_, n) -> n > 0) (Ir.Passes.stats_list st)
+                in
+                Printf.printf "; %s: %s\n" name
+                  (if parts = [] then "no rewrites"
+                   else
+                     String.concat ", "
+                       (List.map
+                          (fun (k, n) -> Printf.sprintf "%s %d" k n)
+                          parts))
+              | None -> ());
+             print_string (Ir.Core.dump_fn fn)
+           | Some (Error why) ->
+             Printf.printf "; %s: closure backend (%s)\n" name why
+           | None -> ())
+        (Ir.Emit.function_names est);
+      `Ok ()
+  in
+  let run input validate layered ir_dump =
     catching_sys_error @@ fun () ->
     let src = read_file input in
-    if ends_with ~suffix:".cl" input then begin
+    if ir_dump then run_ir_dump input src
+    else if ends_with ~suffix:".cl" input then begin
       (* OpenCL -> CUDA device translation (kernel.cl -> kernel.cl.cu) *)
       match Xlat.Ocl_to_cuda.translate_source src with
       | cuda_src, result ->
@@ -184,7 +231,7 @@ let translate_cmd =
   Cmd.v
     (Cmd.info "translate"
        ~doc:"Translate between CUDA (.cu) and OpenCL (.cl) source")
-    Term.(ret (const run $ input $ validate $ layered))
+    Term.(ret (const run $ input $ validate $ layered $ ir_dump))
 
 (* --- check ------------------------------------------------------------- *)
 

@@ -102,6 +102,11 @@ let replay ?(log = fun _ -> ()) dir : bool =
   log
     (Printf.sprintf "replay: stored layer verdict: %s%s" layer_verdict
        (if layer_site = "" then "" else " (" ^ layer_site ^ ")"));
+  (* re-run under the IR pass set that was active when the divergence was
+     recorded, so pass-dependent divergences reproduce *)
+  let passes = Repro.passes dir in
+  log (Printf.sprintf "replay: IR passes: %s" (Ir.Pipeline.signature passes));
+  Ir.Pipeline.with_passes passes @@ fun () ->
   match Pyramid.run case with
   | Pyramid.Agree -> log "replay: all six executions agree"; false
   | Pyramid.Skip reason -> log ("replay: skipped (" ^ reason ^ ")"); false

@@ -235,11 +235,20 @@ let counter_diff a b =
     (List.combine a b)
 
 (* Run one stage under both backends; compare within the stage, then
-   against the reference bytes from an earlier stage if given. *)
+   against the reference bytes from an earlier stage if given.
+
+   The backend-vs-backend comparison pins OCLCU_IR_PASSES=none: the
+   counter-identity contract is between the interpreter and the
+   *unoptimized* closure backend.  A separate sub-stage then re-runs the
+   compiled backend with the ambient pass set and requires byte-identical
+   buffers — the optimizer may change op counts, never results. *)
 let run_stage ~stage (c : Gen.case) (p : plan) ~(reference : string option) :
   (string * (string * int) list, divergence) result =
   let attempt backend =
-    match run_plan backend c p with
+    match
+      Ir.Pipeline.with_passes Ir.Pipeline.none (fun () ->
+          run_plan backend c p)
+    with
     | r -> Ok r
     | exception e -> Error e
   in
@@ -262,12 +271,28 @@ let run_stage ~stage (c : Gen.case) (p : plan) ~(reference : string option) :
               d_detail =
                 "compiled vs interp: "
                 ^ String.concat ", " (counter_diff b_ctr i_ctr) }
-    else
-      match reference with
-      | Some ref_bytes when ref_bytes <> b_bytes ->
-        Error { d_stage = stage; d_kind = K_bytes;
-                d_detail = "buffers differ from the OpenCL original" }
-      | _ -> Ok (b_bytes, b_ctr)
+    else begin
+      match
+        if Ir.Pipeline.is_none !Ir.Pipeline.selected then Ok b_bytes
+        else
+          match run_plan Gpusim.Exec.Compiled c p with
+          | o_bytes, _ -> Ok o_bytes
+          | exception e ->
+            Error { d_stage = stage ^ "/ir-passes"; d_kind = K_crash;
+                    d_detail = "optimizing backend only: " ^ exn_detail e }
+      with
+      | Error d -> Error d
+      | Ok o_bytes when o_bytes <> b_bytes ->
+        Error { d_stage = stage ^ "/ir-passes"; d_kind = K_bytes;
+                d_detail =
+                  "IR-optimized backend diverges from the unoptimized run" }
+      | Ok _ ->
+        match reference with
+        | Some ref_bytes when ref_bytes <> b_bytes ->
+          Error { d_stage = stage; d_kind = K_bytes;
+                  d_detail = "buffers differ from the OpenCL original" }
+        | _ -> Ok (b_bytes, b_ctr)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* The parallel stage                                                  *)
@@ -288,8 +313,12 @@ let parallel_domains = [ 2; 4 ]
 
 let run_parallel_stage (c : Gen.case) (p : plan)
     ~(reference : string * (string * int) list) : (unit, divergence) result =
-  (* the reference comes from run_stage, which executed at the ambient
-     domain count; pin a true sequential run if that was not 1 *)
+  (* the reference comes from run_stage's pinned-none backend run, so
+     the domain-count sweep is pinned to the same pass set; the IR
+     backend's own domain invariance is covered by test_ir's
+     differential property *)
+  Ir.Pipeline.with_passes Ir.Pipeline.none @@ fun () ->
+  (* pin a true sequential run if the ambient domain count was not 1 *)
   let seq =
     if !Gpusim.Exec.domains = 1 then Ok reference
     else

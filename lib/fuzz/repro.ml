@@ -46,6 +46,9 @@ let write ~out_dir ~name ~(case : Gen.case) ~(d : Pyramid.divergence)
     (config_str case
        [ ("seed", string_of_int seed);
          ("index", string_of_int index);
+         (* the enabled IR pass set: a pass-dependent divergence only
+            reproduces under the same middle-end configuration *)
+         ("passes", Ir.Pipeline.signature !Ir.Pipeline.selected);
          ("stage", d.Pyramid.d_stage);
          ("kind", Pyramid.kind_name d.Pyramid.d_kind);
          ("detail", d.Pyramid.d_detail);
@@ -79,6 +82,16 @@ let layer dir : string * string =
   let kv = config_kv dir in
   ( Option.value (List.assoc_opt "layer" kv) ~default:"-",
     Option.value (List.assoc_opt "layer_site" kv) ~default:"" )
+
+(* The IR pass set active when the divergence was found; repros written
+   before the middle-end existed read back as the default ("all"). *)
+let passes dir : Ir.Pipeline.config =
+  let s =
+    Option.value (List.assoc_opt "passes" (config_kv dir)) ~default:"all"
+  in
+  match Ir.Pipeline.parse s with
+  | Ok c -> c
+  | Error _ -> Ir.Pipeline.all
 
 (* Re-load a written repro as a runnable case. *)
 let load dir : Gen.case =

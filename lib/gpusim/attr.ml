@@ -18,16 +18,19 @@ type site = {
   mutable smem_conflict_extra : int;   (* replays beyond 1 per warp access *)
   mutable barriers : int;              (* barrier rounds *)
   mutable div_rows : int;              (* non-uniform branch rows per warp *)
+  mutable ops_eliminated : int;        (* ops removed by IR passes; per site,
+                                          ops + ops_eliminated equals the
+                                          OCLCU_IR_PASSES=none ops count *)
 }
 
 let zero_site () =
   { ops = 0; gmem_transactions = 0; gmem_bytes = 0; smem_transactions = 0;
-    smem_conflict_extra = 0; barriers = 0; div_rows = 0 }
+    smem_conflict_extra = 0; barriers = 0; div_rows = 0; ops_eliminated = 0 }
 
 let site_is_zero s =
   s.ops = 0 && s.gmem_transactions = 0 && s.gmem_bytes = 0
   && s.smem_transactions = 0 && s.smem_conflict_extra = 0 && s.barriers = 0
-  && s.div_rows = 0
+  && s.div_rows = 0 && s.ops_eliminated = 0
 
 (* Dense table indexed by site id; site ids are small pre-order
    integers, so an array beats a hashtable on the hot per-event path. *)
@@ -55,7 +58,8 @@ let merge dst src =
          d.smem_transactions <- d.smem_transactions + s.smem_transactions;
          d.smem_conflict_extra <- d.smem_conflict_extra + s.smem_conflict_extra;
          d.barriers <- d.barriers + s.barriers;
-         d.div_rows <- d.div_rows + s.div_rows
+         d.div_rows <- d.div_rows + s.div_rows;
+         d.ops_eliminated <- d.ops_eliminated + s.ops_eliminated
        end)
     src.sites
 

@@ -82,11 +82,6 @@ let domains =
         | _ -> Domain.recommended_domain_count ())
      | None -> Domain.recommended_domain_count ())
 
-(* Deprecated: a global snapshot of the most recent launch's outcome.
-   Racy when launches overlap across domains — prefer the per-launch
-   [launch_stats.pool.outcome].  Kept so existing callers keep working. *)
-let last_outcome = ref Seq
-
 (* Per-site attribution (`oclcu prof --attribute`): when on, every
    counted event is charged to the Minic.Site of the statement that
    caused it, and per-item branch decisions are recorded for the
@@ -350,6 +345,32 @@ let compiled_for prog =
          compiled_cache := (prog, cp) :: rest;
          cp)
 
+(* IR-compiled modules: same physical-identity keying and bound as
+   [compiled_cache], additionally keyed by the enabled pass set so a
+   changed OCLCU_IR_PASSES (or a test toggling Ir.Pipeline.selected)
+   takes effect without restarting the process.  Each entry carries its
+   own Vm.Compile fallback for functions the lowering rejected. *)
+let ir_cache : ((Minic.Ast.program * string) * Ir.Emit.t) list ref = ref []
+let ir_cache_lock = Mutex.create ()
+
+let ir_for prog =
+  let sg = Ir.Pipeline.signature !Ir.Pipeline.selected in
+  Mutex.lock ir_cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ir_cache_lock)
+    (fun () ->
+       match
+         List.find_opt (fun ((p, s), _) -> p == prog && s = sg) !ir_cache
+       with
+       | Some (_, est) -> est
+       | None ->
+         let est = Ir.Emit.make ~special_ty ~cfg:!Ir.Pipeline.selected prog in
+         let rest =
+           List.filteri (fun i _ -> i < compiled_cache_limit - 1) !ir_cache
+         in
+         ir_cache := ((prog, sg), est) :: rest;
+         est)
+
 (* Everything mutable one worker owns; see [make_worker] below. *)
 type worker = {
   w_counters : Counters.t;
@@ -402,17 +423,29 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   let clk_global_tv = Vm.Interp.tint 2 in
 
   (* the kernel compiles once per loaded module and is reused across all
-     work-items, work-groups and launches *)
-  let compiled = match !backend with
-    | Compiled -> Some (compiled_for prog)
-    | Interp -> None
+     work-items, work-groups and launches.  The optimizing IR middle-end
+     takes over on the compiled backend when any pass is enabled and no
+     observer is installed (the IR backend does not model per-statement
+     observation); OCLCU_IR_PASSES=none restores the plain closure
+     backend bit-for-bit.  A kernel the lowering rejected falls back to
+     the closure backend of the same module. *)
+  let use_ir =
+    !backend = Compiled && observer = None
+    && not (Ir.Pipeline.is_none !Ir.Pipeline.selected)
   in
   (* resolve the kernel's compiled form once; the per-item path is then
      a bare closure application *)
   let compiled_kernel =
-    match compiled with
-    | Some cp -> Some (Vm.Compile.prepare cp kernel)
-    | None -> None
+    match !backend with
+    | Interp -> None
+    | Compiled ->
+      if use_ir then begin
+        let est = ir_for prog in
+        match Ir.Emit.prepare est kernel.fn_name with
+        | Some f -> Some f
+        | None -> Some (Vm.Compile.prepare (Ir.Emit.fallback est) kernel)
+      end
+      else Some (Vm.Compile.prepare (compiled_for prog) kernel)
   in
 
   (* file-scope [extern __shared__ char pool[]] declarations (the
@@ -517,6 +550,17 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
         Some (fun taken ->
             Counters.bstream_push bs.(!cur_item) ~site:!cur_site taken)
     in
+    (* IR-pass elimination credits: only materialised in attribution
+       mode, where the report shows ops + ops_eliminated = the
+       unoptimized ops count per site *)
+    let on_elim =
+      match attr with
+      | None -> None
+      | Some a ->
+        Some (fun n ->
+            let s = Attr.get a !cur_site in
+            s.Attr.ops_eliminated <- s.Attr.ops_eliminated + n)
+    in
 
     let rmw =
       if not par then atomic_rmw
@@ -586,7 +630,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     let base_ctx =
       Vm.Interp.make ~prog ~arena_of ~externals ~special_ident ~on_access
         ~on_op ~cur_site ?on_branch ~stack_space:AS_private ~globals
-        ?observer ()
+        ?on_elim ?observer ()
     in
 
     let logs : Conflict.block_log list ref = ref [] in
@@ -638,9 +682,9 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
             Vm.Interp.scopes = [];
             group_locals = Some group_locals }
         in
-        (* the compiled backend binds locals in frame slots, so the
+        (* the compiled backends bind locals in frame slots, so the
            item scope only exists to hold the $dynshared aliases *)
-        if compiled = None || dynshared_addr <> None then begin
+        if compiled_kernel = None || dynshared_addr <> None then begin
           Vm.Interp.push_scope ctx;
           match dynshared_addr with
           | Some addr ->
@@ -822,7 +866,6 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     end
     else run_parallel n_workers
   in
-  last_outcome := outcome;
 
   let occupancy =
     Occupancy.of_kernel dev layout kernel ~block_threads:group_threads

@@ -29,11 +29,6 @@ type parallel_outcome =
   | Parallel of int      (** ran concurrently on N workers, accepted *)
   | Replayed of string   (** parallel attempt rolled back: why *)
 
-(** Deprecated: global snapshot of the most recent launch's outcome —
-    racy when launches overlap across domains.  Prefer the per-launch
-    {!launch_stats.pool}[.outcome]. *)
-val last_outcome : parallel_outcome ref
-
 (** Per-site attribution (`oclcu prof --attribute`): charge every
     counted event to the {!Minic.Site} of the statement that caused it
     and record per-item branch decisions for the warp-divergence
@@ -65,6 +60,12 @@ type backend = Interp | Compiled
 
 (** Parse a backend name ("interp" / "compiled"); [None] if unknown. *)
 val backend_of_string : string -> backend option
+
+(** Types of the launcher-provided rvalue specials ([threadIdx],
+    [warpSize], ...), for compile-time member resolution.  Exposed so
+    out-of-engine IR builds ([oclcu translate --ir-dump], tests) resolve
+    them the same way a launch does. *)
+val special_ty : string -> Minic.Ast.ty option
 
 (** The active backend.  Initialised from [OCLCU_BACKEND] ("interp"
     selects the interpreter); [oclcu run --backend] also sets it. *)

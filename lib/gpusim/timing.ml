@@ -156,6 +156,7 @@ let finish_launch (dev : Device.t) ~name (ls : Exec.launch_stats) =
                     s_func = func;
                     s_snippet = snippet;
                     s_ops = s.Attr.ops;
+                    s_ops_eliminated = s.Attr.ops_eliminated;
                     s_gmem_transactions = s.Attr.gmem_transactions;
                     s_gmem_bytes = s.Attr.gmem_bytes;
                     s_smem_transactions = s.Attr.smem_transactions;

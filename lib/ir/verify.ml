@@ -1,0 +1,105 @@
+(* IR sanity checker.
+
+   Run after lowering and after each pass in debug paths (`--ir-dump`,
+   the test suite): catches the bug classes passes can introduce —
+   renaming to a register that is not defined on every path to the use,
+   duplicated Let targets (they are single-assignment by construction),
+   out-of-range register / memory-slot indices, and loop-control nodes
+   escaping any loop.
+
+   Definedness is path-sensitive for Let registers (both arms of an If
+   must define a register for it to count as defined after the join;
+   loop-body definitions do not survive the loop) and flow-insensitive
+   for mutable variable registers (SetReg/SetRaw targets), which read as
+   their initial unit value when unassigned — exactly the closure
+   backend's dummy-binding behaviour for declarations whose execution
+   was skipped. *)
+
+let check (fn : Core.fn) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let nregs = fn.Core.f_nregs in
+  let nmem = Array.length fn.Core.f_mem in
+  let let_seen = Array.make (max nregs 1) false in
+  let is_var = Array.make (max nregs 1) false in
+  (* prepass: single-assignment of Lets, collect variable registers *)
+  let rec pre_body b = List.iter pre_node b
+  and pre_node = function
+    | Core.Ins i ->
+      (match i.Core.i_kind with
+       | Core.Let (r, _) ->
+         if r < 0 || r >= nregs then err "Let target r%d out of range" r
+         else if let_seen.(r) then err "r%d assigned by two Lets" r
+         else let_seen.(r) <- true
+       | Core.SetReg (r, _, _) | Core.SetRaw (r, _) ->
+         if r < 0 || r >= nregs then err "Set target r%d out of range" r
+         else is_var.(r) <- true
+       | Core.DeclMem v | Core.ZeroFill v | Core.StoreElt (v, _, _, _) ->
+         if v < 0 || v >= nmem then err "memory slot m%d out of range" v
+       | _ -> ())
+    | Core.If (_, _, a, b) ->
+      pre_body a;
+      pre_body b
+    | Core.Loop l ->
+      pre_body l.Core.l_init;
+      pre_body l.Core.l_pre;
+      (match l.Core.l_cond with Some (b, _) -> pre_body b | None -> ());
+      pre_body l.Core.l_body;
+      pre_body l.Core.l_update
+    | Core.Return _ | Core.Break | Core.Continue -> ()
+  in
+  pre_body fn.Core.f_body;
+  Array.iter
+    (fun (p : Core.pbind) ->
+       if p.Core.p_reg < 0 || p.Core.p_reg >= nregs then
+         err "parameter register r%d out of range" p.Core.p_reg)
+    fn.Core.f_params;
+  List.iter
+    (fun r -> if is_var.(r) && let_seen.(r) then
+        err "r%d is both a Let target and a variable register" r)
+    (List.init nregs Fun.id);
+
+  (* main walk: definedness + loop nesting *)
+  let check_op defined = function
+    | Core.Cst _ -> ()
+    | Core.Reg r ->
+      if r < 0 || r >= nregs then err "operand r%d out of range" r
+      else if (not is_var.(r)) && not defined.(r) then
+        err "use of r%d before definition" r
+  in
+  let rec walk_body defined ~in_loop b =
+    List.iter (walk_node defined ~in_loop) b
+  and walk_node defined ~in_loop = function
+    | Core.Ins i ->
+      List.iter (check_op defined) (Core.ikind_operands i.Core.i_kind);
+      (match i.Core.i_kind with
+       | Core.Let (r, _) when r >= 0 && r < nregs -> defined.(r) <- true
+       | _ -> ())
+    | Core.If (_, c, a, b) ->
+      check_op defined c;
+      let d1 = Array.copy defined and d2 = Array.copy defined in
+      walk_body d1 ~in_loop a;
+      walk_body d2 ~in_loop b;
+      for r = 0 to nregs - 1 do
+        defined.(r) <- d1.(r) && d2.(r)
+      done
+    | Core.Loop l ->
+      walk_body defined ~in_loop l.Core.l_init;
+      walk_body defined ~in_loop l.Core.l_pre;
+      let d = Array.copy defined in
+      (match l.Core.l_cond with
+       | Some (b, o) ->
+         walk_body d ~in_loop b;
+         check_op d o
+       | None -> ());
+      walk_body d ~in_loop:true l.Core.l_body;
+      walk_body d ~in_loop:true l.Core.l_update
+    | Core.Return o -> Option.iter (check_op defined) o
+    | Core.Break | Core.Continue ->
+      if not in_loop then err "loop control outside a loop"
+  in
+  let defined = Array.make (max nregs 1) false in
+  Array.iter (fun (p : Core.pbind) -> defined.(p.Core.p_reg) <- true)
+    fn.Core.f_params;
+  walk_body defined ~in_loop:false fn.Core.f_body;
+  List.rev !errs

@@ -106,6 +106,8 @@ let counter_events ~pid (metrics : Metrics.t list) =
        else
          base
          @ [ ev ts "site_ops" (site_series (fun s -> s.s_ops));
+             ev ts "site_ops_eliminated"
+               (site_series (fun s -> s.s_ops_eliminated));
              ev ts "site_gmem_transactions"
                (site_series (fun s -> s.s_gmem_transactions));
              ev ts "site_smem_transactions"

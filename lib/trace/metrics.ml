@@ -16,6 +16,9 @@ type site_counters = {
   s_func : string;               (* enclosing function *)
   s_snippet : string;            (* one-line source form of the site *)
   s_ops : int;
+  s_ops_eliminated : int;        (* ops the IR middle-end removed at this
+                                    site; s_ops + s_ops_eliminated equals
+                                    the OCLCU_IR_PASSES=none ops count *)
   s_gmem_transactions : int;
   s_gmem_bytes : int;
   s_smem_transactions : int;

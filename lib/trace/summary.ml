@@ -178,6 +178,7 @@ let add_site (a : Metrics.site_counters) (b : Metrics.site_counters) =
     Metrics.s_func = (if a.Metrics.s_func = "?" then b.Metrics.s_func else a.Metrics.s_func);
     s_snippet = (if a.Metrics.s_snippet = "?" then b.Metrics.s_snippet else a.Metrics.s_snippet);
     s_ops = a.Metrics.s_ops + b.Metrics.s_ops;
+    s_ops_eliminated = a.Metrics.s_ops_eliminated + b.Metrics.s_ops_eliminated;
     s_gmem_transactions = a.Metrics.s_gmem_transactions + b.Metrics.s_gmem_transactions;
     s_gmem_bytes = a.Metrics.s_gmem_bytes + b.Metrics.s_gmem_bytes;
     s_smem_transactions = a.Metrics.s_smem_transactions + b.Metrics.s_smem_transactions;
@@ -216,9 +217,13 @@ let attribution_to_string (ms : Metrics.t list) : string =
     Buffer.add_string buf
       "  (no attributed launches; is --attribute on and did anything run?)\n"
   else begin
+    (* "elim" is the per-site count of ops the IR middle-end removed:
+       at every site, ops + elim equals the OCLCU_IR_PASSES=none ops
+       column, so the delta against an unoptimized run needs no second
+       profile. *)
     Buffer.add_string buf
-      (Printf.sprintf "  %4s %-16s %10s %9s %10s %9s %7s %6s %6s  %s\n"
-         "Site" "Function" "ops" "gmem_txn" "gmem_B" "smem_txn" "cfl"
+      (Printf.sprintf "  %4s %-16s %10s %8s %9s %10s %9s %7s %6s %6s  %s\n"
+         "Site" "Function" "ops" "elim" "gmem_txn" "gmem_B" "smem_txn" "cfl"
          "barr" "div" "Source");
     let sorted =
       List.sort (fun a b -> compare (site_weight b) (site_weight a)) sites
@@ -226,8 +231,9 @@ let attribution_to_string (ms : Metrics.t list) : string =
     List.iter
       (fun (s : Metrics.site_counters) ->
          Buffer.add_string buf
-           (Printf.sprintf "  %4d %-16s %10d %9d %10d %9d %7d %6d %6d  %s\n"
+           (Printf.sprintf "  %4d %-16s %10d %8d %9d %10d %9d %7d %6d %6d  %s\n"
               s.Metrics.s_site s.Metrics.s_func s.Metrics.s_ops
+              s.Metrics.s_ops_eliminated
               s.Metrics.s_gmem_transactions s.Metrics.s_gmem_bytes
               s.Metrics.s_smem_transactions s.Metrics.s_smem_conflict_extra
               s.Metrics.s_barriers s.Metrics.s_div_rows s.Metrics.s_snippet))
@@ -239,8 +245,9 @@ let attribution_to_string (ms : Metrics.t list) : string =
 
 let zero_sc id =
   { Metrics.s_site = id; s_func = "?"; s_snippet = "?"; s_ops = 0;
-    s_gmem_transactions = 0; s_gmem_bytes = 0; s_smem_transactions = 0;
-    s_smem_conflict_extra = 0; s_barriers = 0; s_div_rows = 0 }
+    s_ops_eliminated = 0; s_gmem_transactions = 0; s_gmem_bytes = 0;
+    s_smem_transactions = 0; s_smem_conflict_extra = 0; s_barriers = 0;
+    s_div_rows = 0 }
 
 (* Native vs translated runs of the same source, aligned by origin site
    id (annotation is deterministic, so both sides number the same

@@ -62,6 +62,11 @@ type ctx = {
      native CUDA runtime installs this, the translated host never needs
      it because the translator removed all launches *)
   mutable launch_handler : (ctx -> Minic.Ast.launch -> tval) option;
+  (* attribution hook for the IR middle-end: fires with the number of
+     statically-counted operations a pass eliminated at this point, so
+     per-site reports can show `ops + ops_eliminated = unoptimized ops`
+     exactly; a no-op outside attribution mode *)
+  on_elim : int -> unit;
   (* layered-observation hooks; absent in normal execution *)
   observer : observer option;
 }
@@ -92,11 +97,13 @@ let no_access _ _ _ _ = ()
 let no_op _ = ()
 let no_special _ = None
 let no_branch _ = ()
+let no_elim _ = ()
 
 let make ~prog ~arena_of ?(externals = []) ?(special_ident = no_special)
     ?(on_access = no_access) ?(on_op = no_op)
     ?(cur_site = ref 0) ?(on_branch = no_branch)
-    ?(stack_space = AS_none) ?group_locals ?globals ?observer () =
+    ?(stack_space = AS_none) ?group_locals ?globals ?(on_elim = no_elim)
+    ?observer () =
   let funcs = Hashtbl.create 31 in
   List.iter
     (function
@@ -121,6 +128,7 @@ let make ~prog ~arena_of ?(externals = []) ?(special_ident = no_special)
     strings = Hashtbl.create 7;
     call_depth = 0;
     launch_handler = None;
+    on_elim;
     observer }
 
 let add_external ctx name f = Hashtbl.replace ctx.externals name f

@@ -5,9 +5,9 @@
    sequential engine — output buffers byte-for-byte, the full
    {!Gpusim.Counters.t}, traces, goldens and exceptions.  The directed
    cases additionally pin down *which* path produced the result
-   (accepted-parallel vs detected-conflict-and-replayed) via
-   {!Gpusim.Exec.last_outcome}, so a regression that silently forces
-   everything through replay still fails. *)
+   (accepted-parallel vs detected-conflict-and-replayed) via the
+   per-launch [launch_stats.pool.outcome], so a regression that silently
+   forces everything through replay still fails. *)
 
 open Minic.Ast
 
@@ -52,13 +52,13 @@ let outcome_name = function
   | Gpusim.Exec.Parallel n -> Printf.sprintf "parallel-%d" n
   | Gpusim.Exec.Replayed r -> "replayed: " ^ r
 
-let expect_parallel () =
-  match !Gpusim.Exec.last_outcome with
+let expect_parallel (stats : Gpusim.Exec.launch_stats) =
+  match stats.Gpusim.Exec.pool.Gpusim.Exec.outcome with
   | Gpusim.Exec.Parallel _ -> ()
   | o -> Alcotest.fail ("expected the accepted-parallel path, got " ^ outcome_name o)
 
-let expect_replayed () =
-  match !Gpusim.Exec.last_outcome with
+let expect_replayed (stats : Gpusim.Exec.launch_stats) =
+  match stats.Gpusim.Exec.pool.Gpusim.Exec.outcome with
   | Gpusim.Exec.Replayed _ -> ()
   | o -> Alcotest.fail ("expected conflict-and-replay, got " ^ outcome_name o)
 
@@ -112,7 +112,7 @@ __kernel void count(__global int* c, __global int* out) {
 |}
          in
          let cell = ref 0 in
-         let dev, _ =
+         let dev, stats =
            launch_at ~domains:4 ~src ~kernel:"count" ~gws:[| 64; 1; 1 |]
              ~lws:[| 8; 1; 1 |]
              ~args:(fun dev ->
@@ -121,7 +121,7 @@ __kernel void count(__global int* c, __global int* out) {
                  [ iptr c; iptr o ])
              ()
          in
-         expect_parallel ();
+         expect_parallel stats;
          check_int "64 adds of 2" 128 (read_ints dev !cell 1).(0));
     Alcotest.test_case "used atomic result forces replay, value exact" `Quick
       (fun () ->
@@ -134,7 +134,7 @@ __kernel void ticket(__global int* c, __global int* out) {
 |}
          in
          let out = ref 0 in
-         let dev, _ =
+         let dev, stats =
            launch_at ~domains:4 ~src ~kernel:"ticket" ~gws:[| 32; 1; 1 |]
              ~lws:[| 4; 1; 1 |]
              ~args:(fun dev ->
@@ -143,7 +143,7 @@ __kernel void ticket(__global int* c, __global int* out) {
                  [ iptr c; iptr o ])
              ()
          in
-         expect_replayed ();
+         expect_replayed stats;
          (* sequential block order: item i draws ticket i *)
          Alcotest.(check (array int)) "sequential tickets"
            (Array.init 32 (fun i -> i))
@@ -156,7 +156,7 @@ __kernel void grab(__global int* c) {
 |}
         in
         let cell = ref 0 in
-        let dev, _ =
+        let dev, stats =
           launch_at ~domains:4 ~src ~kernel:"grab" ~gws:[| 16; 1; 1 |]
             ~lws:[| 2; 1; 1 |]
             ~args:(fun dev ->
@@ -165,7 +165,7 @@ __kernel void grab(__global int* c) {
                 [ iptr c ])
             ()
         in
-        expect_replayed ();
+        expect_replayed stats;
         (* sequential winner is block 0's first item *)
         check_int "first block wins" 1 (read_ints dev !cell 1).(0));
     Alcotest.test_case "cross-block overlapping writes replay sequentially"
@@ -177,7 +177,7 @@ __kernel void clobber(__global int* c) {
 |}
           in
           let cell = ref 0 in
-          let dev, _ =
+          let dev, stats =
             launch_at ~domains:4 ~src ~kernel:"clobber" ~gws:[| 32; 1; 1 |]
               ~lws:[| 4; 1; 1 |]
               ~args:(fun dev ->
@@ -186,7 +186,7 @@ __kernel void clobber(__global int* c) {
                   [ iptr c ])
               ()
           in
-          expect_replayed ();
+          expect_replayed stats;
           (* sequentially the last block writes last *)
           check_int "last block wins" 7 (read_ints dev !cell 1).(0));
     Alcotest.test_case "barrier-heavy blocks run parallel and agree" `Quick
@@ -215,11 +215,16 @@ __kernel void reduce(__global int* out, __local int* tmp) {
                    [ iptr o; Gpusim.Exec.Arg_local (8 * 4) ])
                ()
            in
-           (read_ints dev !out 8, stats.Gpusim.Exec.counters)
+           (read_ints dev !out 8, stats.Gpusim.Exec.counters,
+            stats.Gpusim.Exec.pool.Gpusim.Exec.outcome)
          in
-         let seq_out, seq_ctr = run 1 in
-         let par_out, par_ctr = run 4 in
-         expect_parallel ();
+         let seq_out, seq_ctr, _ = run 1 in
+         let par_out, par_ctr, par_outcome = run 4 in
+         (match par_outcome with
+          | Gpusim.Exec.Parallel _ -> ()
+          | o ->
+            Alcotest.fail
+              ("expected the accepted-parallel path, got " ^ outcome_name o));
          Alcotest.(check (array int)) "per-block sums" seq_out par_out;
          check_int "barrier rounds" seq_ctr.Gpusim.Counters.barriers
            par_ctr.Gpusim.Counters.barriers;
@@ -239,7 +244,8 @@ __kernel void reduce(__global int* out, __local int* tmp) {
                   [ iptr o ])
               ()
           in
-          check "seq outcome" true (!Gpusim.Exec.last_outcome = Gpusim.Exec.Seq);
+          check "seq outcome" true
+            (stats.Gpusim.Exec.pool.Gpusim.Exec.outcome = Gpusim.Exec.Seq);
           check_int "one block" 1 stats.Gpusim.Exec.n_blocks;
           check_int "wrote" 7 (read_ints dev !out 1).(0));
     Alcotest.test_case "deterministic crash is identical across domains"
