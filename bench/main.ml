@@ -1029,10 +1029,13 @@ let ablation_ir () =
 (* ------------------------------------------------------------------ *)
 
 (* Throughput of the differential conformance fuzzer: kernels generated
-   per second, and full six-way pyramids (3 translation stages x 2 VM
-   backends) executed per second, at a fixed seed.  A campaign that
-   cannot sustain roughly 20 pyramids/s makes the runtest smoke too
-   slow, so that floor is the gate here. *)
+   per second, and full pyramids executed per second, at a fixed seed.
+   One pyramid is 3 translation stages x 2 VM backends plus the
+   parallel stage (2 and 4 domains) and, since the warp engine landed,
+   the lockstep stage (scalar reference + lockstep at 1 and 4 domains).
+   A campaign that cannot sustain roughly 12 pyramids/s makes the
+   runtest smoke too slow, so that floor is the gate here (it was 20/s
+   before the lockstep stage grew the pyramid). *)
 let fuzz_bench () =
   header "Fuzz: differential-pyramid throughput (seed 42)";
   let n = 200 in
@@ -1047,7 +1050,7 @@ let fuzz_bench () =
   let rate_gen = float_of_int n /. t_gen in
   let rate_pyr = float_of_int n /. t_pyr in
   Printf.printf "%-32s %10.0f kernels/s\n" "generation" rate_gen;
-  Printf.printf "%-32s %10.1f pyramids/s\n" "generate+pyramid (6 exec)" rate_pyr;
+  Printf.printf "%-32s %10.1f pyramids/s\n" "generate+pyramid (full stack)" rate_pyr;
   Printf.printf "%-32s %d agree, %d skipped, %d divergent\n" "verdicts"
     stats.Fuzz.Driver.agreed stats.Fuzz.Driver.skipped
     stats.Fuzz.Driver.divergent;
@@ -1078,8 +1081,8 @@ let fuzz_bench () =
       stats.Fuzz.Driver.divergent;
     exit 1
   end;
-  if rate_pyr < 20.0 then begin
-    Printf.printf "fuzz bench FAILED: %.1f pyramids/s below the 20/s floor\n"
+  if rate_pyr < 12.0 then begin
+    Printf.printf "fuzz bench FAILED: %.1f pyramids/s below the 12/s floor\n"
       rate_pyr;
     exit 1
   end
@@ -1269,6 +1272,232 @@ __kernel void reduce(__global int* out, __local int* tmp) {
       "gate skipped (set OCLCU_PARALLEL_GATE=<factor> to enforce a floor)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Lockstep: warp engine speedup + per-kernel eligibility census       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two halves.  (a) Wall clock: the three parallel-bench workloads are
+   lockstep-eligible, so the warp engine's one-closure-per-warp
+   execution is timed against the scalar compiled backend at one
+   domain, with byte identity and the [Engine_lockstep] outcome
+   asserted — a silently bailed launch would otherwise time the scalar
+   rerun and report a bogus 1.0x.  A local-size sweep on the compute
+   kernel shows how the advantage scales with warp occupancy (a warp is
+   min(lws, 32) lanes, so small groups under-fill it).  (b) Eligibility:
+   every suite kernel source is captured via the same [build_program]
+   shadowing the validate sweep uses, lowered to IR, and probed with
+   {!Gpusim.Lockstep.plan_for} — a static per-kernel census with
+   rejection reasons, no launches. *)
+let lockstep_bench () =
+  header "Lockstep: warp-lockstep engine vs scalar compiled (wall clock)";
+  let with_engine e f =
+    let saved = !Gpusim.Exec.engine in
+    Gpusim.Exec.engine := e;
+    Fun.protect ~finally:(fun () -> Gpusim.Exec.engine := saved) f
+  in
+  let mk_workload ~name ~src ~kernel ~out_ints ~gws ~lws ~extra_args () =
+    let prog = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
+    let k = Option.get (Minic.Ast.find_function prog kernel) in
+    let outcome = ref Gpusim.Exec.Engine_scalar in
+    let run () =
+      let dev =
+        Gpusim.Device.create Gpusim.Device.titan Gpusim.Device.opencl_on_nvidia
+      in
+      let host = Vm.Memory.create "bench-host" in
+      let out = Vm.Memory.alloc dev.Gpusim.Device.global ~align:256 (out_ints * 4) in
+      let args =
+        Gpusim.Exec.Arg_val
+          (Vm.Interp.tv
+             (Vm.Value.VInt (Vm.Value.make_ptr Minic.Ast.AS_global out))
+             (Minic.Ast.TPtr (Minic.Ast.TScalar Minic.Ast.Int)))
+        :: extra_args
+      in
+      let stats =
+        Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4)
+          ~host_arena:host ~kernel:k
+          ~cfg:{ global_size = gws; local_size = lws; dyn_shared = 0 }
+          ~args ()
+      in
+      outcome := stats.Gpusim.Exec.engine;
+      Bytes.to_string (Vm.Memory.load_bytes dev.Gpusim.Device.global out (out_ints * 4))
+    in
+    (name, run, outcome)
+  in
+  let compute_src = {|
+__kernel void spin(__global int* out) {
+  float v = (float)get_global_id(0);
+  for (int i = 0; i < 600; i++) v = v * 1.0001f + 0.5f;
+  out[get_global_id(0)] = (int)v;
+}
+|}
+  in
+  let compute_loop ~lws =
+    mk_workload ~name:(Printf.sprintf "compute-loop.64x%d" lws)
+      ~src:compute_src ~kernel:"spin" ~out_ints:4096
+      ~gws:[| 4096; 1; 1 |] ~lws:[| lws; 1; 1 |] ~extra_args:[] ()
+  in
+  let stream_add =
+    mk_workload ~name:"vector-stream.128x32"
+      ~src:{|
+__kernel void stream(__global int* out) {
+  int i = (int)get_global_id(0);
+  int acc = 0;
+  for (int j = 0; j < 40; j++) acc += (i + j) * (j | 1);
+  out[i] = acc;
+}
+|}
+      ~kernel:"stream" ~out_ints:4096 ~gws:[| 4096; 1; 1 |] ~lws:[| 32; 1; 1 |]
+      ~extra_args:[] ()
+  in
+  let local_reduce =
+    mk_workload ~name:"local-reduce.64x64"
+      ~src:{|
+__kernel void reduce(__global int* out, __local int* tmp) {
+  int t = (int)get_local_id(0);
+  tmp[t] = t + (int)get_group_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 32; s > 0; s /= 2) {
+    if (t < s) tmp[t] = tmp[t] + tmp[t + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (t == 0) out[get_group_id(0)] = tmp[0];
+}
+|}
+      ~kernel:"reduce" ~out_ints:64 ~gws:[| 4096; 1; 1 |] ~lws:[| 64; 1; 1 |]
+      ~extra_args:[ Gpusim.Exec.Arg_local (64 * 4) ] ()
+  in
+  let time f =
+    ignore (f ());  (* warm plan and closure caches *)
+    let n = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do ignore (f ()) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  (* measure one workload under both engines; identity and the
+     accepted-lockstep outcome are hard failures, not footnotes *)
+  let measure (name, run, outcome) =
+    let reference = with_engine Gpusim.Exec.Scalar run in
+    let out = with_engine Gpusim.Exec.Lockstep run in
+    if out <> reference then begin
+      Printf.printf "lockstep bench FAILED: %s diverges from scalar\n" name;
+      exit 1
+    end;
+    (match !outcome with
+     | Gpusim.Exec.Engine_lockstep -> ()
+     | Gpusim.Exec.Engine_scalar ->
+       Printf.printf "lockstep bench FAILED: %s ran the scalar engine\n" name;
+       exit 1
+     | Gpusim.Exec.Engine_fallback why | Gpusim.Exec.Engine_bailed why ->
+       Printf.printf "lockstep bench FAILED: %s not lockstep (%s)\n" name why;
+       exit 1);
+    let ts = with_engine Gpusim.Exec.Scalar (fun () -> time run) in
+    let tl = with_engine Gpusim.Exec.Lockstep (fun () -> time run) in
+    (name, ts, tl, ts /. tl)
+  in
+  Printf.printf "%-24s %12s %12s %9s\n" "workload" "scalar (s)" "lockstep (s)"
+    "speedup";
+  let rows =
+    List.map
+      (fun w ->
+         let name, ts, tl, s = measure w in
+         Printf.printf "%-24s %12.4f %12.4f %8.2fx\n%!" name ts tl s;
+         (name, ts, tl, s))
+      [ compute_loop ~lws:64; stream_add; local_reduce ]
+  in
+  let gm = geomean (List.map (fun (_, _, _, s) -> s) rows) in
+  Printf.printf "%-24s %12s %12s %8.2fx\n" "geomean" "" "" gm;
+  (* warp-occupancy sweep: same kernel, shrinking local size *)
+  Printf.printf "\n%-24s %12s %12s %9s\n" "warp sweep (lws)" "scalar (s)"
+    "lockstep (s)" "speedup";
+  let sweep =
+    List.map
+      (fun lws ->
+         let _, ts, tl, s = measure (compute_loop ~lws) in
+         Printf.printf "%-24d %12.4f %12.4f %8.2fx\n%!" lws ts tl s;
+         (lws, s))
+      [ 8; 16; 32; 64 ]
+  in
+  (* static eligibility census over every captured suite kernel *)
+  let seen = Hashtbl.create 64 in
+  let eligible = ref 0 and ineligible = ref 0 and unparsed = ref 0 in
+  let reasons : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (app : ocl_app) ->
+       List.iter
+         (fun src ->
+            if not (Hashtbl.mem seen src) then begin
+              Hashtbl.add seen src ();
+              match Minic.Parser.program ~dialect:Minic.Parser.OpenCL src with
+              | exception _ -> incr unparsed
+              | prog ->
+                let est =
+                  Ir.Emit.make ~special_ty:Gpusim.Exec.special_ty
+                    ~cfg:!Ir.Pipeline.selected prog
+                in
+                List.iter
+                  (fun (f : Minic.Ast.func) ->
+                     match
+                       Gpusim.Lockstep.plan_for est ~name:f.Minic.Ast.fn_name
+                         ~warp:32
+                     with
+                     | Ok _ -> incr eligible
+                     | Error why ->
+                       incr ineligible;
+                       (* fold per-kernel detail into a coarse reason *)
+                       let klass =
+                         match String.index_opt why ':' with
+                         | Some i -> String.sub why 0 i
+                         | None -> why
+                       in
+                       Hashtbl.replace reasons klass
+                         (1 + Option.value (Hashtbl.find_opt reasons klass)
+                                ~default:0))
+                  (Minic.Ast.kernels prog)
+            end)
+         (Suite.Capture.kernel_sources app))
+    Suite.Registry.all_opencl;
+  let reason_rows =
+    List.sort (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) reasons [])
+  in
+  Printf.printf
+    "\neligibility: %d of %d suite kernels lockstep-eligible \
+     (%d sources unparsed)\n"
+    !eligible (!eligible + !ineligible) !unparsed;
+  List.iter
+    (fun (why, n) -> Printf.printf "  %4d  %s\n" n why)
+    reason_rows;
+  record "lockstep"
+    (J.Obj
+       [ ("warp", J.Int 32);
+         ("rows",
+          J.List
+            (List.map
+               (fun (name, ts, tl, s) ->
+                  J.Obj
+                    [ ("workload", J.Str name);
+                      ("scalar_s", J.Float ts);
+                      ("lockstep_s", J.Float tl);
+                      ("speedup", J.Float s) ])
+               rows));
+         ("geomean_speedup", J.Float gm);
+         ("warp_sweep",
+          J.List
+            (List.map
+               (fun (lws, s) ->
+                  J.Obj [ ("lws", J.Int lws); ("speedup", J.Float s) ])
+               sweep));
+         ("eligibility",
+          J.Obj
+            [ ("kernels", J.Int (!eligible + !ineligible));
+              ("eligible", J.Int !eligible);
+              ("ineligible", J.Int !ineligible);
+              ("unparsed_sources", J.Int !unparsed);
+              ("reasons",
+               J.Obj
+                 (List.map (fun (why, n) -> (why, J.Int n)) reason_rows)) ])
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1348,6 +1577,7 @@ let experiments =
     ("fuzz", fuzz_bench);
     ("backends", backends);
     ("parallel", parallel_bench);
+    ("lockstep", lockstep_bench);
     ("attribute", attribute_bench);
     ("bechamel", bechamel) ]
 

@@ -483,9 +483,23 @@ let run_cmd =
                    $(b,OCLCU_DOMAINS) environment variable sets the default \
                    (machine core count otherwise)")
   in
-  let run input device trace profile attribute backend domains =
+  let engine_arg =
+    let engine_conv =
+      Arg.enum
+        [ ("scalar", Gpusim.Exec.Scalar); ("lockstep", Gpusim.Exec.Lockstep) ]
+    in
+    Arg.(value & opt engine_conv !Gpusim.Exec.engine
+         & info [ "engine" ]
+             ~doc:"Within-block execution engine: $(b,scalar) (per-item \
+                   coroutines, the default) or $(b,lockstep) (whole warps in \
+                   lockstep over the IR; ineligible kernels fall back to \
+                   scalar with identical results).  The $(b,OCLCU_ENGINE) \
+                   environment variable sets the default")
+  in
+  let run input device trace profile attribute backend domains engine =
     catching_sys_error @@ fun () ->
     Gpusim.Exec.backend := backend;
+    Gpusim.Exec.engine := engine;
     Gpusim.Exec.domains := max 1 domains;
     if attribute then enable_attribution ();
     let profile = profile || attribute in
@@ -545,7 +559,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ input $ device $ trace_arg $ profile $ attribute_arg
-         $ backend $ domains_arg))
+         $ backend $ domains_arg $ engine_arg))
 
 (* --- prof --------------------------------------------------------------- *)
 

@@ -106,9 +106,10 @@ let replay ?(log = fun _ -> ()) dir : bool =
      recorded, so pass-dependent divergences reproduce *)
   let passes = Repro.passes dir in
   log (Printf.sprintf "replay: IR passes: %s" (Ir.Pipeline.signature passes));
+  log (Printf.sprintf "replay: engine: %s" (Repro.engine dir));
   Ir.Pipeline.with_passes passes @@ fun () ->
   match Pyramid.run case with
-  | Pyramid.Agree -> log "replay: all six executions agree"; false
+  | Pyramid.Agree -> log "replay: all pyramid executions agree"; false
   | Pyramid.Skip reason -> log ("replay: skipped (" ^ reason ^ ")"); false
   | Pyramid.Diverge d ->
     log

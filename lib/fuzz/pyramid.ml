@@ -357,6 +357,68 @@ let run_parallel_stage (c : Gen.case) (p : plan)
     go parallel_domains
 
 (* ------------------------------------------------------------------ *)
+(* The lockstep stage                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_engine e f =
+  let saved = !Gpusim.Exec.engine in
+  Gpusim.Exec.engine := e;
+  Fun.protect ~finally:(fun () -> Gpusim.Exec.engine := saved) f
+
+(* The warp-lockstep engine must be observationally indistinguishable
+   from the scalar one: the same plan re-run with [Gpusim.Exec.engine]
+   set to [Lockstep] — sequentially and on 4 domains — has to reproduce
+   the scalar compiled run's buffers byte-for-byte and its Counters.t
+   field-for-field, whether the kernel ran in lockstep, fell back at
+   eligibility or bailed out mid-launch.  Runs under the ambient pass
+   set: lockstep executes the optimized IR, so the scalar reference is
+   taken under the same configuration. *)
+let lockstep_domains = [ 1; 4 ]
+
+let run_lockstep_stage (c : Gen.case) (p : plan) : (unit, divergence) result =
+  let scalar =
+    match
+      with_engine Gpusim.Exec.Scalar (fun () ->
+          with_domains 1 (fun () -> run_plan Gpusim.Exec.Compiled c p))
+    with
+    | r -> Ok r
+    | exception e ->
+      Error { d_stage = "lockstep-ref"; d_kind = K_crash;
+              d_detail = "scalar reference: " ^ exn_detail e }
+  in
+  match scalar with
+  | Error d -> Error d
+  | Ok (ref_bytes, ref_ctr) ->
+    let rec go = function
+      | [] -> Ok ()
+      | n :: rest ->
+        let stage =
+          if n = 1 then "lockstep" else Printf.sprintf "lockstep-%d" n
+        in
+        (match
+           with_engine Gpusim.Exec.Lockstep (fun () ->
+               with_domains n (fun () -> run_plan Gpusim.Exec.Compiled c p))
+         with
+         | exception e ->
+           Error { d_stage = stage; d_kind = K_crash;
+                   d_detail = exn_detail e }
+         | bytes, ctr ->
+           if bytes <> ref_bytes then
+             Error { d_stage = stage; d_kind = K_bytes;
+                     d_detail =
+                       Printf.sprintf
+                         "buffers differ from the scalar engine at %d domains"
+                         n }
+           else if ctr <> ref_ctr then
+             Error { d_stage = stage; d_kind = K_counters;
+                     d_detail =
+                       Printf.sprintf "lockstep vs scalar at %d domains: %s" n
+                         (String.concat ", " (counter_diff ctr ref_ctr)) }
+           else go rest)
+    in
+    go lockstep_domains
+
+(* ------------------------------------------------------------------ *)
 (* The pyramid                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -383,6 +445,9 @@ let run (c : Gen.case) : verdict =
     | Error d -> Diverge d
     | Ok ((ref_bytes, _) as reference) ->
       match run_parallel_stage c plan_a ~reference with
+      | Error d -> Diverge d
+      | Ok () ->
+      match run_lockstep_stage c plan_a with
       | Error d -> Diverge d
       | Ok () ->
       match Xlat.Ocl_to_cuda.translate prog with

@@ -34,6 +34,15 @@ let config_str (c : Gen.case) extra =
           ("init_seed", string_of_int c.Gen.c_init_seed) ]
         @ extra))
 
+(* Which execution engine exposed the divergence: lockstep-stage bugs
+   only reproduce with the warp engine enabled, so the repro records it
+   and [--replay] reports it. *)
+let divergence_engine (d : Pyramid.divergence) =
+  if String.length d.Pyramid.d_stage >= 8
+     && String.sub d.Pyramid.d_stage 0 8 = "lockstep"
+  then "lockstep"
+  else "scalar"
+
 let write ~out_dir ~name ~(case : Gen.case) ~(d : Pyramid.divergence)
     ~(layer : string * string) ~seed ~index : string =
   ensure_dir out_dir;
@@ -49,6 +58,9 @@ let write ~out_dir ~name ~(case : Gen.case) ~(d : Pyramid.divergence)
          (* the enabled IR pass set: a pass-dependent divergence only
             reproduces under the same middle-end configuration *)
          ("passes", Ir.Pipeline.signature !Ir.Pipeline.selected);
+         (* the engine whose stage diverged; the pyramid always re-runs
+            both, so replay reproduces either way *)
+         ("engine", divergence_engine d);
          ("stage", d.Pyramid.d_stage);
          ("kind", Pyramid.kind_name d.Pyramid.d_kind);
          ("detail", d.Pyramid.d_detail);
@@ -82,6 +94,11 @@ let layer dir : string * string =
   let kv = config_kv dir in
   ( Option.value (List.assoc_opt "layer" kv) ~default:"-",
     Option.value (List.assoc_opt "layer_site" kv) ~default:"" )
+
+(* The engine whose stage diverged; repros written before the lockstep
+   engine existed read back as "scalar". *)
+let engine dir : string =
+  Option.value (List.assoc_opt "engine" (config_kv dir)) ~default:"scalar"
 
 (* The IR pass set active when the divergence was found; repros written
    before the middle-end existed read back as the default ("all"). *)

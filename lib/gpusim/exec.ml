@@ -57,6 +57,35 @@ type pool_stats = {
   worker_blocks : int array;
 }
 
+(* Execution engine within a block: per-item coroutines (scalar), or
+   whole warps in lockstep over the IR (Gpusim.Lockstep) with a scalar
+   fallback for ineligible kernels. *)
+type engine = Scalar | Lockstep
+
+let engine_of_string = function
+  | "scalar" | "item" -> Some Scalar
+  | "lockstep" | "warp" -> Some Lockstep
+  | _ -> None
+
+let engine =
+  ref
+    (match Sys.getenv_opt "OCLCU_ENGINE" with
+     | Some s ->
+       (match engine_of_string (String.trim s) with
+        | Some e -> e
+        | None -> Scalar)
+     | None -> Scalar)
+
+(* What the engine selection actually did for one launch; observability
+   for the differential tests (assert the lockstep path really ran) and
+   the bench eligibility report. *)
+type engine_outcome =
+  | Engine_scalar              (* scalar engine selected *)
+  | Engine_lockstep            (* warps ran in lockstep, accepted *)
+  | Engine_fallback of string  (* kernel ineligible: why; scalar ran *)
+  | Engine_bailed of string    (* lockstep aborted mid-launch: why;
+                                  rolled back and rerun scalar *)
+
 (* Result of one launch: raw event counters plus launch geometry. *)
 type launch_stats = {
   counters : Counters.t;
@@ -65,6 +94,7 @@ type launch_stats = {
   n_blocks : int;
   occupancy : Occupancy.result;
   pool : pool_stats;
+  engine : engine_outcome;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -371,6 +401,33 @@ let ir_for prog =
          ir_cache := ((prog, sg), est) :: rest;
          est)
 
+(* Lockstep warp plans, keyed by the IR module (physical identity — one
+   [Ir.Emit.t] per (program, pass set) via [ir_cache]), kernel name and
+   warp width.  Errors are cached too: ineligibility is decided once,
+   not re-analysed per launch.  Bounded and mutex-protected like the
+   other caches. *)
+let plan_cache :
+  ((Ir.Emit.t * string * int) * (Lockstep.plan, string) result) list ref =
+  ref []
+let plan_cache_lock = Mutex.create ()
+
+let lockstep_plan_for est ~name ~warp =
+  Mutex.lock plan_cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock plan_cache_lock)
+    (fun () ->
+       match
+         List.find_opt
+           (fun ((e, n, w), _) -> e == est && n = name && w = warp)
+           !plan_cache
+       with
+       | Some (_, r) -> r
+       | None ->
+         let r = Lockstep.plan_for est ~name ~warp in
+         let rest = List.filteri (fun i _ -> i < 63) !plan_cache in
+         plan_cache := ((est, name, warp), r) :: rest;
+         r)
+
 (* Everything mutable one worker owns; see [make_worker] below. *)
 type worker = {
   w_counters : Counters.t;
@@ -448,6 +505,43 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
       else Some (Vm.Compile.prepare (compiled_for prog) kernel)
   in
 
+  (* Warp-lockstep engine: resolve the kernel's warp plan if requested.
+     Needs the IR backend, and no launch override of a built-in the
+     plan folds in — the index functions and barriers bypass the
+     external table on the fast path, and the NDRange shape queries
+     seed the uniformity analysis. *)
+  let lockstep_plan =
+    match !engine with
+    | Scalar -> None
+    | Lockstep ->
+      if not use_ir then
+        Some
+          (Error "lockstep needs the IR backend (compiled, passes on, \
+                  no observer)")
+      else if
+        List.exists
+          (fun (n, _) ->
+             List.mem n
+               [ "get_global_id"; "get_local_id"; "get_group_id";
+                 "get_work_dim"; "get_global_size"; "get_local_size";
+                 "get_num_groups"; "barrier"; "__syncthreads" ])
+          extra_externals
+      then
+        Some (Error "launch overrides a built-in the lockstep engine folds in")
+      else Some (lockstep_plan_for (ir_for prog) ~name:kernel.fn_name ~warp)
+  in
+  let plan = match lockstep_plan with Some (Ok p) -> Some p | _ -> None in
+  let engine_note =
+    ref
+      (match lockstep_plan with
+       | None -> Engine_scalar
+       | Some (Error e) -> Engine_fallback e
+       | Some (Ok _) -> Engine_lockstep)
+  in
+  (* whether any kernel call reads an atomic's return value; decides
+     which cross-lane (and cross-block) atomic overlaps are benign *)
+  let atomics_clean = lazy (not (Conflict.atomic_result_used prog kernel)) in
+
   (* file-scope [extern __shared__ char pool[]] declarations (the
      OpenCL-to-CUDA translator emits one, Fig. 5) alias the per-group
      dynamic shared block, like in-kernel extern __shared__ variables *)
@@ -468,8 +562,15 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
      sequential engine is a single worker run over all blocks in order;
      the parallel engine is N workers pulling blocks from a shared
      counter, plus access logging and a locked RMW. *)
-  let make_worker ~par () =
+  let make_worker ~par ?plan () =
     let counters = Counters.create () in
+    (* warp-lockstep hazard state: one log per worker, checked and
+       cleared at each warp boundary and barrier *)
+    let k_flags = Lockstep.make_flags () in
+    let k_log = Lockstep.make_hlog () in
+    let aclean =
+      match plan with Some _ -> Lazy.force atomics_clean | None -> false
+    in
     let attr = if !attribute then Some (Attr.create ()) else None in
     (* mutable per-item view: (global_id, local_id, group_id, _) *)
     let cur = ref ([| 0; 0; 0 |], [| 0; 0; 0 |], [| 0; 0; 0 |], [| 0 |]) in
@@ -534,6 +635,17 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
                | None -> ())
             | AS_local | AS_private -> ()
     in
+    (* under lockstep, every plain access also lands in the warp hazard
+       log; RMWs record themselves below with their commutativity class *)
+    let on_access =
+      match plan with
+      | None -> on_access
+      | Some _ ->
+        fun kind space addr size ->
+          on_access kind space addr size;
+          if not !in_atomic then
+            Lockstep.record k_log k_flags ~lane:!cur_item kind space addr size
+    in
     let on_op =
       match attr with
       | None -> fun cls -> Counters.record_op counters cls
@@ -595,6 +707,25 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
           | AS_local | AS_private ->
             (* block-private: the owning worker is the only toucher *)
             atomic_apply ctx space addr elt f
+    in
+    let rmw =
+      match plan with
+      | None -> rmw
+      | Some _ ->
+        fun klass ctx p f ->
+          let space, addr, elt = atomic_resolve ctx p in
+          let klass_log =
+            match Vm.Layout.resolve ctx.Vm.Interp.layout elt with
+            | TScalar s when not (is_float_scalar s) -> klass
+            | _ -> Conflict.Kother
+          in
+          let size = Vm.Layout.sizeof ctx.Vm.Interp.layout elt in
+          Lockstep.record_atomic k_log ~lane:!cur_item space addr size
+            klass_log;
+          in_atomic := true;
+          Fun.protect
+            ~finally:(fun () -> in_atomic := false)
+            (fun () -> rmw klass ctx p f)
     in
 
     let special_ident name =
@@ -674,35 +805,10 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
         cur_tid := tid_tvs.(lid_lin);
         cur_bid := bid_tv
       in
-      let make_item lid_lin () =
-        set_cur lid_lin;
-        Vm.Memory.reset private_pool.(lid_lin);
-        let ctx =
-          { base_ctx with
-            Vm.Interp.scopes = [];
-            group_locals = Some group_locals }
-        in
-        (* the compiled backends bind locals in frame slots, so the
-           item scope only exists to hold the $dynshared aliases *)
-        if compiled_kernel = None || dynshared_addr <> None then begin
-          Vm.Interp.push_scope ctx;
-          match dynshared_addr with
-          | Some addr ->
-            let b =
-              { Vm.Interp.b_space = AS_local; b_addr = addr;
-                b_ty = TArr (TScalar Char, None) }
-            in
-            Vm.Interp.bind_raw ctx "$dynshared" b;
-            List.iter (fun n -> Vm.Interp.bind_raw ctx n b) extern_shared_names
-          | None -> ()
-        end;
-        (match compiled_kernel with
-         | Some f -> ignore (f ctx args_arr)
-         | None -> ignore (Vm.Interp.call_function ctx kernel resolved_args))
-      in
-      (* cooperative scheduling: run items, parking at barriers; each
-         parked entry carries the item's innermost site so the round can
-         be attributed and the site restored on resume *)
+      (* cooperative scheduling: run items (or whole warps, under
+         lockstep), parking at barriers; each parked entry carries the
+         innermost site so the round can be attributed and the site
+         restored on resume *)
       let waiting : (int * int * (unit, unit) Effect.Deep.continuation) Queue.t =
         Queue.create ()
       in
@@ -720,28 +826,125 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
                         Queue.add (lid, !cur_site, k) waiting)
                  | _ -> None) }
       in
-      for lid = 0 to group_threads - 1 do
-        run_root lid (make_item lid)
-      done;
       (* barrier rounds; each round is charged to the site the first
          parked item was executing *)
-      while not (Queue.is_empty waiting) do
-        counters.Counters.barriers <- counters.Counters.barriers + 1;
-        (match attr with
-         | Some a ->
-           let _, site, _ = Queue.peek waiting in
-           let s = Attr.get a site in
-           s.Attr.barriers <- s.Attr.barriers + 1
-         | None -> ());
-        let n = Queue.length waiting in
-        for _ = 1 to n do
-          let lid, site, k = Queue.pop waiting in
-          (* restore this item's index view and site *)
-          set_cur lid;
-          cur_site := site;
-          Effect.Deep.continue k ()
+      let rounds () =
+        while not (Queue.is_empty waiting) do
+          counters.Counters.barriers <- counters.Counters.barriers + 1;
+          (match attr with
+           | Some a ->
+             let _, site, _ = Queue.peek waiting in
+             let s = Attr.get a site in
+             s.Attr.barriers <- s.Attr.barriers + 1
+           | None -> ());
+          let n = Queue.length waiting in
+          for _ = 1 to n do
+            let lid, site, k = Queue.pop waiting in
+            (* restore this item's index view and site *)
+            set_cur lid;
+            cur_site := site;
+            Effect.Deep.continue k ()
+          done
         done
-      done;
+      in
+      (match plan with
+       | None ->
+         let make_item lid_lin () =
+           set_cur lid_lin;
+           Vm.Memory.reset private_pool.(lid_lin);
+           let ctx =
+             { base_ctx with
+               Vm.Interp.scopes = [];
+               group_locals = Some group_locals }
+           in
+           (* the compiled backends bind locals in frame slots, so the
+              item scope only exists to hold the $dynshared aliases *)
+           if compiled_kernel = None || dynshared_addr <> None then begin
+             Vm.Interp.push_scope ctx;
+             match dynshared_addr with
+             | Some addr ->
+               let b =
+                 { Vm.Interp.b_space = AS_local; b_addr = addr;
+                   b_ty = TArr (TScalar Char, None) }
+               in
+               Vm.Interp.bind_raw ctx "$dynshared" b;
+               List.iter
+                 (fun n -> Vm.Interp.bind_raw ctx n b)
+                 extern_shared_names
+             | None -> ()
+           end;
+           (match compiled_kernel with
+            | Some f -> ignore (f ctx args_arr)
+            | None -> ignore (Vm.Interp.call_function ctx kernel resolved_args))
+         in
+         for lid = 0 to group_threads - 1 do
+           run_root lid (make_item lid)
+         done;
+         rounds ()
+       | Some p ->
+         (* lockstep: one interpreter context per block, one fibre per
+            warp; the same rounds machinery resumes parked warps *)
+         (try
+            for lid = 0 to group_threads - 1 do
+              Vm.Memory.reset private_pool.(lid)
+            done;
+            let ctx =
+              { base_ctx with
+                Vm.Interp.scopes = [];
+                group_locals = Some group_locals }
+            in
+            (match dynshared_addr with
+             | Some addr ->
+               Vm.Interp.push_scope ctx;
+               let bnd =
+                 { Vm.Interp.b_space = AS_local; b_addr = addr;
+                   b_ty = TArr (TScalar Char, None) }
+               in
+               Vm.Interp.bind_raw ctx "$dynshared" bnd;
+               List.iter
+                 (fun n -> Vm.Interp.bind_raw ctx n bnd)
+                 extern_shared_names
+             | None -> ());
+            let k_access lane kind space addr size =
+              cur_item := lane;
+              on_access kind space addr size
+            in
+            let k_idx which lane d =
+              let lid = lid_arrs.(lane) in
+              match which with
+              | `Gid ->
+                idx_of
+                  [| (bx * lx) + lid.(0); (by * ly) + lid.(1);
+                     (bz * lz) + lid.(2) |]
+                  d
+              | `Lid -> idx_of lid d
+              | `Grp -> idx_of grp_arr d
+            in
+            let hooks =
+              { Lockstep.k_ctx = ctx; k_set_lane = set_cur; k_access;
+                k_idx; k_flags; k_log; k_atomics_clean = aclean }
+            in
+            let n_warps = (group_threads + warp - 1) / warp in
+            for wd = 0 to n_warps - 1 do
+              let lane0 = wd * warp in
+              let nlanes = min warp (group_threads - lane0) in
+              run_root lane0 (fun () ->
+                  Lockstep.run_warp p hooks ~lane0 ~nlanes ~args:args_arr)
+            done;
+            rounds ()
+          with e ->
+            (* unwind any parked warps so their arena marks and call
+               depth release before the scalar rerun *)
+            let bail =
+              match e with
+              | Lockstep.Bail _ -> e
+              | _ -> Lockstep.Bail (Printexc.to_string e)
+            in
+            while not (Queue.is_empty waiting) do
+              let _, _, k = Queue.pop waiting in
+              (try Effect.Deep.discontinue k bail with _ -> ())
+            done;
+            raise e));
       (* cost the group's memory traffic *)
       Counters.finish_group counters ?attr ?branches:bstreams ~warp_size:warp
         ~smem_word:dev.Device.fw.smem_word ~banks:dev.Device.hw.smem_banks
@@ -780,21 +983,39 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     end
   in
 
-  let run_sequential () =
-    let w = make_worker ~par:false () in
-    for b = 0 to n_blocks - 1 do
-      w.w_run_block b
-    done;
+  let run_sequential ~plan () =
+    let attempt pl =
+      let w = make_worker ~par:false ?plan:pl () in
+      for b = 0 to n_blocks - 1 do
+        w.w_run_block b
+      done;
+      w
+    in
+    let w =
+      match plan with
+      | None -> attempt None
+      | Some _ ->
+        (* the lockstep attempt may bail mid-launch; snapshot the shared
+           arenas so the scalar rerun starts from the pre-launch state *)
+        let shared = [ dev.Device.global; dev.Device.constant; host_arena ] in
+        let snaps = List.map (fun a -> (a, Vm.Memory.snapshot a)) shared in
+        (match attempt plan with
+         | w -> w
+         | exception Lockstep.Bail reason ->
+           List.iter (fun (a, s) -> Vm.Memory.restore a s) snaps;
+           engine_note := Engine_bailed reason;
+           attempt None)
+    in
     flush_block_spans !(w.w_spans);
     (w.w_counters, w.w_attr, w.w_layout, [| !(w.w_blocks) |])
   in
 
   let run_parallel n_workers =
-    let atomics_clean = not (Conflict.atomic_result_used prog kernel) in
+    let atomics_clean = Lazy.force atomics_clean in
     let shared = [ dev.Device.global; dev.Device.constant; host_arena ] in
     let snaps = List.map (fun a -> (a, Vm.Memory.snapshot a)) shared in
     List.iter Vm.Memory.freeze shared;
-    let workers = Array.init n_workers (fun _ -> make_worker ~par:true ()) in
+    let workers = Array.init n_workers (fun _ -> make_worker ~par:true ?plan ()) in
     let next = Atomic.make 0 in
     let hazards = Array.make n_workers None in
     let body i =
@@ -804,6 +1025,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
           let b = Atomic.fetch_and_add next 1 in
           if b < n_blocks then begin
             (try run_block b with
+             | Lockstep.Bail reason -> hazards.(i) <- Some reason
              | e -> hazards.(i) <- Some (Printexc.to_string e));
             loop ()
           end
@@ -831,9 +1053,13 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     match verdict with
     | Some reason ->
       (* roll back and replay: the sequential engine is the semantics;
-         telemetry keeps the aborted attempt's block distribution *)
+         telemetry keeps the aborted attempt's block distribution.  The
+         replay forces the scalar engine — a parallel rollback under
+         lockstep may be a lockstep hazard, and replaying it the same
+         way would just bail again. *)
       List.iter (fun (a, s) -> Vm.Memory.restore a s) snaps;
-      let counters, attr, layout, _ = run_sequential () in
+      if Option.is_some plan then engine_note := Engine_bailed reason;
+      let counters, attr, layout, _ = run_sequential ~plan:None () in
       (counters, attr, layout,
        Array.map (fun w -> !(w.w_blocks)) workers, Replayed reason)
     | None ->
@@ -861,7 +1087,7 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
   let n_workers = min !domains n_blocks in
   let counters, attr, layout, worker_blocks, outcome =
     if n_workers <= 1 then begin
-      let counters, attr, layout, wb = run_sequential () in
+      let counters, attr, layout, wb = run_sequential ~plan () in
       (counters, attr, layout, wb, Seq)
     end
     else run_parallel n_workers
@@ -876,4 +1102,5 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
     block_threads = group_threads;
     n_blocks;
     occupancy;
-    pool = { outcome; worker_blocks } }
+    pool = { outcome; worker_blocks };
+    engine = !engine_note }

@@ -71,6 +71,29 @@ val special_ty : string -> Minic.Ast.ty option
     selects the interpreter); [oclcu run --backend] also sets it. *)
 val backend : backend ref
 
+(** Execution engine within a block: [Scalar] multiplexes per-item
+    coroutines; [Lockstep] executes whole warps in lockstep over the IR
+    ({!Gpusim.Lockstep}), falling back per kernel when the lane-uniformity
+    analysis rejects it and bailing out to a scalar rerun on a cross-lane
+    hazard.  Either way every observable output (buffers, {!Counters.t},
+    per-site attribution) is byte-identical to [Scalar]. *)
+type engine = Scalar | Lockstep
+
+(** Parse an engine name ("scalar" / "lockstep"); [None] if unknown. *)
+val engine_of_string : string -> engine option
+
+(** The requested engine.  Initialised from [OCLCU_ENGINE] ("lockstep"
+    selects the warp engine); [oclcu run --engine] also sets it. *)
+val engine : engine ref
+
+(** What the engine selection actually did for one launch. *)
+type engine_outcome =
+  | Engine_scalar              (** scalar engine selected *)
+  | Engine_lockstep            (** warps ran in lockstep, accepted *)
+  | Engine_fallback of string  (** kernel ineligible: why; scalar ran *)
+  | Engine_bailed of string    (** lockstep aborted mid-launch: why;
+                                   rolled back and rerun scalar *)
+
 val dim3_of : int array -> int -> int
 
 (** How the domain pool divided the launch's blocks.
@@ -90,6 +113,7 @@ type launch_stats = {
   n_blocks : int;
   occupancy : Occupancy.result;
   pool : pool_stats;
+  engine : engine_outcome;
 }
 
 (** Launch [kernel] from the loaded [prog] on [dev].

@@ -1,0 +1,1324 @@
+(* Warp-lockstep vectorized execution over the kernel IR.
+
+   One closure per IR instruction region executes a whole warp: an
+   active-lane bitmask replaces the per-item coroutine, `If`/`Loop`
+   nodes split and re-converge the mask (divergence-mask stack in the
+   OCaml call stack), `Break`/`Continue`/`Return` park lanes in
+   loop-frame accumulators, and a barrier parks the warp as ONE fiber —
+   the launcher's round scheduler then sees warps where it used to see
+   items, with identical round structure.
+
+   Observational identity with the scalar engines is the contract:
+   byte-identical buffers, identical `Counters.t` aggregates and
+   per-site `Attr` sums.  It holds by construction for everything
+   per-lane: instruction-major execution preserves each lane's program
+   order, so each lane's access/branch stream content is exactly the
+   scalar per-item stream and `Counters.finish_group` sees identical
+   rows.  The one real reordering — lane i's instruction k now runs
+   before lane j's instruction k-1 within the same warp — is guarded by
+   a per-region hazard log: any cross-lane overlapping access with a
+   write (outside the proven-benign shapes below) raises [Bail], the
+   launcher restores its pre-launch arena snapshots and reruns the
+   whole launch on the scalar engine.  Bailing is always sound because
+   nothing else observed the partial run.
+
+   Benign overlap shapes (hazard exemptions):
+   - all participants are reads;
+   - all are atomics of one commuting class whose results are unused
+     (the same argument the block-parallel executor makes);
+   - all are flagged lane-uniform (same address, and for stores the
+     same value, proven by `Ir.Uniform`) and either belong to one
+     instruction or all executed under a full live mask — the two cases
+     where every scalar interleaving writes/reads one value.
+
+   Execution reuses `Ir.Emit`'s per-instruction closures for the
+   general case (one `renv` per lane sharing the block context), so a
+   lane's semantics are the scalar backend's by definition.  On top of
+   that, registers whose every definition and use fits a small fast
+   class (int/float scalar arithmetic, NDRange index queries, typed
+   element loads/stores) live unboxed in contiguous Bigarray lane files
+   (`Vm.Lanes`) and execute SIMD-style without touching the boxed
+   world. *)
+
+open Minic.Ast
+module I = Vm.Interp
+module V = Vm.Value
+module Memory = Vm.Memory
+module Layout = Vm.Layout
+module Lanes = Vm.Lanes
+module Emit = Ir.Emit
+module Core = Ir.Core
+module Uniform = Ir.Uniform
+
+exception Bail of string
+
+let bail fmt = Printf.ksprintf (fun s -> raise (Bail s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Hazard log                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Descriptor of the instruction currently executing, written by the
+   plan's closures and read by the launcher's lane-access hook when it
+   appends hazard entries. *)
+type flags = {
+  mutable f_iid : int;
+  mutable f_uni : bool;
+  (* all active lanes provably touch one address (and store one value) *)
+  mutable f_full : bool; (* the active mask covered every live lane *)
+}
+
+let make_flags () = { f_iid = -1; f_uni = false; f_full = false }
+
+type hentry = {
+  h_lane : int;
+  h_key : int; (* space-tagged start address *)
+  h_size : int;
+  h_kind : int; (* 0 load / 1 store / 2 atomic *)
+  h_iid : int;
+  h_uni : bool;
+  h_full : bool;
+  h_klass : Conflict.klass;
+}
+
+type hlog = { mutable h_entries : hentry array; mutable h_len : int }
+
+let make_hlog () = { h_entries = [||]; h_len = 0 }
+
+let space_code = function
+  | AS_global -> 0
+  | AS_constant -> 1
+  | AS_local -> 2
+  | AS_none -> 3
+  | AS_private -> -1
+
+let hpush (hl : hlog) (e : hentry) =
+  if hl.h_len = Array.length hl.h_entries then begin
+    let cap = max 64 (2 * Array.length hl.h_entries) in
+    let bigger = Array.make cap e in
+    Array.blit hl.h_entries 0 bigger 0 hl.h_len;
+    hl.h_entries <- bigger
+  end;
+  hl.h_entries.(hl.h_len) <- e;
+  hl.h_len <- hl.h_len + 1
+
+(* Append a plain access; private memory is per-lane by construction
+   and never logged. *)
+let record (hl : hlog) (fl : flags) ~lane (kind : Memory.access_kind)
+    (space : addr_space) addr size =
+  let code = space_code space in
+  if code >= 0 then
+    hpush hl
+      { h_lane = lane;
+        h_key = (code lsl 46) + addr;
+        h_size = size;
+        h_kind = (match kind with Memory.Load -> 0 | Memory.Store -> 1);
+        h_iid = fl.f_iid;
+        h_uni = fl.f_uni;
+        h_full = fl.f_full;
+        h_klass = Conflict.Kother }
+
+let record_atomic (hl : hlog) ~lane (space : addr_space) addr size
+    (klass : Conflict.klass) =
+  let code = space_code space in
+  if code >= 0 then
+    hpush hl
+      { h_lane = lane;
+        h_key = (code lsl 46) + addr;
+        h_size = size;
+        h_kind = 2;
+        h_iid = -1;
+        h_uni = false;
+        h_full = false;
+        h_klass = klass }
+
+(* Close an instruction region (barrier or warp end): sort the log,
+   cluster overlapping ranges, and demand every multi-lane cluster with
+   a write matches a benign shape. *)
+let check_log (hl : hlog) ~atomics_clean =
+  if hl.h_len > 0 then begin
+    let a = Array.sub hl.h_entries 0 hl.h_len in
+    hl.h_len <- 0;
+    Array.sort (fun x y -> compare x.h_key y.h_key) a;
+    let n = Array.length a in
+    let i = ref 0 in
+    while !i < n do
+      let start = !i in
+      let stop = ref (a.(start).h_key + a.(start).h_size) in
+      let j = ref (start + 1) in
+      while !j < n && a.(!j).h_key < !stop do
+        stop := max !stop (a.(!j).h_key + a.(!j).h_size);
+        incr j
+      done;
+      (* cluster [start, !j) *)
+      if !j - start > 1 then begin
+        let lane0 = a.(start).h_lane in
+        let multi = ref false
+        and any_write = ref false
+        and all_atomic = ref true
+        and same_klass = ref true
+        and all_uni = ref true
+        and all_full = ref true
+        and same_iid = ref true in
+        let iid0 = a.(start).h_iid and k0 = a.(start).h_klass in
+        for k = start to !j - 1 do
+          let e = a.(k) in
+          if e.h_lane <> lane0 then multi := true;
+          if e.h_kind > 0 then any_write := true;
+          if e.h_kind <> 2 then all_atomic := false;
+          if e.h_klass <> k0 then same_klass := false;
+          if not e.h_uni then all_uni := false;
+          if not e.h_full then all_full := false;
+          if e.h_iid <> iid0 then same_iid := false
+        done;
+        if !multi && !any_write then
+          if !all_atomic && !same_klass && k0 <> Conflict.Kother
+             && atomics_clean
+          then ()
+          else if !all_uni && (!same_iid || !all_full) then ()
+          else bail "cross-lane memory dependence within a warp"
+      end;
+      i := !j
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Launcher hooks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the engine needs from the launcher.  [k_access] is the
+   launcher's per-access hook with the lane made explicit (same
+   streams, conflict log and hazard log as the scalar path's
+   [on_access]); [k_set_lane] repoints the shared context at one lane
+   before generic (boxed) closures, per-lane branch observations or
+   per-lane casts run; [k_idx] answers NDRange index queries for the
+   fast path exactly like the registered externals do for the lane that
+   is current. *)
+type hooks = {
+  k_ctx : I.ctx;
+  k_set_lane : int -> unit;
+  k_access : int -> Memory.access_kind -> addr_space -> int -> int -> unit;
+  k_idx : [ `Gid | `Lid | `Grp ] -> int -> int -> int;
+  k_flags : flags;
+  k_log : hlog;
+  k_atomics_clean : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Warp state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type wenv = {
+  h : hooks;
+  lane0 : int; (* absolute linear local id of lane 0 *)
+  n : int; (* lanes in this warp *)
+  amb : int; (* ambient attribution site *)
+  mutable mask : int; (* active lanes *)
+  mutable ret : int; (* returned lanes (permanent) *)
+  mutable brk : int; (* lanes parked by the innermost open loop *)
+  mutable cont : int;
+  ki : Lanes.i64;
+  kf : Lanes.f64;
+  renvs : Emit.renv array; (* per-lane boxed register files *)
+  retv : I.tval array;
+}
+
+let all_live w = ((1 lsl w.n) - 1) land lnot w.ret
+
+let lowest_lane m =
+  let l = ref 0 and m = ref m in
+  while !m land 1 = 0 do
+    incr l;
+    m := !m asr 1
+  done;
+  !l
+
+let[@inline] iter_lanes mask f =
+  let m = ref mask in
+  while !m <> 0 do
+    let l = lowest_lane !m in
+    f l;
+    m := !m land (!m - 1)
+  done
+
+(* One scalar-path charge per active lane; [on_op] is lane-independent
+   (it reads only the current site), so no lane repointing needed. *)
+let[@inline] charge (w : wenv) (cls : I.op_class) =
+  let f = w.h.k_ctx.I.on_op in
+  iter_lanes w.mask (fun _ -> f cls)
+
+let set_flags (w : wenv) iid uni =
+  let fl = w.h.k_flags in
+  fl.f_iid <- iid;
+  fl.f_uni <- uni;
+  fl.f_full <- w.mask = all_live w
+
+(* ------------------------------------------------------------------ *)
+(* Value classes and lane residency                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Static class of a register's payload: CI t = always (VInt _, t)
+   with t resolving to a non-float scalar or pointer; CF t = always
+   (VFloat _, t) with t resolving to Float/Double.  The class carries
+   the *declared* type because the scalar fast paths key on the exact
+   tval type. *)
+type vcls = CI of ty | CF of ty | CTop
+
+type slot = SRow | SInt of int | SFloat of int
+
+let is_cmp = function Lt | Gt | Le | Ge | Eq | Ne -> true | _ -> false
+
+let fast_op = function
+  | Add | Sub | Mul | Lt | Gt | Le | Ge | Eq | Ne | Band | Bor | Bxor | Shl
+  | Shr -> true
+  | _ -> false
+
+(* Compile-time environment for one plan. *)
+type cenv = {
+  c_bst : Emit.bst;
+  c_lt : Layout.env;
+  c_uni : Uniform.t;
+  c_cls : vcls array;
+  c_store : slot array;
+  c_w : int; (* lane-file stride = warp size *)
+  c_iid : int ref;
+  c_sited : bool;
+}
+
+let cls_of_decl lt ty =
+  match Layout.resolve lt ty with
+  | TScalar ((Float | Double)) -> CF ty
+  | TScalar s when s <> Void -> CI ty
+  | TPtr _ -> CI ty
+  | _ -> CTop
+
+let cls_operand (cls : vcls array) = function
+  | Core.Reg r -> cls.(r)
+  | Core.Cst t ->
+    (match t.I.v with
+     | V.VInt _ -> CI t.I.ty
+     | V.VFloat _ -> CF t.I.ty
+     | _ -> CTop)
+
+(* The three operand-class cases the scalar fast_binop specializes;
+   float bitwise/shift shapes stay generic (I.binop decides). *)
+type bincase = BII | BUU | BFF
+
+let bin_case (cls : vcls array) op a b : (bincase * vcls) option =
+  if not (fast_op op) then None
+  else
+    match cls_operand cls a, cls_operand cls b with
+    | CI (TScalar Int), CI (TScalar Int) -> Some (BII, CI (TScalar Int))
+    | CI (TScalar UInt), CI (TScalar UInt) ->
+      Some (BUU, if is_cmp op then CI (TScalar Int) else CI (TScalar UInt))
+    | CF (TScalar Float), CF (TScalar Float)
+      when (match op with
+            | Add | Sub | Mul | Lt | Gt | Le | Ge | Eq | Ne -> true
+            | _ -> false) ->
+      Some (BFF, if is_cmp op then CI (TScalar Int) else CF (TScalar Float))
+    | _ -> None
+
+let un_case lt (cls : vcls array) u a : vcls option =
+  match u, cls_operand cls a with
+  | Core.UNeg, CI t ->
+    (match Layout.resolve lt t with
+     | TScalar (Float | Double) -> None (* class invariant guard *)
+     | _ -> Some (CI t))
+  | Core.UNeg, CF t -> Some (CF t)
+  | Core.ULnot, CI _ -> Some (CI (TScalar Int))
+  | Core.UBnot, CI t -> Some (CI t)
+  | Core.UBool, CI _ -> Some (CI (TScalar Int))
+  | _ -> None
+
+let idx_external = function
+  | "get_global_id" | "get_local_id" | "get_group_id" -> true
+  | _ -> false
+
+let intish cls o = match cls_operand cls o with CI _ -> true | _ -> false
+let floatish cls o = match cls_operand cls o with CF _ -> true | _ -> false
+
+let scalar_elt lt ty =
+  match Layout.resolve lt ty with
+  | TScalar ((Float | Double) as s) -> Some (`F s)
+  | TScalar s when s <> Void -> Some (`I s)
+  | _ -> None
+
+(* Is this instruction one the fast emitters handle?  Must stay in
+   lockstep (sic) with [emit_fast] below; classification, residency and
+   emission all key on this one predicate. *)
+let fast_shape lt (cls : vcls array) (k : Core.ikind) : bool =
+  match k with
+  | Core.Let (_, Core.Bin (op, a, b)) -> bin_case cls op a b <> None
+  | Core.Let (_, Core.Un (u, a)) -> un_case lt cls u a <> None
+  | Core.Let (_, Core.Mov o) ->
+    (match cls_operand cls o with CI _ | CF _ -> true | CTop -> false)
+  | Core.Let (_, Core.CallE (n, ops)) ->
+    idx_external n
+    && (match ops with [] -> true | o :: _ -> intish cls o)
+  | Core.Let (_, Core.ReadLv (Core.LvIdx (a, i, elt, _))) ->
+    scalar_elt lt elt <> None && intish cls a && intish cls i
+  | Core.SetReg (_, ty, o) ->
+    (match Layout.resolve lt ty with
+     | TScalar (Float | Double) -> floatish cls o
+     | TScalar s when s <> Void -> intish cls o
+     | TPtr _ -> intish cls o
+     | _ -> false)
+  | Core.Store (Core.LvIdx (a, i, elt, _), o) ->
+    intish cls a && intish cls i
+    && (match scalar_elt lt elt with
+        | Some (`F _) -> floatish cls o
+        | Some (`I _) -> intish cls o
+        | None -> false)
+  | _ -> false
+
+(* Result class of a Let, consistent with both emitters: fast shapes
+   get their specialized class; a few generic shapes still produce
+   statically-classed values (typed scalar loads, address-of). *)
+let let_class (c : cenv) (rhs : Core.rhs) : vcls =
+  let lt = c.c_lt in
+  let cls = c.c_cls in
+  match rhs with
+  | Core.Bin (op, a, b) ->
+    (match bin_case cls op a b with Some (_, r) -> r | None -> CTop)
+  | Core.Un (u, a) ->
+    (match un_case lt cls u a with Some r -> r | None -> CTop)
+  | Core.Mov o -> cls_operand cls o
+  | Core.CallE (n, _) when idx_external n -> CI (TScalar Int)
+  | Core.ReadLv (Core.LvIdx (_, _, elt, _)) ->
+    (match scalar_elt lt elt with
+     | Some (`F _) -> CF elt
+     | Some (`I _) -> CI elt
+     | None -> CTop)
+  | Core.ReadLv (Core.LvVar v) ->
+    let ty = c.c_bst.Emit.fmem.(v).Core.m_ty in
+    (match scalar_elt lt ty with
+     | Some (`F _) -> CF ty
+     | Some (`I _) -> CI ty
+     | None -> CTop)
+  | Core.AddrofLv (Core.LvVar v) ->
+    CI (TPtr c.c_bst.Emit.fmem.(v).Core.m_ty)
+  | Core.AddrofLv (Core.LvIdx (_, _, elt, _)) -> CI (TPtr elt)
+  | _ -> CTop
+
+(* ------------------------------------------------------------------ *)
+(* Readers and writers over mixed storage                              *)
+(* ------------------------------------------------------------------ *)
+
+let rd_any (c : cenv) (o : Core.operand) : wenv -> int -> I.tval =
+  match o with
+  | Core.Cst t -> fun _ _ -> t
+  | Core.Reg r ->
+    (match c.c_store.(r) with
+     | SRow -> fun w l -> w.renvs.(l).Emit.regs.(r)
+     | SInt k ->
+       let ty = match c.c_cls.(r) with CI t -> t | _ -> assert false in
+       let base = k * c.c_w in
+       fun w l -> I.tv (V.VInt (Lanes.get_i w.ki (base + l))) ty
+     | SFloat k ->
+       let ty = match c.c_cls.(r) with CF t -> t | _ -> assert false in
+       let base = k * c.c_w in
+       fun w l -> I.tv (V.VFloat (Lanes.get_f w.kf (base + l))) ty)
+
+let rd_i (c : cenv) (o : Core.operand) : (wenv -> int -> int64) option =
+  match o with
+  | Core.Cst { I.v = V.VInt n; _ } -> Some (fun _ _ -> n)
+  | Core.Cst _ -> None
+  | Core.Reg r ->
+    (match c.c_cls.(r) with
+     | CI _ ->
+       (match c.c_store.(r) with
+        | SInt k ->
+          let base = k * c.c_w in
+          Some (fun w l -> Lanes.get_i w.ki (base + l))
+        | _ -> Some (fun w l -> V.to_int w.renvs.(l).Emit.regs.(r).I.v))
+     | _ -> None)
+
+let rd_f (c : cenv) (o : Core.operand) : (wenv -> int -> float) option =
+  match o with
+  | Core.Cst { I.v = V.VFloat f; _ } -> Some (fun _ _ -> f)
+  | Core.Cst _ -> None
+  | Core.Reg r ->
+    (match c.c_cls.(r) with
+     | CF _ ->
+       (match c.c_store.(r) with
+        | SFloat k ->
+          let base = k * c.c_w in
+          Some (fun w l -> Lanes.get_f w.kf (base + l))
+        | _ -> Some (fun w l -> V.to_float w.renvs.(l).Emit.regs.(r).I.v))
+     | _ -> None)
+
+(* Branch-condition reader: V.to_bool v = V.to_int v <> 0L, so the
+   float shortcut must truncate like to_int does. *)
+let rd_bool (c : cenv) (o : Core.operand) : wenv -> int -> bool =
+  match rd_i c o with
+  | Some f -> fun w l -> f w l <> 0L
+  | None ->
+    (match rd_f c o with
+     | Some f -> fun w l -> Int64.of_float (f w l) <> 0L
+     | None ->
+       let r = rd_any c o in
+       fun w l -> V.to_bool (r w l).I.v)
+
+(* Writers for fast definitions; [ty] is the class type of the target,
+   which every definition of the register produces. *)
+let wr_i (c : cenv) r : wenv -> int -> int64 -> unit =
+  match c.c_store.(r) with
+  | SInt k ->
+    let base = k * c.c_w in
+    fun w l v -> Lanes.set_i w.ki (base + l) v
+  | SRow ->
+    let ty = match c.c_cls.(r) with CI t -> t | _ -> assert false in
+    fun w l v -> w.renvs.(l).Emit.regs.(r) <- I.tv (V.VInt v) ty
+  | SFloat _ -> assert false
+
+let wr_f (c : cenv) r : wenv -> int -> float -> unit =
+  match c.c_store.(r) with
+  | SFloat k ->
+    let base = k * c.c_w in
+    fun w l v -> Lanes.set_f w.kf (base + l) v
+  | SRow ->
+    let ty = match c.c_cls.(r) with CF t -> t | _ -> assert false in
+    fun w l v -> w.renvs.(l).Emit.regs.(r) <- I.tv (V.VFloat v) ty
+  | SInt _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction static hazard facts                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Uniform flag for whatever accesses an instruction performs: address
+   provably identical across active lanes, and for stores the value
+   too.  Anything not positively proven is false. *)
+let ikind_uniform (u : Uniform.t) (k : Core.ikind) : bool =
+  match k with
+  | Core.Store (lv, o) -> Uniform.lv_addr u lv && Uniform.operand u o
+  | Core.Let (_, Core.ReadLv lv) | Core.Do (Core.ReadLv lv) ->
+    Uniform.lv_addr u lv
+  | Core.StoreElt (v, _, _, o) -> u.Uniform.u_mem.(v) && Uniform.operand u o
+  | Core.ZeroFill v -> u.Uniform.u_mem.(v)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Emitters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let site_closure (s : int) : wenv -> unit =
+  if s < 0 then fun w -> w.h.k_ctx.I.cur_site := w.amb
+  else fun w -> w.h.k_ctx.I.cur_site := s
+
+(* Generic execution: the scalar backend's own closure, one lane at a
+   time under the active mask, with the shared context repointed per
+   lane.  ZeroFill writes bytes without the access hook, so its hazard
+   entries are appended manually. *)
+let emit_generic (c : cenv) (i : Core.instr) : wenv -> unit =
+  let f = Emit.emit_ikind c.c_bst i.Core.i_kind in
+  let iid = !(c.c_iid) in
+  incr c.c_iid;
+  let uni = ikind_uniform c.c_uni i.Core.i_kind in
+  let zerofill =
+    match i.Core.i_kind with
+    | Core.ZeroFill v -> Some (v, c.c_bst.Emit.fmem.(v).Core.m_size)
+    | _ -> None
+  in
+  fun w ->
+    if w.mask <> 0 then begin
+      set_flags w iid uni;
+      iter_lanes w.mask (fun l ->
+          w.h.k_set_lane (w.lane0 + l);
+          f w.renvs.(l));
+      match zerofill with
+      | Some (v, size) ->
+        iter_lanes w.mask (fun l ->
+            let b = w.renvs.(l).Emit.mem.(v) in
+            if b.I.b_space <> AS_private then
+              record w.h.k_log w.h.k_flags ~lane:(w.lane0 + l) Memory.Store
+                b.I.b_space b.I.b_addr size)
+      | None -> ()
+    end
+
+(* Fast execution for the shapes [fast_shape] accepted.  Each emitter
+   mirrors the corresponding scalar closure exactly: same charges, same
+   wrap/round normalization, same failure behavior (failures propagate
+   and become a Bail, and the scalar rerun reproduces them). *)
+let emit_fast (c : cenv) (i : Core.instr) : wenv -> unit =
+  let lt = c.c_lt in
+  let iid = !(c.c_iid) in
+  incr c.c_iid;
+  match i.Core.i_kind with
+  | Core.Let (r, Core.Bin (op, a, b)) ->
+    let case, _ = Option.get (bin_case c.c_cls op a b) in
+    let cmp = is_cmp op in
+    (match case with
+     | BII ->
+       let ra = Option.get (rd_i c a) and rb = Option.get (rd_i c b) in
+       let wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           charge w I.Op_int;
+           iter_lanes w.mask (fun l ->
+               let v = I.int_binop op (ra w l) (rb w l) ~unsigned:false in
+               wr w l (if cmp then v else V.wrap_int Int v))
+         end
+     | BUU ->
+       let ra = Option.get (rd_i c a) and rb = Option.get (rd_i c b) in
+       let wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           charge w I.Op_int;
+           iter_lanes w.mask (fun l ->
+               let v = I.int_binop op (ra w l) (rb w l) ~unsigned:true in
+               wr w l (if cmp then v else V.wrap_int UInt v))
+         end
+     | BFF ->
+       let ra = Option.get (rd_f c a) and rb = Option.get (rd_f c b) in
+       if cmp then begin
+         let wr = wr_i c r in
+         fun w ->
+           if w.mask <> 0 then begin
+             charge w I.Op_float;
+             iter_lanes w.mask (fun l ->
+                 wr w l (V.to_int (I.float_binop op (ra w l) (rb w l))))
+           end
+       end
+       else begin
+         let wr = wr_f c r in
+         fun w ->
+           if w.mask <> 0 then begin
+             charge w I.Op_float;
+             iter_lanes w.mask (fun l ->
+                 match I.float_binop op (ra w l) (rb w l) with
+                 | V.VFloat f -> wr w l (V.round_float Float f)
+                 | _ -> I.fail "non-float result of float arithmetic")
+           end
+       end)
+  | Core.Let (r, Core.Un (u, a)) ->
+    (match u, cls_operand c.c_cls a with
+     | Core.UNeg, CI _ ->
+       let ra = Option.get (rd_i c a) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           charge w I.Op_int;
+           iter_lanes w.mask (fun l -> wr w l (Int64.neg (ra w l)))
+         end
+     | Core.UNeg, CF _ ->
+       let ra = Option.get (rd_f c a) and wr = wr_f c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           charge w I.Op_float;
+           iter_lanes w.mask (fun l -> wr w l (-.(ra w l)))
+         end
+     | Core.ULnot, CI _ ->
+       let ra = Option.get (rd_i c a) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           charge w I.Op_int;
+           iter_lanes w.mask (fun l ->
+               wr w l (if ra w l = 0L then 1L else 0L))
+         end
+     | Core.UBnot, CI _ ->
+       let ra = Option.get (rd_i c a) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           charge w I.Op_int;
+           iter_lanes w.mask (fun l -> wr w l (Int64.lognot (ra w l)))
+         end
+     | Core.UBool, CI _ ->
+       let ra = Option.get (rd_i c a) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then
+           iter_lanes w.mask (fun l ->
+               wr w l (if ra w l <> 0L then 1L else 0L))
+     | _ -> assert false)
+  | Core.Let (r, Core.Mov o) ->
+    (match cls_operand c.c_cls o with
+     | CI _ ->
+       let ra = Option.get (rd_i c o) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
+     | CF _ ->
+       let ra = Option.get (rd_f c o) and wr = wr_f c r in
+       fun w ->
+         if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
+     | CTop -> assert false)
+  | Core.Let (r, Core.CallE (n, ops)) ->
+    let which =
+      match n with
+      | "get_global_id" -> `Gid
+      | "get_local_id" -> `Lid
+      | _ -> `Grp
+    in
+    let dim =
+      match ops with
+      | [] -> None
+      | o :: _ -> Some (Option.get (rd_i c o))
+    in
+    let wr = wr_i c r in
+    fun w ->
+      if w.mask <> 0 then
+        iter_lanes w.mask (fun l ->
+            let d =
+              match dim with None -> 0 | Some f -> Int64.to_int (f w l)
+            in
+            wr w l (Int64.of_int (w.h.k_idx which (w.lane0 + l) d)))
+  | Core.Let (r, Core.ReadLv (Core.LvIdx (a, i_op, elt, esz))) ->
+    let uni = ikind_uniform c.c_uni i.Core.i_kind in
+    let ra = Option.get (rd_i c a) and ri = Option.get (rd_i c i_op) in
+    let esz64 = Int64.of_int esz in
+    (match Option.get (scalar_elt lt elt) with
+     | `I s ->
+       let n = max 1 (scalar_size s) in
+       let wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           set_flags w iid uni;
+           let ctx = w.h.k_ctx in
+           iter_lanes w.mask (fun l ->
+               let base = ra w l in
+               if V.is_null base then I.fail "null pointer indexed";
+               let addr = Int64.add base (Int64.mul (ri w l) esz64) in
+               let sp = V.ptr_space addr and off = V.ptr_offset addr in
+               w.h.k_access (w.lane0 + l) Memory.Load sp off n;
+               wr w l
+                 (V.wrap_int s (Memory.load_int (ctx.I.arena_of sp) off n)))
+         end
+     | `F s ->
+       let n = scalar_size s in
+       let wr = wr_f c r in
+       fun w ->
+         if w.mask <> 0 then begin
+           set_flags w iid uni;
+           let ctx = w.h.k_ctx in
+           iter_lanes w.mask (fun l ->
+               let base = ra w l in
+               if V.is_null base then I.fail "null pointer indexed";
+               let addr = Int64.add base (Int64.mul (ri w l) esz64) in
+               let sp = V.ptr_space addr and off = V.ptr_offset addr in
+               w.h.k_access (w.lane0 + l) Memory.Load sp off n;
+               wr w l (Memory.load_float (ctx.I.arena_of sp) off n))
+         end)
+  | Core.SetReg (r, ty, o) ->
+    (match Layout.resolve lt ty with
+     | TScalar ((Float | Double) as s) ->
+       let ra = Option.get (rd_f c o) and wr = wr_f c r in
+       fun w ->
+         if w.mask <> 0 then
+           iter_lanes w.mask (fun l -> wr w l (V.round_float s (ra w l)))
+     | TScalar s ->
+       let ra = Option.get (rd_i c o) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then
+           iter_lanes w.mask (fun l -> wr w l (V.wrap_int s (ra w l)))
+     | TPtr _ ->
+       let ra = Option.get (rd_i c o) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
+     | _ -> assert false)
+  | Core.Store (Core.LvIdx (a, i_op, elt, esz), o) ->
+    let uni = ikind_uniform c.c_uni i.Core.i_kind in
+    let ra = Option.get (rd_i c a) and ri = Option.get (rd_i c i_op) in
+    let esz64 = Int64.of_int esz in
+    (match Option.get (scalar_elt lt elt) with
+     | `I s ->
+       let n = max 1 (scalar_size s) in
+       let rv = Option.get (rd_i c o) in
+       fun w ->
+         if w.mask <> 0 then begin
+           set_flags w iid uni;
+           let ctx = w.h.k_ctx in
+           iter_lanes w.mask (fun l ->
+               let base = ra w l in
+               if V.is_null base then I.fail "null pointer indexed";
+               let addr = Int64.add base (Int64.mul (ri w l) esz64) in
+               let sp = V.ptr_space addr and off = V.ptr_offset addr in
+               w.h.k_access (w.lane0 + l) Memory.Store sp off n;
+               Memory.store_int (ctx.I.arena_of sp) off n (rv w l))
+         end
+     | `F s ->
+       let n = scalar_size s in
+       let rv = Option.get (rd_f c o) in
+       fun w ->
+         if w.mask <> 0 then begin
+           set_flags w iid uni;
+           let ctx = w.h.k_ctx in
+           iter_lanes w.mask (fun l ->
+               let base = ra w l in
+               if V.is_null base then I.fail "null pointer indexed";
+               let addr = Int64.add base (Int64.mul (ri w l) esz64) in
+               let sp = V.ptr_space addr and off = V.ptr_offset addr in
+               w.h.k_access (w.lane0 + l) Memory.Store sp off n;
+               Memory.store_float (ctx.I.arena_of sp) off n
+                 (V.round_float s (rv w l)))
+         end)
+  | _ -> assert false
+
+let barrier_name n = n = "barrier" || n = "__syncthreads"
+
+let rec emit_body (c : cenv) (tracked : int option) (b : Core.body) :
+  wenv -> unit =
+  let rec build tracked acc = function
+    | [] -> acc
+    | Core.Ins ({ Core.i_kind = Core.Barrier _; _ } as i) :: rest ->
+      let acc, tracked =
+        if c.c_sited && tracked <> Some i.Core.i_site then
+          (site_closure i.Core.i_site :: acc, Some i.Core.i_site)
+        else (acc, tracked)
+      in
+      let f w =
+        if w.mask <> 0 then begin
+          if w.mask <> all_live w then
+            bail "barrier under divergent control";
+          check_log w.h.k_log ~atomics_clean:w.h.k_atomics_clean;
+          Effect.perform (I.Barrier I.Barrier_local)
+        end
+      in
+      build tracked (f :: acc) rest
+    | Core.Ins i :: rest ->
+      let acc, tracked =
+        if c.c_sited && tracked <> Some i.Core.i_site then
+          (site_closure i.Core.i_site :: acc, Some i.Core.i_site)
+        else (acc, tracked)
+      in
+      let f =
+        if fast_shape c.c_lt c.c_cls i.Core.i_kind then emit_fast c i
+        else emit_generic c i
+      in
+      build tracked (f :: acc) rest
+    | Core.If (site, cond, t, e) :: rest ->
+      let acc =
+        if c.c_sited && tracked <> Some site then site_closure site :: acc
+        else acc
+      in
+      build None (emit_if c site cond t e :: acc) rest
+    | Core.Loop l :: rest -> build None (emit_loop c l :: acc) rest
+    | Core.Return o :: rest ->
+      let f =
+        match o with
+        | None ->
+          fun w ->
+            if w.mask <> 0 then begin
+              w.ret <- w.ret lor w.mask;
+              w.mask <- 0
+            end
+        | Some o ->
+          let ra = rd_any c o in
+          fun w ->
+            if w.mask <> 0 then begin
+              iter_lanes w.mask (fun l -> w.retv.(l) <- ra w l);
+              w.ret <- w.ret lor w.mask;
+              w.mask <- 0
+            end
+      in
+      build tracked (f :: acc) rest
+    | Core.Break :: rest ->
+      let f w =
+        w.brk <- w.brk lor w.mask;
+        w.mask <- 0
+      in
+      build tracked (f :: acc) rest
+    | Core.Continue :: rest ->
+      let f w =
+        w.cont <- w.cont lor w.mask;
+        w.mask <- 0
+      in
+      build tracked (f :: acc) rest
+  in
+  match Array.of_list (List.rev (build tracked [] b)) with
+  | [||] -> fun _ -> ()
+  | [| f |] -> f
+  | cls ->
+    fun w ->
+      for k = 0 to Array.length cls - 1 do
+        (Array.unsafe_get cls k) w
+      done
+
+and emit_if (c : cenv) site cond t e : wenv -> unit =
+  let rb = rd_bool c cond in
+  let tb = emit_body c (Some site) t in
+  let eb = emit_body c (Some site) e in
+  fun w ->
+    if w.mask <> 0 then begin
+      let m = w.mask in
+      charge w I.Op_branch;
+      let ctx = w.h.k_ctx in
+      let tm = ref 0 in
+      iter_lanes m (fun l ->
+          let b = rb w l in
+          if b then tm := !tm lor (1 lsl l);
+          w.h.k_set_lane (w.lane0 + l);
+          ignore (I.obs_branch ctx b));
+      let tm = !tm in
+      let em = m land lnot tm in
+      w.mask <- tm;
+      tb w;
+      let ts = w.mask in
+      w.mask <- em;
+      eb w;
+      w.mask <- ts lor w.mask
+    end
+
+and emit_loop (c : cenv) (l : Core.loop) : wenv -> unit =
+  let init = emit_body c None l.Core.l_init in
+  let pre = emit_body c None l.Core.l_pre in
+  let cond =
+    Option.map
+      (fun (cb, co) -> (emit_body c None cb, rd_bool c co))
+      l.Core.l_cond
+  in
+  let body = emit_body c None l.Core.l_body in
+  let update = emit_body c None l.Core.l_update in
+  let set_site =
+    if c.c_sited then site_closure l.Core.l_site else fun _ -> ()
+  in
+  (* One per-iteration head: charge the branch for every still-active
+     lane, evaluate the condition per lane, shrink the mask.  A missing
+     condition charges but observes nothing (scalar: `None -> true`). *)
+  let head w =
+    set_site w;
+    charge w I.Op_branch;
+    match cond with
+    | None -> ()
+    | Some (cb, rc) ->
+      cb w;
+      let ctx = w.h.k_ctx in
+      let m = w.mask in
+      let keep = ref 0 in
+      iter_lanes m (fun l ->
+          let b = rc w l in
+          if b then keep := !keep lor (1 lsl l);
+          w.h.k_set_lane (w.lane0 + l);
+          ignore (I.obs_branch ctx b));
+      w.mask <- !keep
+  in
+  match l.Core.l_kind with
+  | `While | `For ->
+    fun w ->
+      if w.mask <> 0 then begin
+        (* re-convergence point: every entering lane that does not
+           return inside the loop — whether it left through the
+           condition or a break — resumes after it *)
+        let entry = w.mask in
+        init w;
+        pre w;
+        let sbrk = w.brk and scont = w.cont in
+        w.brk <- 0;
+        w.cont <- 0;
+        let running = ref true in
+        while !running do
+          head w;
+          if w.mask = 0 then running := false
+          else begin
+            body w;
+            w.mask <- w.mask lor w.cont;
+            w.cont <- 0;
+            update w
+          end
+        done;
+        w.mask <- entry land lnot w.ret;
+        w.brk <- sbrk;
+        w.cont <- scont
+      end
+  | `DoWhile ->
+    fun w ->
+      if w.mask <> 0 then begin
+        let entry = w.mask in
+        init w;
+        pre w;
+        let sbrk = w.brk and scont = w.cont in
+        w.brk <- 0;
+        w.cont <- 0;
+        let running = ref true in
+        while !running do
+          body w;
+          w.mask <- w.mask lor w.cont;
+          w.cont <- 0;
+          if w.mask = 0 then running := false
+          else begin
+            head w;
+            if Option.is_none cond || w.mask = 0 then running := false
+          end
+        done;
+        w.mask <- entry land lnot w.ret;
+        w.brk <- sbrk;
+        w.cont <- scont
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Eligibility                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect facts a kernel must satisfy: only the two known barrier
+   flavors, never in expression position, and every user callee
+   transitively analyzable and barrier-free (a callee barrier would
+   suspend the warp fiber mid-lane-loop). *)
+let scan_calls (fn : Core.fn) : (string list, string) result =
+  let calls = ref [] in
+  let bad = ref None in
+  let note e = if !bad = None then bad := Some e in
+  let rhs = function
+    | Core.CallE (n, _) when barrier_name n ->
+      note "barrier call in expression position"
+    | Core.CallU (n, _) -> calls := n :: !calls
+    | _ -> ()
+  in
+  let ins i =
+    match i.Core.i_kind with
+    | Core.Let (_, r) | Core.Do r -> rhs r
+    | Core.Barrier (n, _, _) when not (barrier_name n) ->
+      note ("unsupported barrier flavor " ^ n)
+    | _ -> ()
+  in
+  let rec node = function
+    | Core.Ins i -> ins i
+    | Core.If (_, _, t, e) ->
+      walk t;
+      walk e
+    | Core.Loop l ->
+      walk l.Core.l_init;
+      walk l.Core.l_pre;
+      (match l.Core.l_cond with Some (cb, _) -> walk cb | None -> ());
+      walk l.Core.l_body;
+      walk l.Core.l_update
+    | Core.Return _ | Core.Break | Core.Continue -> ()
+  and walk b = List.iter node b in
+  walk fn.Core.f_body;
+  match !bad with
+  | Some e -> Error e
+  | None -> Ok (List.sort_uniq compare !calls)
+
+let rec callee_clean (est : Emit.t) (visiting : string list) (n : string) :
+  (unit, string) result =
+  if List.mem n visiting then Ok ()
+  else
+    match Ir.Emit.ir est n with
+    | Some (Ok cfn) ->
+      let has_barrier = ref false in
+      let rec node = function
+        | Core.Ins { Core.i_kind = Core.Barrier _; _ } -> has_barrier := true
+        | Core.Ins _ | Core.Return _ | Core.Break | Core.Continue -> ()
+        | Core.If (_, _, t, e) ->
+          walk t;
+          walk e
+        | Core.Loop l ->
+          walk l.Core.l_init;
+          walk l.Core.l_pre;
+          (match l.Core.l_cond with Some (cb, _) -> walk cb | None -> ());
+          walk l.Core.l_body;
+          walk l.Core.l_update
+      and walk b = List.iter node b in
+      walk cfn.Core.f_body;
+      if !has_barrier then Error ("callee " ^ n ^ " contains a barrier")
+      else
+        (match scan_calls cfn with
+         | Error e -> Error ("callee " ^ n ^ ": " ^ e)
+         | Ok subs ->
+           List.fold_left
+             (fun acc s ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> callee_clean est (n :: visiting) s)
+             (Ok ()) subs)
+    | _ -> Error ("callee " ^ n ^ " is not IR-compiled")
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  p_name : string;
+  p_warp : int;
+  p_nki : int;
+  p_nkf : int;
+  p_nregs : int;
+  p_nmem : int;
+  p_sited : bool;
+  p_ret : ty;
+  p_binders : (wenv -> I.tval array -> unit) array;
+  p_body : wenv -> unit;
+}
+
+let plan_for (est : Emit.t) ~(name : string) ~(warp : int) :
+  (plan, string) result =
+  match Ir.Emit.ir est name with
+  | None -> Error "unknown function"
+  | Some (Error e) -> Error ("not IR-compiled: " ^ e)
+  | Some (Ok fn) ->
+    if warp > 62 then Error "warp wider than the mask word"
+    else begin
+      let lt = est.Emit.e_layout in
+      let uni = Uniform.analyze lt fn in
+      if not uni.Uniform.barrier_ok then
+        Error "barrier under thread-dependent control"
+      else
+        match scan_calls fn with
+        | Error e -> Error e
+        | Ok calls ->
+          let callees =
+            List.fold_left
+              (fun acc n ->
+                 match acc with
+                 | Error _ -> acc
+                 | Ok () -> callee_clean est [ name ] n)
+              (Ok ()) calls
+          in
+          (match callees with
+           | Error e -> Error e
+           | Ok () ->
+             let nregs = max fn.Core.f_nregs 1 in
+             (* class table: declared classes for merge variables and
+                params, then one forward pass for single-assignment
+                Lets (defs dominate uses, so textual order works) *)
+             let declared : vcls option array = Array.make nregs None in
+             let poison = Array.make nregs false in
+             let note r c =
+               match declared.(r) with
+               | None -> declared.(r) <- Some c
+               | Some c0 -> if c0 <> c then poison.(r) <- true
+             in
+             Array.iter
+               (fun (p : Core.pbind) ->
+                  note p.Core.p_reg (cls_of_decl lt p.Core.p_ty))
+               fn.Core.f_params;
+             let rec seed_node = function
+               | Core.Ins { Core.i_kind = Core.SetReg (r, ty, _); _ } ->
+                 note r (cls_of_decl lt ty)
+               | Core.Ins { Core.i_kind = Core.SetRaw (r, _); _ } ->
+                 poison.(r) <- true
+               | Core.Ins _ | Core.Return _ | Core.Break | Core.Continue ->
+                 ()
+               | Core.If (_, _, t, e) ->
+                 seed_walk t;
+                 seed_walk e
+               | Core.Loop l ->
+                 seed_walk l.Core.l_init;
+                 seed_walk l.Core.l_pre;
+                 (match l.Core.l_cond with
+                  | Some (cb, _) -> seed_walk cb
+                  | None -> ());
+                 seed_walk l.Core.l_body;
+                 seed_walk l.Core.l_update
+             and seed_walk b = List.iter seed_node b in
+             seed_walk fn.Core.f_body;
+             let cls = Array.make nregs CTop in
+             Array.iteri
+               (fun r d ->
+                  match d with
+                  | Some c when not poison.(r) -> cls.(r) <- c
+                  | _ -> ())
+               declared;
+             let bst =
+               { Emit.est; fmem = fn.Core.f_mem; sited = fn.Core.f_sited }
+             in
+             let c0 =
+               { c_bst = bst;
+                 c_lt = lt;
+                 c_uni = uni;
+                 c_cls = cls;
+                 c_store = Array.make nregs SRow;
+                 c_w = warp;
+                 c_iid = ref 0;
+                 c_sited = fn.Core.f_sited }
+             in
+             let rec class_node = function
+               | Core.Ins { Core.i_kind = Core.Let (r, rhs); _ } ->
+                 cls.(r) <- let_class c0 rhs
+               | Core.Ins _ | Core.Return _ | Core.Break | Core.Continue ->
+                 ()
+               | Core.If (_, _, t, e) ->
+                 class_walk t;
+                 class_walk e
+               | Core.Loop l ->
+                 class_walk l.Core.l_init;
+                 class_walk l.Core.l_pre;
+                 (match l.Core.l_cond with
+                  | Some (cb, _) -> class_walk cb
+                  | None -> ());
+                 class_walk l.Core.l_body;
+                 class_walk l.Core.l_update
+             and class_walk b = List.iter class_node b in
+             class_walk fn.Core.f_body;
+             (* residency: lane files hold registers whose every def is
+                a fast shape and that never feed a generic closure *)
+             let boxed = Array.make nregs false in
+             let mark_op = function
+               | Core.Reg r -> boxed.(r) <- true
+               | Core.Cst _ -> ()
+             in
+             let mark_ins (i : Core.instr) =
+               if not (fast_shape lt cls i.Core.i_kind) then begin
+                 List.iter mark_op (Core.ikind_operands i.Core.i_kind);
+                 match i.Core.i_kind with
+                 | Core.Let (r, _) | Core.SetReg (r, _, _)
+                 | Core.SetRaw (r, _) -> boxed.(r) <- true
+                 | _ -> ()
+               end
+             in
+             let rec res_node = function
+               | Core.Ins i -> mark_ins i
+               | Core.Return _ | Core.Break | Core.Continue -> ()
+               | Core.If (_, _, t, e) ->
+                 res_walk t;
+                 res_walk e
+               | Core.Loop l ->
+                 res_walk l.Core.l_init;
+                 res_walk l.Core.l_pre;
+                 (match l.Core.l_cond with
+                  | Some (cb, _) -> res_walk cb
+                  | None -> ());
+                 res_walk l.Core.l_body;
+                 res_walk l.Core.l_update
+             and res_walk b = List.iter res_node b in
+             res_walk fn.Core.f_body;
+             let nki = ref 0 and nkf = ref 0 in
+             let storage = c0.c_store in
+             for r = 0 to nregs - 1 do
+               if not boxed.(r) then
+                 match cls.(r) with
+                 | CI _ ->
+                   storage.(r) <- SInt !nki;
+                   incr nki
+                 | CF _ ->
+                   storage.(r) <- SFloat !nkf;
+                   incr nkf
+                 | CTop -> ()
+             done;
+             let fname = fn.Core.f_name in
+             let binders =
+               Array.mapi
+                 (fun idx (p : Core.pbind) ->
+                    let norm = Emit.normalizer lt p.Core.p_ty in
+                    let r = p.Core.p_reg in
+                    match storage.(r) with
+                    | SRow ->
+                      fun w (args : I.tval array) ->
+                        let arg =
+                          if idx < Array.length args then args.(idx)
+                          else
+                            I.fail "missing argument %d in call to %s"
+                              (idx + 1) fname
+                        in
+                        let v = norm arg in
+                        for l = 0 to w.n - 1 do
+                          w.renvs.(l).Emit.regs.(r) <- v
+                        done
+                    | SInt k ->
+                      let base = k * warp in
+                      fun w args ->
+                        let arg =
+                          if idx < Array.length args then args.(idx)
+                          else
+                            I.fail "missing argument %d in call to %s"
+                              (idx + 1) fname
+                        in
+                        let raw = V.to_int (norm arg).I.v in
+                        for l = 0 to w.n - 1 do
+                          Lanes.set_i w.ki (base + l) raw
+                        done
+                    | SFloat k ->
+                      let base = k * warp in
+                      fun w args ->
+                        let arg =
+                          if idx < Array.length args then args.(idx)
+                          else
+                            I.fail "missing argument %d in call to %s"
+                              (idx + 1) fname
+                        in
+                        let raw = V.to_float (norm arg).I.v in
+                        for l = 0 to w.n - 1 do
+                          Lanes.set_f w.kf (base + l) raw
+                        done)
+                 fn.Core.f_params
+             in
+             let body = emit_body c0 (Some (-1)) fn.Core.f_body in
+             Ok
+               { p_name = fname;
+                 p_warp = warp;
+                 p_nki = !nki;
+                 p_nkf = !nkf;
+                 p_nregs = fn.Core.f_nregs;
+                 p_nmem = Array.length fn.Core.f_mem;
+                 p_sited = fn.Core.f_sited;
+                 p_ret = fn.Core.f_ret;
+                 p_binders = binders;
+                 p_body = body })
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Warp driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one warp of [nlanes] items through the plan; mirrors
+   Emit.prepare_fn's wrapper (depth guard, per-lane stack-arena
+   mark/release, ambient site restore).  Any exception — a hazard Bail
+   or a lane fault — releases resources and surfaces as [Bail]; the
+   launcher reruns the launch on the scalar engine, which reproduces
+   real faults with exact scalar semantics. *)
+let run_warp (p : plan) (h : hooks) ~(lane0 : int) ~(nlanes : int)
+    ~(args : I.tval array) : unit =
+  let ctx = h.k_ctx in
+  ctx.I.call_depth <- ctx.I.call_depth + 1;
+  if ctx.I.call_depth > 512 then begin
+    ctx.I.call_depth <- ctx.I.call_depth - 1;
+    raise (Bail (Printf.sprintf "call depth exceeded in %s" p.p_name))
+  end;
+  let ambient = !(ctx.I.cur_site) in
+  let arena () = ctx.I.arena_of ctx.I.stack_space in
+  let marks = Array.make nlanes 0 in
+  for l = 0 to nlanes - 1 do
+    h.k_set_lane (lane0 + l);
+    marks.(l) <- Memory.mark (arena ())
+  done;
+  let renvs =
+    Array.init nlanes (fun _ ->
+        { Emit.ctx;
+          regs = Array.make (max p.p_nregs 1) I.tunit;
+          mem =
+            (if p.p_nmem = 0 then [||]
+             else Array.make p.p_nmem Emit.dummy_binding);
+          ambient })
+  in
+  let w =
+    { h;
+      lane0;
+      n = nlanes;
+      amb = ambient;
+      mask = (1 lsl nlanes) - 1;
+      ret = 0;
+      brk = 0;
+      cont = 0;
+      ki = Lanes.ints (p.p_nki * p.p_warp);
+      kf = Lanes.floats (p.p_nkf * p.p_warp);
+      renvs;
+      retv = Array.make (max nlanes 1) I.tunit }
+  in
+  let finish () =
+    for l = nlanes - 1 downto 0 do
+      h.k_set_lane (lane0 + l);
+      Memory.release (arena ()) marks.(l)
+    done;
+    ctx.I.call_depth <- ctx.I.call_depth - 1;
+    if p.p_sited then ctx.I.cur_site := ambient
+  in
+  match
+    Array.iter (fun b -> b w args) p.p_binders;
+    p.p_body w;
+    check_log h.k_log ~atomics_clean:h.k_atomics_clean
+  with
+  | () ->
+    finish ();
+    (* mirror the scalar wrapper's post-return cast (after the arena
+       release and site restore, like Return_exc unwinding) *)
+    (try
+       iter_lanes w.ret (fun l ->
+           let v = w.retv.(l) in
+           if not (equal_ty v.I.ty p.p_ret) then begin
+             h.k_set_lane (lane0 + l);
+             ignore (I.cast_value ctx p.p_ret v)
+           end)
+     with
+     | Bail _ as e -> raise e
+     | e -> raise (Bail (Printexc.to_string e)))
+  | exception (Bail _ as e) ->
+    finish ();
+    raise e
+  | exception e ->
+    finish ();
+    raise (Bail (Printexc.to_string e))

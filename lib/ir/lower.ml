@@ -264,7 +264,11 @@ let removable_barriers (md : modl) (body : stmt list) : expr list =
 (* Per-function lowering state                                         *)
 (* ------------------------------------------------------------------ *)
 
-type vref = VReg of int * ty | VMem of int
+(* [VRef (r, inner)] binds a reference parameter: the register holds
+   the caller-passed pointer (typed [TPtr inner]) and every use goes
+   through [LvDeref], mirroring the closure backend's raw aliasing
+   binding (no allocation, no entry store). *)
+type vref = VReg of int * ty | VRef of int * ty | VMem of int
 
 type lstate = {
   md : modl;
@@ -334,6 +338,7 @@ let rec sty st (e : expr) : ty =
   | Ident name ->
     (match lookup st name with
      | Some (VReg (_, t)) -> t
+     | Some (VRef (_, t)) -> t
      | Some (VMem v) -> (List.nth st.mems (st.nmem - 1 - v)).Core.m_ty
      | None ->
        (match Hashtbl.find_opt st.md.md_global_tys name with
@@ -395,6 +400,7 @@ let rec lower_expr st acc (e : expr) : Core.operand =
   | Ident name ->
     (match lookup st name with
      | Some (VReg (r, _)) -> letk st acc (Core.Mov (Core.Reg r))
+     | Some (VRef (r, _)) -> letk st acc (Core.ReadLv (Core.LvDeref (Core.Reg r)))
      | Some (VMem v) -> letk st acc (Core.ReadLv (Core.LvVar v))
      | None ->
        if
@@ -539,6 +545,7 @@ and lower_lvalue st acc (e : expr) : llv =
   | Ident name ->
     (match lookup st name with
      | Some (VReg (r, t)) -> LReg (r, t)
+     | Some (VRef (r, _)) -> LMem (Core.LvDeref (Core.Reg r))
      | Some (VMem v) -> LMem (Core.LvVar v)
      | None -> LMem (Core.LvFree name))
   | Unary (Deref, p) ->
@@ -552,7 +559,7 @@ and lower_lvalue st acc (e : expr) : llv =
          | Some v ->
            let t =
              match v with
-             | VReg (_, t) -> t
+             | VReg (_, t) | VRef (_, t) -> t
              | VMem m -> (List.nth st.mems (st.nmem - 1 - m)).Core.m_ty
            in
            (match resolve st t with
@@ -576,6 +583,7 @@ and lower_lvalue st acc (e : expr) : llv =
             | Ident n ->
               (match lookup st n with
                | Some (VMem v) -> Some (Core.LvVar v)
+               | Some (VRef (r, _)) -> Some (Core.LvDeref (Core.Reg r))
                | _ -> reject "vector index base")
             | _ -> reject "vector index base")
          | _ -> None
@@ -865,15 +873,15 @@ let lower_fn (md : modl) (f : func) : Core.fn =
   in
   if f.fn_tmpl <> [] then reject "template function";
   let addr_taken = addr_taken_names md body in
-  List.iter
-    (fun (pa : param) ->
-       if SS.mem pa.pa_name addr_taken then reject "address-taken parameter")
-    f.fn_params;
   let removable = removable_barriers md body in
   let st =
     { md; nregs = 0; mems = []; nmem = 0; scope = [ [] ]; site = -1;
       sited = false; addr_taken; removable; inl_depth = 0 }
   in
+  (* Address-taken parameters are spilled to a private memory variable
+     at entry (mirroring compile_param's alloc + store); the spills are
+     emitted before the body so `&p` sees stable storage. *)
+  let spills = ref [] in
   let params =
     List.map
       (fun (pa : param) ->
@@ -881,24 +889,48 @@ let lower_fn (md : modl) (f : func) : Core.fn =
            if pa.pa_space = AS_none then pa.pa_ty
            else TQual (pa.pa_space, pa.pa_ty)
          in
-         (match resolve st pa.pa_ty with
-          | TRef _ -> reject "reference parameter"
-          | _ -> ());
-         (* Layout.resolve strips qualifiers, so check the address space
-            separately: a __local-qualified parameter is group-shared
-            memory and must not become a per-item register *)
-         if type_space ty <> AS_none then
-           reject "address-space parameter %s" pa.pa_name;
-         (match resolve st ty with
-          | TScalar s when s <> Void -> ()
-          | TPtr _ -> ()
-          | t -> reject "parameter of type %s" (tyname t));
-         let r = fresh st in
-         bind st pa.pa_name (VReg (r, ty));
-         { Core.p_reg = r; p_ty = ty })
+         match resolve st pa.pa_ty with
+         | TRef inner ->
+           (* the caller passes the argument's address (`lower_call` /
+              the closure backends wrap the argument in Addrof) *)
+           if pa.pa_space <> AS_none then
+             reject "address-space parameter %s" pa.pa_name;
+           let r = fresh st in
+           bind st pa.pa_name (VRef (r, inner));
+           { Core.p_reg = r; p_ty = TPtr inner }
+         | _ ->
+           (* Layout.resolve strips qualifiers, so check the address
+              space separately: a __local-qualified parameter is
+              group-shared memory and must not become a per-item
+              register *)
+           if type_space ty <> AS_none then
+             reject "address-space parameter %s" pa.pa_name;
+           (match resolve st ty with
+            | TScalar s when s <> Void -> ()
+            | TPtr _ -> ()
+            | t -> reject "parameter of type %s" (tyname t));
+           let r = fresh st in
+           if SS.mem pa.pa_name addr_taken then begin
+             let v =
+               new_mem st
+                 { Core.m_name = pa.pa_name; m_ty = ty; m_space = AS_none;
+                   m_size = sizeof st ty;
+                   m_align = Layout.alignof st.md.md_layout ty;
+                   m_shared = false }
+             in
+             bind st pa.pa_name (VMem v);
+             spills := (v, r) :: !spills
+           end
+           else bind st pa.pa_name (VReg (r, ty));
+           { Core.p_reg = r; p_ty = ty })
       f.fn_params
   in
   let acc = new_acc () in
+  List.iter
+    (fun (v, r) ->
+       emit st acc (Core.DeclMem v);
+       emit st acc (Core.Store (Core.LvVar v, Core.Reg r)))
+    (List.rev !spills);
   List.iter (lower_stmt st acc) body;
   { Core.f_name = f.fn_name;
     f_ret = unqual f.fn_ret;

@@ -1,0 +1,26 @@
+(* Contiguous unboxed lane storage for the warp-lockstep engine.
+
+   A lane file is a flat Bigarray holding one slot per (virtual
+   register, lane) pair, laid out register-major with a fixed warp
+   stride so a warp's lanes for one register are contiguous — the
+   memory shape SIMD execution wants.  Int slots hold the raw
+   [Value.VInt] payload (wrapped or unwrapped exactly as the scalar
+   backend would hold it); float slots hold the [VFloat] payload. *)
+
+type i64 = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ints (n : int) : i64 =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (max n 1) in
+  Bigarray.Array1.fill a 0L;
+  a
+
+let floats (n : int) : f64 =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max n 1) in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let[@inline] get_i (a : i64) i = Bigarray.Array1.unsafe_get a i
+let[@inline] set_i (a : i64) i v = Bigarray.Array1.unsafe_set a i v
+let[@inline] get_f (a : f64) i = Bigarray.Array1.unsafe_get a i
+let[@inline] set_f (a : f64) i v = Bigarray.Array1.unsafe_set a i v

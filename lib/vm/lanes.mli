@@ -1,0 +1,16 @@
+(** Contiguous unboxed lane storage (register-major, fixed warp stride)
+    for the warp-lockstep engine. *)
+
+type i64 = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val ints : int -> i64
+(** Zero-filled int64 lane file of at least one slot. *)
+
+val floats : int -> f64
+(** Zero-filled float lane file of at least one slot. *)
+
+val get_i : i64 -> int -> int64
+val set_i : i64 -> int -> int64 -> unit
+val get_f : f64 -> int -> float
+val set_f : f64 -> int -> float -> unit

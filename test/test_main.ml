@@ -8,4 +8,5 @@ let () =
      @ Test_apps.suites @ Test_analysis.suites @ Test_trace.suites
      @ Test_backend.suites @ Test_ir.suites @ Test_fuzz.suites
      @ Test_golden.suites
-     @ Test_parallel.suites @ Test_validate.suites @ Test_attr.suites)
+     @ Test_parallel.suites @ Test_validate.suites @ Test_attr.suites
+     @ Test_lockstep.suites)
