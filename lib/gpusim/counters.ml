@@ -120,6 +120,17 @@ let record_op c (cls : Vm.Interp.op_class) =
   | Op_special -> c.ops_special <- c.ops_special + 1
   | Op_branch -> c.ops_branch <- c.ops_branch + 1
 
+(* Batched variant for the lockstep engine's fused regions: a region
+   charges (instructions x active lanes) in one call, with the same
+   totals a per-lane [record_op] loop would produce. *)
+let record_ops c (cls : Vm.Interp.op_class) n =
+  match cls with
+  | Op_int -> c.ops_int <- c.ops_int + n
+  | Op_float -> c.ops_float <- c.ops_float + n
+  | Op_double -> c.ops_double <- c.ops_double + n
+  | Op_special -> c.ops_special <- c.ops_special + n
+  | Op_branch -> c.ops_branch <- c.ops_branch + n
+
 let total_ops c =
   c.ops_int + c.ops_float + c.ops_double + c.ops_special + c.ops_branch
 

@@ -66,6 +66,12 @@ val merge : t -> t -> unit
 
 val record_op : t -> Vm.Interp.op_class -> unit
 
+(** [record_ops c cls n] adds [n] operations of class [cls] in one
+    call — the lockstep engine's fused regions batch their per-lane
+    charges through this with exact-sum equivalence to [n] calls of
+    [record_op]. *)
+val record_ops : t -> Vm.Interp.op_class -> int -> unit
+
 val total_ops : t -> int
 
 (** Global-memory coalescing granularity in bytes. *)

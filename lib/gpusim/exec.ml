@@ -402,30 +402,36 @@ let ir_for prog =
          est)
 
 (* Lockstep warp plans, keyed by the IR module (physical identity — one
-   [Ir.Emit.t] per (program, pass set) via [ir_cache]), kernel name and
-   warp width.  Errors are cached too: ineligibility is decided once,
-   not re-analysed per launch.  Bounded and mutex-protected like the
-   other caches. *)
+   [Ir.Emit.t] per (program, pass set) via [ir_cache]), kernel name,
+   warp width and the region-fusion flag (fusion is baked into a
+   plan's closures at emission time, so fused and unfused plans must
+   not share cache entries).  Errors are cached too: ineligibility is
+   decided once, not re-analysed per launch.  Bounded and
+   mutex-protected like the other caches. *)
 let plan_cache :
-  ((Ir.Emit.t * string * int) * (Lockstep.plan, string) result) list ref =
+  ((Ir.Emit.t * string * int * bool) * (Lockstep.plan, string) result)
+    list
+    ref =
   ref []
 let plan_cache_lock = Mutex.create ()
 
 let lockstep_plan_for est ~name ~warp =
+  let fuse = !Lockstep.fusion in
   Mutex.lock plan_cache_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock plan_cache_lock)
     (fun () ->
        match
          List.find_opt
-           (fun ((e, n, w), _) -> e == est && n = name && w = warp)
+           (fun ((e, n, w, f), _) ->
+              e == est && n = name && w = warp && f = fuse)
            !plan_cache
        with
        | Some (_, r) -> r
        | None ->
          let r = Lockstep.plan_for est ~name ~warp in
          let rest = List.filteri (fun i _ -> i < 63) !plan_cache in
-         plan_cache := ((est, name, warp), r) :: rest;
+         plan_cache := ((est, name, warp, fuse), r) :: rest;
          r)
 
 (* Everything mutable one worker owns; see [make_worker] below. *)
@@ -661,6 +667,30 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
       | Some bs ->
         Some (fun taken ->
             Counters.bstream_push bs.(!cur_item) ~site:!cur_site taken)
+    in
+    (* lockstep batched charge: same totals as n on_op calls at [site]
+       (-1 = wherever cur_site points), without n closure crossings.
+       The n = 0 guard matters for attribution: a zero charge must not
+       materialise an Attr row the scalar engine never creates. *)
+    let k_charge site cls n =
+      if n > 0 then begin
+        Counters.record_ops counters cls n;
+        match attr with
+        | None -> ()
+        | Some a ->
+          let s = Attr.get a (if site >= 0 then site else !cur_site) in
+          s.Attr.ops <- s.Attr.ops + n
+      end
+    in
+    (* lockstep per-lane branch hook: the warp engine knows the lane,
+       so it bypasses the set-lane indirection on_branch needs *)
+    let k_branch =
+      match bstreams with
+      | None -> None
+      | Some bs ->
+        Some
+          (fun lane taken ->
+             Counters.bstream_push bs.(lane) ~site:!cur_site taken)
     in
     (* IR-pass elimination credits: only materialised in attribution
        mode, where the report shows ops + ops_eliminated = the
@@ -922,7 +952,8 @@ let launch ~(dev : Device.t) ~prog ~globals ~host_arena
             in
             let hooks =
               { Lockstep.k_ctx = ctx; k_set_lane = set_cur; k_access;
-                k_idx; k_flags; k_log; k_atomics_clean = aclean }
+                k_idx; k_charge; k_branch; k_flags; k_log;
+                k_atomics_clean = aclean }
             in
             let n_warps = (group_threads + warp - 1) / warp in
             for wd = 0 to n_warps - 1 do

@@ -199,10 +199,40 @@ type hooks = {
   k_set_lane : int -> unit;
   k_access : int -> Memory.access_kind -> addr_space -> int -> int -> unit;
   k_idx : [ `Gid | `Lid | `Grp ] -> int -> int -> int;
+  (* batched operation charge: [k_charge site cls n] records [n]
+     operations of class [cls] against [site] (-1 = the current site),
+     with the same counter and attribution totals as [n] single
+     [on_op] calls at that site.  Fused regions charge whole
+     (instructions x active lanes) products through this. *)
+  k_charge : int -> I.op_class -> int -> unit;
+  (* per-lane branch-decision hook, present exactly when the launcher
+     records branch streams (attribution mode); [None] means branch
+     decisions are unobserved and the engine may skip the per-lane
+     bookkeeping entirely *)
+  k_branch : (int -> bool -> unit) option;
   k_flags : flags;
   k_log : hlog;
   k_atomics_clean : bool;
 }
+
+(* Escape hatch: OCLCU_LOCKSTEP_FUSION=0 disables region fusion (every
+   instruction keeps its own per-warp closure), isolating fusion bugs
+   and giving the bench its ablation baseline.  Read at plan time;
+   `Exec` keys its plan cache on the flag. *)
+let fusion =
+  ref
+    (match Sys.getenv_opt "OCLCU_LOCKSTEP_FUSION" with
+     | Some "0" -> false
+     | _ -> true)
+
+(* Planted-bug knobs, used only by test_fusion.ml to prove the
+   differential net catches mis-fusions: [bug_drop_mask] executes
+   fused regions over every live lane instead of the active mask
+   (a dropped divergence check); [bug_skip_charge] skips a region's
+   batched counter/attr charges.  Both are read at region *execution*
+   time so cached plans are affected too. *)
+let bug_drop_mask = ref false
+let bug_skip_charge = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Warp state                                                          *)
@@ -221,6 +251,7 @@ type wenv = {
   kf : Lanes.f64;
   renvs : Emit.renv array; (* per-lane boxed register files *)
   retv : I.tval array;
+  lidx : int array; (* region scratch: active lane indices, dense *)
 }
 
 let all_live w = ((1 lsl w.n) - 1) land lnot w.ret
@@ -233,19 +264,30 @@ let lowest_lane m =
   done;
   !l
 
+(* Linear scan from lane 0: one shift + test per candidate lane, so a
+   full iteration is O(warp), not O(warp^2) lowest-bit rescans. *)
 let[@inline] iter_lanes mask f =
-  let m = ref mask in
+  let m = ref mask and l = ref 0 in
   while !m <> 0 do
-    let l = lowest_lane !m in
-    f l;
-    m := !m land (!m - 1)
+    if !m land 1 = 1 then f !l;
+    incr l;
+    m := !m lsr 1
   done
 
-(* One scalar-path charge per active lane; [on_op] is lane-independent
-   (it reads only the current site), so no lane repointing needed. *)
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    incr c;
+    m := !m land (!m - 1)
+  done;
+  !c
+
+(* One scalar-path charge per active lane, batched: the launcher's
+   [k_charge] records (class x popcount) in one call against the
+   current site, which is exactly what a per-lane [on_op] loop
+   totals to ([on_op] is lane-independent — it reads only the site). *)
 let[@inline] charge (w : wenv) (cls : I.op_class) =
-  let f = w.h.k_ctx.I.on_op in
-  iter_lanes w.mask (fun _ -> f cls)
+  if w.mask <> 0 then w.h.k_charge (-1) cls (popcount w.mask)
 
 let set_flags (w : wenv) iid uni =
   let fl = w.h.k_flags in
@@ -257,21 +299,24 @@ let set_flags (w : wenv) iid uni =
 (* Value classes and lane residency                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Static class of a register's payload: CI t = always (VInt _, t)
-   with t resolving to a non-float scalar or pointer; CF t = always
-   (VFloat _, t) with t resolving to Float/Double.  The class carries
-   the *declared* type because the scalar fast paths key on the exact
-   tval type. *)
-type vcls = CI of ty | CF of ty | CTop
+(* The static value-class machinery (what a register always holds, and
+   which instruction shapes have fast lane-file semantics) moved to
+   `Ir.Region` — it is a fact about the IR, shared with the region
+   segmentation below.  Re-export the pieces the emitters key on. *)
+module Region = Ir.Region
+
+type vcls = Region.vcls = CI of ty | CF of ty | CTop
+type bincase = Region.bincase = BII | BUU | BFF
+
+let is_cmp = Region.is_cmp
+let cls_of_decl = Region.cls_of_decl
+let cls_operand = Region.cls_operand
+let bin_case = Region.bin_case
+let scalar_elt = Region.scalar_elt
+let fast_shape = Region.fast_shape
+let ikind_uniform = Region.ikind_uniform
 
 type slot = SRow | SInt of int | SFloat of int
-
-let is_cmp = function Lt | Gt | Le | Ge | Eq | Ne -> true | _ -> false
-
-let fast_op = function
-  | Add | Sub | Mul | Lt | Gt | Le | Ge | Eq | Ne | Band | Bor | Bxor | Shl
-  | Shr -> true
-  | _ -> false
 
 (* Compile-time environment for one plan. *)
 type cenv = {
@@ -283,122 +328,9 @@ type cenv = {
   c_w : int; (* lane-file stride = warp size *)
   c_iid : int ref;
   c_sited : bool;
+  c_fuse : bool; (* fuse straight-line runs into region loops *)
+  c_regions : int ref; (* fused regions formed (census) *)
 }
-
-let cls_of_decl lt ty =
-  match Layout.resolve lt ty with
-  | TScalar ((Float | Double)) -> CF ty
-  | TScalar s when s <> Void -> CI ty
-  | TPtr _ -> CI ty
-  | _ -> CTop
-
-let cls_operand (cls : vcls array) = function
-  | Core.Reg r -> cls.(r)
-  | Core.Cst t ->
-    (match t.I.v with
-     | V.VInt _ -> CI t.I.ty
-     | V.VFloat _ -> CF t.I.ty
-     | _ -> CTop)
-
-(* The three operand-class cases the scalar fast_binop specializes;
-   float bitwise/shift shapes stay generic (I.binop decides). *)
-type bincase = BII | BUU | BFF
-
-let bin_case (cls : vcls array) op a b : (bincase * vcls) option =
-  if not (fast_op op) then None
-  else
-    match cls_operand cls a, cls_operand cls b with
-    | CI (TScalar Int), CI (TScalar Int) -> Some (BII, CI (TScalar Int))
-    | CI (TScalar UInt), CI (TScalar UInt) ->
-      Some (BUU, if is_cmp op then CI (TScalar Int) else CI (TScalar UInt))
-    | CF (TScalar Float), CF (TScalar Float)
-      when (match op with
-            | Add | Sub | Mul | Lt | Gt | Le | Ge | Eq | Ne -> true
-            | _ -> false) ->
-      Some (BFF, if is_cmp op then CI (TScalar Int) else CF (TScalar Float))
-    | _ -> None
-
-let un_case lt (cls : vcls array) u a : vcls option =
-  match u, cls_operand cls a with
-  | Core.UNeg, CI t ->
-    (match Layout.resolve lt t with
-     | TScalar (Float | Double) -> None (* class invariant guard *)
-     | _ -> Some (CI t))
-  | Core.UNeg, CF t -> Some (CF t)
-  | Core.ULnot, CI _ -> Some (CI (TScalar Int))
-  | Core.UBnot, CI t -> Some (CI t)
-  | Core.UBool, CI _ -> Some (CI (TScalar Int))
-  | _ -> None
-
-let idx_external = function
-  | "get_global_id" | "get_local_id" | "get_group_id" -> true
-  | _ -> false
-
-let intish cls o = match cls_operand cls o with CI _ -> true | _ -> false
-let floatish cls o = match cls_operand cls o with CF _ -> true | _ -> false
-
-let scalar_elt lt ty =
-  match Layout.resolve lt ty with
-  | TScalar ((Float | Double) as s) -> Some (`F s)
-  | TScalar s when s <> Void -> Some (`I s)
-  | _ -> None
-
-(* Is this instruction one the fast emitters handle?  Must stay in
-   lockstep (sic) with [emit_fast] below; classification, residency and
-   emission all key on this one predicate. *)
-let fast_shape lt (cls : vcls array) (k : Core.ikind) : bool =
-  match k with
-  | Core.Let (_, Core.Bin (op, a, b)) -> bin_case cls op a b <> None
-  | Core.Let (_, Core.Un (u, a)) -> un_case lt cls u a <> None
-  | Core.Let (_, Core.Mov o) ->
-    (match cls_operand cls o with CI _ | CF _ -> true | CTop -> false)
-  | Core.Let (_, Core.CallE (n, ops)) ->
-    idx_external n
-    && (match ops with [] -> true | o :: _ -> intish cls o)
-  | Core.Let (_, Core.ReadLv (Core.LvIdx (a, i, elt, _))) ->
-    scalar_elt lt elt <> None && intish cls a && intish cls i
-  | Core.SetReg (_, ty, o) ->
-    (match Layout.resolve lt ty with
-     | TScalar (Float | Double) -> floatish cls o
-     | TScalar s when s <> Void -> intish cls o
-     | TPtr _ -> intish cls o
-     | _ -> false)
-  | Core.Store (Core.LvIdx (a, i, elt, _), o) ->
-    intish cls a && intish cls i
-    && (match scalar_elt lt elt with
-        | Some (`F _) -> floatish cls o
-        | Some (`I _) -> intish cls o
-        | None -> false)
-  | _ -> false
-
-(* Result class of a Let, consistent with both emitters: fast shapes
-   get their specialized class; a few generic shapes still produce
-   statically-classed values (typed scalar loads, address-of). *)
-let let_class (c : cenv) (rhs : Core.rhs) : vcls =
-  let lt = c.c_lt in
-  let cls = c.c_cls in
-  match rhs with
-  | Core.Bin (op, a, b) ->
-    (match bin_case cls op a b with Some (_, r) -> r | None -> CTop)
-  | Core.Un (u, a) ->
-    (match un_case lt cls u a with Some r -> r | None -> CTop)
-  | Core.Mov o -> cls_operand cls o
-  | Core.CallE (n, _) when idx_external n -> CI (TScalar Int)
-  | Core.ReadLv (Core.LvIdx (_, _, elt, _)) ->
-    (match scalar_elt lt elt with
-     | Some (`F _) -> CF elt
-     | Some (`I _) -> CI elt
-     | None -> CTop)
-  | Core.ReadLv (Core.LvVar v) ->
-    let ty = c.c_bst.Emit.fmem.(v).Core.m_ty in
-    (match scalar_elt lt ty with
-     | Some (`F _) -> CF ty
-     | Some (`I _) -> CI ty
-     | None -> CTop)
-  | Core.AddrofLv (Core.LvVar v) ->
-    CI (TPtr c.c_bst.Emit.fmem.(v).Core.m_ty)
-  | Core.AddrofLv (Core.LvIdx (_, _, elt, _)) -> CI (TPtr elt)
-  | _ -> CTop
 
 (* ------------------------------------------------------------------ *)
 (* Readers and writers over mixed storage                              *)
@@ -459,6 +391,33 @@ let rd_bool (c : cenv) (o : Core.operand) : wenv -> int -> bool =
        let r = rd_any c o in
        fun w l -> V.to_bool (r w l).I.v)
 
+(* Specialized branch-condition evaluation: when the condition operand
+   is a lane-resident int register, the kept-lanes mask is built
+   straight off the lane file — no per-lane closure crossings.  Only
+   used when branch decisions are unobserved ([k_branch] = None, the
+   non-attribution case); the observing path keeps the per-lane reader
+   so every decision is reported. *)
+let cond_keep (c : cenv) (o : Core.operand) : (wenv -> int -> int) option =
+  match o with
+  | Core.Reg r ->
+    (match c.c_store.(r), c.c_cls.(r) with
+     | SInt k, CI _ ->
+       let base = k * c.c_w in
+       Some
+         (fun w m ->
+            let keep = ref 0 and mm = ref m and l = ref 0 in
+            while !mm <> 0 do
+              if
+                !mm land 1 = 1
+                && not (Int64.equal (Lanes.get_i w.ki (base + !l)) 0L)
+              then keep := !keep lor (1 lsl !l);
+              incr l;
+              mm := !mm lsr 1
+            done;
+            !keep)
+     | _ -> None)
+  | _ -> None
+
 (* Writers for fast definitions; [ty] is the class type of the target,
    which every definition of the register produces. *)
 let wr_i (c : cenv) r : wenv -> int -> int64 -> unit =
@@ -482,20 +441,613 @@ let wr_f (c : cenv) r : wenv -> int -> float -> unit =
   | SInt _ -> assert false
 
 (* ------------------------------------------------------------------ *)
-(* Per-instruction static hazard facts                                 *)
+(* Fused regions                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Uniform flag for whatever accesses an instruction performs: address
-   provably identical across active lanes, and for stores the value
-   too.  Anything not positively proven is false. *)
-let ikind_uniform (u : Uniform.t) (k : Core.ikind) : bool =
+(* A maximal straight-line run of lane-resident fast-shape
+   instructions executes as ONE region: a flat array of pre-decoded
+   micro-ops interpreted in a tight loop, each micro-op running its
+   own per-lane loop directly over the Bigarray lane files.  No
+   reader/op/writer closures, no tval boxing: every operand is either
+   an immediate or an absolute lane-file base, every operation is
+   matched inline, so the int64/float temporaries stay unboxed inside
+   one function body.
+
+   Legality (= the [fuse_ikind] residency check below, on top of
+   `Ir.Region.segment`'s straight-line guarantee):
+   - every instruction is a fast shape (`Ir.Region.fast_shape`);
+   - every register operand is lane-resident (slot in the int/float
+     lane file) and every constant operand is a plain VInt/VFloat —
+     an SRow (boxed) register anywhere disqualifies the instruction;
+   - the divergence mask is read once at region entry: a run contains
+     no control flow, so the mask cannot change inside it, and
+     instruction-major order within the run preserves lane program
+     order (same argument as the per-instruction path);
+   - loads/stores keep their per-instruction hazard-log identity
+     (fresh iid, `Ir.Region.ikind_uniform` flag, full-mask bit) and
+     call [k_access] before resolving the arena, exactly like the
+     unfused emitters.
+
+   Counter/attr charges are batched with exact-sum compensation: the
+   chargeable instructions of a region are folded at plan time into a
+   (site, class, per-lane count) table, and region entry charges
+   count x popcount(mask) through [k_charge].  The mask is constant
+   across the region, so the product equals the sum of the per-lane
+   per-instruction charges the scalar engine makes; a mid-region
+   fault Bails the launch and the scalar rerun starts from fresh
+   counters, so over-charge before a fault is unobservable. *)
+
+(* Operand sources: absolute lane-file base (slot * warp) or an
+   immediate. *)
+type isrc = LI of int | KI of int64
+type fsrc = LF of int | KF of float
+
+(* [V.wrap_int sc] as a pre-decoded shift pair; (0, _) is the
+   identity (types of >= 64 bits). *)
+let wrap_spec (sc : scalar) : int * bool =
+  let bits = 8 * scalar_size sc in
+  if bits >= 64 then (0, false) else (64 - bits, not (is_unsigned sc))
+
+let[@inline] apply_wrap wsh wsg v =
+  if wsh = 0 then v
+  else if wsg then Int64.shift_right (Int64.shift_left v wsh) wsh
+  else Int64.shift_right_logical (Int64.shift_left v wsh) wsh
+
+type mop =
+  | MSite of int (* cur_site := (site, -1 = ambient); c_sited only *)
+  | MBinII of {
+      op : binop;
+      unsigned : bool;
+      wsh : int;
+      wsg : bool;
+      dst : int;
+      a : isrc;
+      b : isrc;
+    }
+  | MBinFF of { op : binop; dst : int; a : fsrc; b : fsrc }
+  | MCmpFF of { op : binop; dst : int; a : fsrc; b : fsrc }
+  | MNegI of { dst : int; a : isrc }
+  | MNegF of { dst : int; a : fsrc }
+  | MLnot of { dst : int; a : isrc }
+  | MBnot of { dst : int; a : isrc }
+  | MBool of { dst : int; a : isrc }
+  | MCastI of { dst : int; a : isrc; wsh : int; wsg : bool }
+  | MCastF of { dst : int; a : fsrc; r32 : bool }
+  | MItoF of { dst : int; a : isrc; r32 : bool }
+  | MFtoI of { dst : int; a : fsrc; wsh : int; wsg : bool }
+  | MIdx of { which : [ `Gid | `Lid | `Grp ]; dst : int; dim : isrc option }
+  | MLoadI of {
+      iid : int;
+      uni : bool;
+      dst : int;
+      base : isrc;
+      idx : isrc;
+      esz : int64;
+      n : int;
+      wsh : int;
+      wsg : bool;
+    }
+  | MLoadF of {
+      iid : int;
+      uni : bool;
+      dst : int;
+      base : isrc;
+      idx : isrc;
+      esz : int64;
+      n : int;
+    }
+  | MStoreI of {
+      iid : int;
+      uni : bool;
+      base : isrc;
+      idx : isrc;
+      esz : int64;
+      n : int;
+      v : isrc;
+    }
+  | MStoreF of {
+      iid : int;
+      uni : bool;
+      base : isrc;
+      idx : isrc;
+      esz : int64;
+      n : int;
+      v : fsrc;
+      r32 : bool;
+    }
+
+let src_i (c : cenv) (o : Core.operand) : isrc option =
+  match o with
+  | Core.Cst { I.v = V.VInt n; _ } -> Some (KI n)
+  | Core.Cst _ -> None
+  | Core.Reg r ->
+    (match c.c_store.(r) with
+     | SInt k -> Some (LI (k * c.c_w))
+     | SRow | SFloat _ -> None)
+
+let src_f (c : cenv) (o : Core.operand) : fsrc option =
+  match o with
+  | Core.Cst { I.v = V.VFloat f; _ } -> Some (KF f)
+  | Core.Cst _ -> None
+  | Core.Reg r ->
+    (match c.c_store.(r) with
+     | SFloat k -> Some (LF (k * c.c_w))
+     | SRow | SInt _ -> None)
+
+let dst_i (c : cenv) r : int option =
+  match c.c_store.(r) with SInt k -> Some (k * c.c_w) | _ -> None
+
+let dst_f (c : cenv) r : int option =
+  match c.c_store.(r) with SFloat k -> Some (k * c.c_w) | _ -> None
+
+let ( let* ) = Option.bind
+
+(* [cast_value] on lane-resident scalars: the four statically-resolved
+   conversion shapes ([Region.cast_class] admits exactly these), all
+   charge-free like the scalar CastV/CastRet closures. *)
+let fuse_cast (c : cenv) r t o : (mop * I.op_class option) option =
+  match Layout.resolve c.c_lt t, cls_operand c.c_cls o with
+  | TScalar ((Float | Double) as s), CF _ ->
+    let* sa = src_f c o in
+    let* d = dst_f c r in
+    Some (MCastF { dst = d; a = sa; r32 = s = Float }, None)
+  | TScalar ((Float | Double) as s), CI _ ->
+    let* sa = src_i c o in
+    let* d = dst_f c r in
+    Some (MItoF { dst = d; a = sa; r32 = s = Float }, None)
+  | TScalar s, CI _ when s <> Void ->
+    let* sa = src_i c o in
+    let* d = dst_i c r in
+    let wsh, wsg = wrap_spec s in
+    Some (MCastI { dst = d; a = sa; wsh; wsg }, None)
+  | TScalar s, CF _ when s <> Void ->
+    let* sa = src_f c o in
+    let* d = dst_i c r in
+    let wsh, wsg = wrap_spec s in
+    Some (MFtoI { dst = d; a = sa; wsh; wsg }, None)
+  | TPtr _, CI _ ->
+    let* sa = src_i c o in
+    let* d = dst_i c r in
+    Some (MCastI { dst = d; a = sa; wsh = 0; wsg = false }, None)
+  | _ -> None
+
+(* Decode one instruction into a micro-op plus its per-lane charge
+   class, or [None] if it is not fully lane-resident.  The micro-op
+   semantics transcribe the corresponding [emit_fast] emitter (which
+   transcribes the scalar closure): same `I.int_binop`/`I.float_binop`
+   arithmetic, same wrap/round normalization, same charges, same
+   hazard facts, same failure points.  [Some _] implies
+   [Ir.Region.fast_shape] holds. *)
+let fuse_ikind (c : cenv) ~(iid : int) (k : Core.ikind) :
+  (mop * I.op_class option) option =
   match k with
-  | Core.Store (lv, o) -> Uniform.lv_addr u lv && Uniform.operand u o
-  | Core.Let (_, Core.ReadLv lv) | Core.Do (Core.ReadLv lv) ->
-    Uniform.lv_addr u lv
-  | Core.StoreElt (v, _, _, o) -> u.Uniform.u_mem.(v) && Uniform.operand u o
-  | Core.ZeroFill v -> u.Uniform.u_mem.(v)
-  | _ -> false
+  | Core.Let (r, Core.Bin (op, a, b)) ->
+    let* case, _ = bin_case c.c_cls op a b in
+    let cmp = is_cmp op in
+    (match case with
+     | BII | BUU ->
+       let unsigned = case = BUU in
+       let* sa = src_i c a in
+       let* sb = src_i c b in
+       let* d = dst_i c r in
+       let wsh, wsg =
+         if cmp then (0, false)
+         else wrap_spec (if unsigned then UInt else Int)
+       in
+       Some
+         ( MBinII { op; unsigned; wsh; wsg; dst = d; a = sa; b = sb },
+           Some I.Op_int )
+     | BFF ->
+       let* sa = src_f c a in
+       let* sb = src_f c b in
+       if cmp then
+         let* d = dst_i c r in
+         Some (MCmpFF { op; dst = d; a = sa; b = sb }, Some I.Op_float)
+       else
+         let* d = dst_f c r in
+         Some (MBinFF { op; dst = d; a = sa; b = sb }, Some I.Op_float))
+  | Core.Let (r, Core.Un (u, a)) ->
+    (match u, cls_operand c.c_cls a with
+     | Core.UNeg, CI _ ->
+       let* sa = src_i c a in
+       let* d = dst_i c r in
+       Some (MNegI { dst = d; a = sa }, Some I.Op_int)
+     | Core.UNeg, CF _ ->
+       let* sa = src_f c a in
+       let* d = dst_f c r in
+       Some (MNegF { dst = d; a = sa }, Some I.Op_float)
+     | Core.ULnot, CI _ ->
+       let* sa = src_i c a in
+       let* d = dst_i c r in
+       Some (MLnot { dst = d; a = sa }, Some I.Op_int)
+     | Core.UBnot, CI _ ->
+       let* sa = src_i c a in
+       let* d = dst_i c r in
+       Some (MBnot { dst = d; a = sa }, Some I.Op_int)
+     | Core.UBool, CI _ ->
+       let* sa = src_i c a in
+       let* d = dst_i c r in
+       Some (MBool { dst = d; a = sa }, None)
+     | _ -> None)
+  | Core.Let (r, Core.Mov o) ->
+    (match cls_operand c.c_cls o with
+     | CI _ ->
+       let* sa = src_i c o in
+       let* d = dst_i c r in
+       Some (MCastI { dst = d; a = sa; wsh = 0; wsg = false }, None)
+     | CF _ ->
+       let* sa = src_f c o in
+       let* d = dst_f c r in
+       Some (MCastF { dst = d; a = sa; r32 = false }, None)
+     | CTop -> None)
+  | Core.Let (r, Core.CastV (t, o)) -> fuse_cast c r t o
+  | Core.Let (r, Core.CastRet (t, o)) ->
+    (match cls_operand c.c_cls o with
+     | CI tc when equal_ty tc t ->
+       let* sa = src_i c o in
+       let* d = dst_i c r in
+       Some (MCastI { dst = d; a = sa; wsh = 0; wsg = false }, None)
+     | CF tc when equal_ty tc t ->
+       let* sa = src_f c o in
+       let* d = dst_f c r in
+       Some (MCastF { dst = d; a = sa; r32 = false }, None)
+     | _ -> fuse_cast c r t o)
+  | Core.Let (r, Core.CallE (n, ops)) when Region.idx_external n ->
+    let which =
+      match n with
+      | "get_global_id" -> `Gid
+      | "get_local_id" -> `Lid
+      | _ -> `Grp
+    in
+    let* dim =
+      match ops with
+      | [] -> Some None
+      | o :: _ ->
+        (match src_i c o with Some s -> Some (Some s) | None -> None)
+    in
+    let* d = dst_i c r in
+    Some (MIdx { which; dst = d; dim }, None)
+  | Core.Let (r, Core.ReadLv (Core.LvIdx (a, i_op, elt, esz))) ->
+    let uni = ikind_uniform c.c_uni k in
+    let* sb = src_i c a in
+    let* si = src_i c i_op in
+    let esz64 = Int64.of_int esz in
+    (match scalar_elt c.c_lt elt with
+     | Some (`I s) ->
+       let* d = dst_i c r in
+       let wsh, wsg = wrap_spec s in
+       Some
+         ( MLoadI
+             { iid; uni; dst = d; base = sb; idx = si; esz = esz64;
+               n = max 1 (scalar_size s); wsh; wsg },
+           None )
+     | Some (`F s) ->
+       let* d = dst_f c r in
+       Some
+         ( MLoadF
+             { iid; uni; dst = d; base = sb; idx = si; esz = esz64;
+               n = scalar_size s },
+           None )
+     | None -> None)
+  | Core.SetReg (r, ty, o) ->
+    (match Layout.resolve c.c_lt ty with
+     | TScalar ((Float | Double) as s) ->
+       let* sa = src_f c o in
+       let* d = dst_f c r in
+       Some (MCastF { dst = d; a = sa; r32 = s = Float }, None)
+     | TScalar s when s <> Void ->
+       let* sa = src_i c o in
+       let* d = dst_i c r in
+       let wsh, wsg = wrap_spec s in
+       Some (MCastI { dst = d; a = sa; wsh; wsg }, None)
+     | TPtr _ ->
+       let* sa = src_i c o in
+       let* d = dst_i c r in
+       Some (MCastI { dst = d; a = sa; wsh = 0; wsg = false }, None)
+     | _ -> None)
+  | Core.Store (Core.LvIdx (a, i_op, elt, esz), o) ->
+    let uni = ikind_uniform c.c_uni k in
+    let* sb = src_i c a in
+    let* si = src_i c i_op in
+    let esz64 = Int64.of_int esz in
+    (match scalar_elt c.c_lt elt with
+     | Some (`I s) ->
+       let* sv = src_i c o in
+       Some
+         ( MStoreI
+             { iid; uni; base = sb; idx = si; esz = esz64;
+               n = max 1 (scalar_size s); v = sv },
+           None )
+     | Some (`F s) ->
+       let* sv = src_f c o in
+       Some
+         ( MStoreF
+             { iid; uni; base = sb; idx = si; esz = esz64;
+               n = scalar_size s; v = sv; r32 = s = Float },
+           None )
+     | None -> None)
+  | _ -> None
+
+let[@inline] get_i (w : wenv) (s : isrc) l =
+  match s with LI b -> Lanes.get_i w.ki (b + l) | KI n -> n
+
+let[@inline] get_f (w : wenv) (s : fsrc) l =
+  match s with LF b -> Lanes.get_f w.kf (b + l) | KF f -> f
+
+(* Execute one micro-op over the region's active lanes.  The region
+   prologue expanded the (constant) mask once into [w.lidx.(0..nact)],
+   so every micro-op runs a direct counted loop over a dense index
+   array — no per-lane closure crossings, no bit scans — and the
+   int64/float temporaries stay unboxed inside this one function body.
+   [full] is the region-constant "active mask covers every live lane"
+   hazard fact (what [set_flags] computes per instruction on the
+   unfused path). *)
+let exec_mop (w : wenv) (nact : int) (full : bool) (m : mop) : unit =
+  let lx = w.lidx in
+  match m with
+  | MSite s -> w.h.k_ctx.I.cur_site := (if s < 0 then w.amb else s)
+  | MBinII { op; unsigned; wsh; wsg; dst; a; b } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let x = get_i w a l and y = get_i w b l in
+      let v =
+        match op with
+        | Add -> Int64.add x y
+        | Sub -> Int64.sub x y
+        | Mul -> Int64.mul x y
+        | Band -> Int64.logand x y
+        | Bxor -> Int64.logxor x y
+        | Bor -> Int64.logor x y
+        | Shl -> Int64.shift_left x (Int64.to_int y land 63)
+        | Shr ->
+          if unsigned then
+            Int64.shift_right_logical x (Int64.to_int y land 63)
+          else Int64.shift_right x (Int64.to_int y land 63)
+        | Lt | Gt | Le | Ge ->
+          let s =
+            if unsigned then Int64.unsigned_compare x y
+            else Int64.compare x y
+          in
+          let t =
+            match op with
+            | Lt -> s < 0
+            | Gt -> s > 0
+            | Le -> s <= 0
+            | _ -> s >= 0
+          in
+          if t then 1L else 0L
+        | Eq -> if Int64.equal x y then 1L else 0L
+        | Ne -> if Int64.equal x y then 0L else 1L
+        | _ -> assert false
+      in
+      Lanes.set_i w.ki (dst + l) (apply_wrap wsh wsg v)
+    done
+  | MBinFF { op; dst; a; b } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let x = get_f w a l and y = get_f w b l in
+      let v =
+        match op with
+        | Add -> x +. y
+        | Sub -> x -. y
+        | Mul -> x *. y
+        | _ -> assert false
+      in
+      (* BFF operands are fp32, so the result rounds as Float *)
+      Lanes.set_f w.kf (dst + l)
+        (Int32.float_of_bits (Int32.bits_of_float v))
+    done
+  | MCmpFF { op; dst; a; b } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let x = get_f w a l and y = get_f w b l in
+      let t =
+        match op with
+        | Lt -> x < y
+        | Gt -> x > y
+        | Le -> x <= y
+        | Ge -> x >= y
+        | Eq -> x = y
+        | Ne -> x <> y
+        | _ -> assert false
+      in
+      Lanes.set_i w.ki (dst + l) (if t then 1L else 0L)
+    done
+  | MNegI { dst; a } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_i w.ki (dst + l) (Int64.neg (get_i w a l))
+    done
+  | MNegF { dst; a } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_f w.kf (dst + l) (-.get_f w a l)
+    done
+  | MLnot { dst; a } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_i w.ki (dst + l)
+        (if Int64.equal (get_i w a l) 0L then 1L else 0L)
+    done
+  | MBnot { dst; a } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_i w.ki (dst + l) (Int64.lognot (get_i w a l))
+    done
+  | MBool { dst; a } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_i w.ki (dst + l)
+        (if Int64.equal (get_i w a l) 0L then 0L else 1L)
+    done
+  | MCastI { dst; a; wsh; wsg } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_i w.ki (dst + l) (apply_wrap wsh wsg (get_i w a l))
+    done
+  | MCastF { dst; a; r32 } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let v = get_f w a l in
+      Lanes.set_f w.kf (dst + l)
+        (if r32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+    done
+  | MItoF { dst; a; r32 } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let v = Int64.to_float (get_i w a l) in
+      Lanes.set_f w.kf (dst + l)
+        (if r32 then Int32.float_of_bits (Int32.bits_of_float v) else v)
+    done
+  | MFtoI { dst; a; wsh; wsg } ->
+    (* C float->int conversion truncates toward zero (cast_value) *)
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      Lanes.set_i w.ki (dst + l)
+        (apply_wrap wsh wsg (Int64.of_float (Float.trunc (get_f w a l))))
+    done
+  | MIdx { which; dst; dim } ->
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let d =
+        match dim with None -> 0 | Some s -> Int64.to_int (get_i w s l)
+      in
+      Lanes.set_i w.ki (dst + l)
+        (Int64.of_int (w.h.k_idx which (w.lane0 + l) d))
+    done
+  | MLoadI { iid; uni; dst; base; idx; esz; n; wsh; wsg } ->
+    let fl = w.h.k_flags in
+    fl.f_iid <- iid;
+    fl.f_uni <- uni;
+    fl.f_full <- full;
+    let ctx = w.h.k_ctx in
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let b = get_i w base l in
+      if V.is_null b then I.fail "null pointer indexed";
+      let addr = Int64.add b (Int64.mul (get_i w idx l) esz) in
+      let sp = V.ptr_space addr and off = V.ptr_offset addr in
+      w.h.k_access (w.lane0 + l) Memory.Load sp off n;
+      Lanes.set_i w.ki (dst + l)
+        (apply_wrap wsh wsg (Memory.load_int (ctx.I.arena_of sp) off n))
+    done
+  | MLoadF { iid; uni; dst; base; idx; esz; n } ->
+    let fl = w.h.k_flags in
+    fl.f_iid <- iid;
+    fl.f_uni <- uni;
+    fl.f_full <- full;
+    let ctx = w.h.k_ctx in
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let b = get_i w base l in
+      if V.is_null b then I.fail "null pointer indexed";
+      let addr = Int64.add b (Int64.mul (get_i w idx l) esz) in
+      let sp = V.ptr_space addr and off = V.ptr_offset addr in
+      w.h.k_access (w.lane0 + l) Memory.Load sp off n;
+      Lanes.set_f w.kf (dst + l)
+        (Memory.load_float (ctx.I.arena_of sp) off n)
+    done
+  | MStoreI { iid; uni; base; idx; esz; n; v } ->
+    let fl = w.h.k_flags in
+    fl.f_iid <- iid;
+    fl.f_uni <- uni;
+    fl.f_full <- full;
+    let ctx = w.h.k_ctx in
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let b = get_i w base l in
+      if V.is_null b then I.fail "null pointer indexed";
+      let addr = Int64.add b (Int64.mul (get_i w idx l) esz) in
+      let sp = V.ptr_space addr and off = V.ptr_offset addr in
+      w.h.k_access (w.lane0 + l) Memory.Store sp off n;
+      Memory.store_int (ctx.I.arena_of sp) off n (get_i w v l)
+    done
+  | MStoreF { iid; uni; base; idx; esz; n; v; r32 } ->
+    let fl = w.h.k_flags in
+    fl.f_iid <- iid;
+    fl.f_uni <- uni;
+    fl.f_full <- full;
+    let ctx = w.h.k_ctx in
+    for k = 0 to nact - 1 do
+      let l = Array.unsafe_get lx k in
+      let b = get_i w base l in
+      if V.is_null b then I.fail "null pointer indexed";
+      let addr = Int64.add b (Int64.mul (get_i w idx l) esz) in
+      let sp = V.ptr_space addr and off = V.ptr_offset addr in
+      w.h.k_access (w.lane0 + l) Memory.Store sp off n;
+      let x = get_f w v l in
+      Memory.store_float (ctx.I.arena_of sp) off n
+        (if r32 then Int32.float_of_bits (Int32.bits_of_float x) else x)
+    done
+
+(* Compile a fusable run into one region closure.  Returns the closure
+   and the site the region leaves in [cur_site] (so the caller's
+   site-tracking stays exact: MSite micro-ops are emitted at every
+   site change in instruction order, like the unfused site closures).
+   Each instruction still consumes a fresh iid, so hazard-log
+   clustering sees the same instruction identities as the unfused
+   path. *)
+let emit_fused (c : cenv) (tracked : int option) (instrs : Core.instr list) :
+  (wenv -> unit) * int option =
+  let mops = ref [] in
+  let charges : ((int * I.op_class) * int) list ref = ref [] in
+  let cur = ref tracked in
+  List.iter
+    (fun (i : Core.instr) ->
+       if c.c_sited && !cur <> Some i.Core.i_site then begin
+         mops := MSite i.Core.i_site :: !mops;
+         cur := Some i.Core.i_site
+       end;
+       let iid = !(c.c_iid) in
+       incr c.c_iid;
+       match fuse_ikind c ~iid i.Core.i_kind with
+       | None -> assert false (* segment only groups fusable instrs *)
+       | Some (m, chg) ->
+         mops := m :: !mops;
+         (match chg with
+          | None -> ()
+          | Some cls ->
+            let site = if c.c_sited then i.Core.i_site else -1 in
+            let key = (site, cls) in
+            let n = Option.value (List.assoc_opt key !charges) ~default:0 in
+            charges := (key, n + 1) :: List.remove_assoc key !charges))
+    instrs;
+  incr c.c_regions;
+  let mops = Array.of_list (List.rev !mops) in
+  let charges =
+    Array.of_list (List.rev_map (fun ((s, k), n) -> (s, k, n)) !charges)
+  in
+  let f w =
+    if w.mask <> 0 then begin
+      let live = all_live w in
+      let full = w.mask = live in
+      if not !bug_skip_charge then begin
+        let lanes = popcount w.mask in
+        for k = 0 to Array.length charges - 1 do
+          let s, kls, n = charges.(k) in
+          w.h.k_charge (if s >= 0 then s else w.amb) kls (n * lanes)
+        done
+      end;
+      let mask = if !bug_drop_mask then live else w.mask in
+      (* expand the (region-constant) mask once into a dense lane-index
+         scratch shared by every micro-op's counted loop *)
+      let nact = ref 0 in
+      let m = ref mask and l = ref 0 in
+      while !m <> 0 do
+        if !m land 1 = 1 then begin
+          Array.unsafe_set w.lidx !nact !l;
+          incr nact
+        end;
+        incr l;
+        m := !m lsr 1
+      done;
+      let nact = !nact in
+      for k = 0 to Array.length mops - 1 do
+        exec_mop w nact full (Array.unsafe_get mops k)
+      done
+    end
+  in
+  (f, !cur)
 
 (* ------------------------------------------------------------------ *)
 (* Emitters                                                            *)
@@ -534,6 +1086,39 @@ let emit_generic (c : cenv) (i : Core.instr) : wenv -> unit =
                 b.I.b_space b.I.b_addr size)
       | None -> ()
     end
+
+(* Unfused cast emitters: [cast_value]'s statically-resolved scalar
+   conversions, charge-free, one lane at a time under the mask
+   (mirrors [fuse_cast] shape for shape). *)
+let emit_cast (c : cenv) r t o : wenv -> unit =
+  match Layout.resolve c.c_lt t, cls_operand c.c_cls o with
+  | TScalar ((Float | Double) as s), CF _ ->
+    let ra = Option.get (rd_f c o) and wr = wr_f c r in
+    fun w ->
+      if w.mask <> 0 then
+        iter_lanes w.mask (fun l -> wr w l (V.round_float s (ra w l)))
+  | TScalar ((Float | Double) as s), CI _ ->
+    let ra = Option.get (rd_i c o) and wr = wr_f c r in
+    fun w ->
+      if w.mask <> 0 then
+        iter_lanes w.mask (fun l ->
+            wr w l (V.round_float s (Int64.to_float (ra w l))))
+  | TScalar s, CI _ ->
+    let ra = Option.get (rd_i c o) and wr = wr_i c r in
+    fun w ->
+      if w.mask <> 0 then
+        iter_lanes w.mask (fun l -> wr w l (V.wrap_int s (ra w l)))
+  | TScalar s, CF _ ->
+    let ra = Option.get (rd_f c o) and wr = wr_i c r in
+    fun w ->
+      if w.mask <> 0 then
+        iter_lanes w.mask (fun l ->
+            wr w l (V.wrap_int s (Int64.of_float (Float.trunc (ra w l)))))
+  | TPtr _, CI _ ->
+    let ra = Option.get (rd_i c o) and wr = wr_i c r in
+    fun w ->
+      if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
+  | _ -> assert false
 
 (* Fast execution for the shapes [fast_shape] accepted.  Each emitter
    mirrors the corresponding scalar closure exactly: same charges, same
@@ -639,6 +1224,18 @@ let emit_fast (c : cenv) (i : Core.instr) : wenv -> unit =
        fun w ->
          if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
      | CTop -> assert false)
+  | Core.Let (r, Core.CastV (t, o)) -> emit_cast c r t o
+  | Core.Let (r, Core.CastRet (t, o)) ->
+    (match cls_operand c.c_cls o with
+     | CI tc when equal_ty tc t ->
+       let ra = Option.get (rd_i c o) and wr = wr_i c r in
+       fun w ->
+         if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
+     | CF tc when equal_ty tc t ->
+       let ra = Option.get (rd_f c o) and wr = wr_f c r in
+       fun w ->
+         if w.mask <> 0 then iter_lanes w.mask (fun l -> wr w l (ra w l))
+     | _ -> emit_cast c r t o)
   | Core.Let (r, Core.CallE (n, ops)) ->
     let which =
       match n with
@@ -754,9 +1351,20 @@ let barrier_name n = n = "barrier" || n = "__syncthreads"
 
 let rec emit_body (c : cenv) (tracked : int option) (b : Core.body) :
   wenv -> unit =
+  (* fusable = decodes to a micro-op (implies fast_shape + full lane
+     residency); barriers and control flow never decode, so they
+     always end a run *)
+  let fusable (i : Core.instr) =
+    c.c_fuse && Option.is_some (fuse_ikind c ~iid:0 i.Core.i_kind)
+  in
   let rec build tracked acc = function
     | [] -> acc
-    | Core.Ins ({ Core.i_kind = Core.Barrier _; _ } as i) :: rest ->
+    | Region.Straight instrs :: rest ->
+      (* site closures fold into the region as MSite micro-ops *)
+      let f, tracked = emit_fused c tracked instrs in
+      build tracked (f :: acc) rest
+    | Region.Other (Core.Ins ({ Core.i_kind = Core.Barrier _; _ } as i))
+      :: rest ->
       let acc, tracked =
         if c.c_sited && tracked <> Some i.Core.i_site then
           (site_closure i.Core.i_site :: acc, Some i.Core.i_site)
@@ -771,7 +1379,7 @@ let rec emit_body (c : cenv) (tracked : int option) (b : Core.body) :
         end
       in
       build tracked (f :: acc) rest
-    | Core.Ins i :: rest ->
+    | Region.Other (Core.Ins i) :: rest ->
       let acc, tracked =
         if c.c_sited && tracked <> Some i.Core.i_site then
           (site_closure i.Core.i_site :: acc, Some i.Core.i_site)
@@ -782,14 +1390,15 @@ let rec emit_body (c : cenv) (tracked : int option) (b : Core.body) :
         else emit_generic c i
       in
       build tracked (f :: acc) rest
-    | Core.If (site, cond, t, e) :: rest ->
+    | Region.Other (Core.If (site, cond, t, e)) :: rest ->
       let acc =
         if c.c_sited && tracked <> Some site then site_closure site :: acc
         else acc
       in
       build None (emit_if c site cond t e :: acc) rest
-    | Core.Loop l :: rest -> build None (emit_loop c l :: acc) rest
-    | Core.Return o :: rest ->
+    | Region.Other (Core.Loop l) :: rest ->
+      build None (emit_loop c l :: acc) rest
+    | Region.Other (Core.Return o) :: rest ->
       let f =
         match o with
         | None ->
@@ -808,20 +1417,22 @@ let rec emit_body (c : cenv) (tracked : int option) (b : Core.body) :
             end
       in
       build tracked (f :: acc) rest
-    | Core.Break :: rest ->
+    | Region.Other Core.Break :: rest ->
       let f w =
         w.brk <- w.brk lor w.mask;
         w.mask <- 0
       in
       build tracked (f :: acc) rest
-    | Core.Continue :: rest ->
+    | Region.Other Core.Continue :: rest ->
       let f w =
         w.cont <- w.cont lor w.mask;
         w.mask <- 0
       in
       build tracked (f :: acc) rest
   in
-  match Array.of_list (List.rev (build tracked [] b)) with
+  match
+    Array.of_list (List.rev (build tracked [] (Region.segment ~fusable b)))
+  with
   | [||] -> fun _ -> ()
   | [| f |] -> f
   | cls ->
@@ -832,19 +1443,26 @@ let rec emit_body (c : cenv) (tracked : int option) (b : Core.body) :
 
 and emit_if (c : cenv) site cond t e : wenv -> unit =
   let rb = rd_bool c cond in
+  let fc = cond_keep c cond in
   let tb = emit_body c (Some site) t in
   let eb = emit_body c (Some site) e in
   fun w ->
     if w.mask <> 0 then begin
       let m = w.mask in
       charge w I.Op_branch;
-      let ctx = w.h.k_ctx in
       let tm = ref 0 in
-      iter_lanes m (fun l ->
-          let b = rb w l in
-          if b then tm := !tm lor (1 lsl l);
-          w.h.k_set_lane (w.lane0 + l);
-          ignore (I.obs_branch ctx b));
+      (* branch decisions are only observed in attribution mode
+         ([k_branch]); the validator's observer is never installed
+         under lockstep (the launcher requires it absent) *)
+      (match w.h.k_branch, fc with
+       | None, Some fc -> tm := fc w m
+       | None, None ->
+         iter_lanes m (fun l -> if rb w l then tm := !tm lor (1 lsl l))
+       | Some kb, _ ->
+         iter_lanes m (fun l ->
+             let b = rb w l in
+             if b then tm := !tm lor (1 lsl l);
+             kb (w.lane0 + l) b));
       let tm = !tm in
       let em = m land lnot tm in
       w.mask <- tm;
@@ -860,7 +1478,7 @@ and emit_loop (c : cenv) (l : Core.loop) : wenv -> unit =
   let pre = emit_body c None l.Core.l_pre in
   let cond =
     Option.map
-      (fun (cb, co) -> (emit_body c None cb, rd_bool c co))
+      (fun (cb, co) -> (emit_body c None cb, rd_bool c co, cond_keep c co))
       l.Core.l_cond
   in
   let body = emit_body c None l.Core.l_body in
@@ -876,16 +1494,19 @@ and emit_loop (c : cenv) (l : Core.loop) : wenv -> unit =
     charge w I.Op_branch;
     match cond with
     | None -> ()
-    | Some (cb, rc) ->
+    | Some (cb, rc, fc) ->
       cb w;
-      let ctx = w.h.k_ctx in
       let m = w.mask in
       let keep = ref 0 in
-      iter_lanes m (fun l ->
-          let b = rc w l in
-          if b then keep := !keep lor (1 lsl l);
-          w.h.k_set_lane (w.lane0 + l);
-          ignore (I.obs_branch ctx b));
+      (match w.h.k_branch, fc with
+       | None, Some fc -> keep := fc w m
+       | None, None ->
+         iter_lanes m (fun l -> if rc w l then keep := !keep lor (1 lsl l))
+       | Some kb, _ ->
+         iter_lanes m (fun l ->
+             let b = rc w l in
+             if b then keep := !keep lor (1 lsl l);
+             kb (w.lane0 + l) b));
       w.mask <- !keep
   in
   match l.Core.l_kind with
@@ -1030,6 +1651,7 @@ type plan = {
   p_nregs : int;
   p_nmem : int;
   p_sited : bool;
+  p_fused : int; (* fused regions formed (0 when fusion is off) *)
   p_ret : ty;
   p_binders : (wenv -> I.tval array -> unit) array;
   p_body : wenv -> unit;
@@ -1115,11 +1737,13 @@ let plan_for (est : Emit.t) ~(name : string) ~(warp : int) :
                  c_store = Array.make nregs SRow;
                  c_w = warp;
                  c_iid = ref 0;
-                 c_sited = fn.Core.f_sited }
+                 c_sited = fn.Core.f_sited;
+                 c_fuse = !fusion;
+                 c_regions = ref 0 }
              in
              let rec class_node = function
                | Core.Ins { Core.i_kind = Core.Let (r, rhs); _ } ->
-                 cls.(r) <- let_class c0 rhs
+                 cls.(r) <- Region.let_class lt cls fn.Core.f_mem rhs
                | Core.Ins _ | Core.Return _ | Core.Break | Core.Continue ->
                  ()
                | Core.If (_, _, t, e) ->
@@ -1236,6 +1860,7 @@ let plan_for (est : Emit.t) ~(name : string) ~(warp : int) :
                  p_nregs = fn.Core.f_nregs;
                  p_nmem = Array.length fn.Core.f_mem;
                  p_sited = fn.Core.f_sited;
+                 p_fused = !(c0.c_regions);
                  p_ret = fn.Core.f_ret;
                  p_binders = binders;
                  p_body = body })
@@ -1287,7 +1912,8 @@ let run_warp (p : plan) (h : hooks) ~(lane0 : int) ~(nlanes : int)
       ki = Lanes.ints (p.p_nki * p.p_warp);
       kf = Lanes.floats (p.p_nkf * p.p_warp);
       renvs;
-      retv = Array.make (max nlanes 1) I.tunit }
+      retv = Array.make (max nlanes 1) I.tunit;
+      lidx = Array.make (max nlanes 1) 0 }
   in
   let finish () =
     for l = nlanes - 1 downto 0 do

@@ -1,0 +1,296 @@
+(* Directed regressions for lockstep instruction-region fusion.
+
+   The fused-region interpreter (Gpusim.Lockstep + Ir.Region) executes
+   straight-line runs of fast-shape instructions as single per-warp
+   loops.  Each test here pins one region-boundary hazard: a divergence
+   join landing between regions, a barrier splitting a run, a cross-lane
+   hazard bailing out mid-region with a clean rollback, and
+   translator-injected (site-0) code charging through the batched
+   counter path.  The planted-bug cases flip the engine's deliberate
+   bug knobs ([bug_drop_mask], [bug_skip_charge]) and demand that the
+   differential harness *catches* the corruption — a net that cannot
+   see a dropped mask check or a skipped charge is not a net. *)
+
+module T = Test_lockstep
+
+let check = Alcotest.(check bool)
+let check_ints = Alcotest.(check (array int))
+let check_int = Alcotest.(check int)
+
+let with_bug (r : bool ref) f =
+  r := true;
+  Fun.protect ~finally:(fun () -> r := false) f
+
+(* Region-boundary and planted-bug tests exercise fused execution by
+   construction, so they force the toggle on regardless of the ambient
+   OCLCU_LOCKSTEP_FUSION (CI runs the whole suite with it off too). *)
+let test_fused name speed f =
+  Alcotest.test_case name speed (fun () -> T.with_fusion true f)
+
+(* Compile [src]'s kernels and return the lockstep plan for [kernel]
+   under the ambient fusion toggle. *)
+let plan_of ~src ~kernel =
+  let prog = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
+  let est =
+    Ir.Emit.make ~special_ty:Gpusim.Exec.special_ty ~cfg:!Ir.Pipeline.selected
+      prog
+  in
+  match Gpusim.Lockstep.plan_for est ~name:kernel ~warp:32 with
+  | Ok p -> p
+  | Error why -> Alcotest.fail ("not lockstep-eligible: " ^ why)
+
+(* --- region boundaries --------------------------------------------------- *)
+
+let boundary_tests =
+  [ test_fused "divergence join lands between regions" `Quick
+      (fun () ->
+         (* the if/else arms and the straight-line tail are separate
+            regions; after the join every lane must be active again for
+            the fused tail arithmetic *)
+         let src = {|
+__kernel void join(__global int* out) {
+  int t = (int)get_global_id(0);
+  int v = 0;
+  if (t % 2 == 0) { v = 10 + t; v = v * 3; }
+  else { v = 20 + t; v = v * 5; }
+  int w = v * 2 + t;
+  out[t] = w;
+}
+|}
+         in
+         let out, eng =
+           T.both ~src ~kernel:"join" ~gws:[| 64; 1; 1 |] ~lws:[| 16; 1; 1 |]
+             ~out_ints:64 ()
+         in
+         let expected =
+           Array.init 64 (fun t ->
+               let v =
+                 if t mod 2 = 0 then (10 + t) * 3 else (20 + t) * 5
+               in
+               (v * 2) + t)
+         in
+         check_ints "host model" expected (T.expect_ran out eng);
+         check "arms and tail fused" true
+           ((plan_of ~src ~kernel:"join").Gpusim.Lockstep.p_fused >= 3));
+    test_fused "barrier splits a straight-line run" `Quick (fun () ->
+        (* without the barrier this body is one straight line; the
+           barrier must end the region so the local-memory exchange
+           sees every lane's store *)
+        let src = {|
+__kernel void bar(__global int* out, __local int* tmp) {
+  int t = (int)get_local_id(0);
+  int a = t * 2 + 1;
+  tmp[t] = a;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int b = tmp[(t + 1) % 8];
+  out[get_global_id(0)] = b * 10 + t;
+}
+|}
+        in
+        let out, eng =
+          T.both ~src ~kernel:"bar" ~gws:[| 32; 1; 1 |] ~lws:[| 8; 1; 1 |]
+            ~extra_args:[ Gpusim.Exec.Arg_local (8 * 4) ] ~out_ints:32 ()
+        in
+        let expected =
+          Array.init 32 (fun i ->
+              let t = i mod 8 in
+              (((((t + 1) mod 8) * 2) + 1) * 10) + t)
+        in
+        check_ints "host model" expected (T.expect_ran out eng);
+        check "split into >= 2 regions" true
+          ((plan_of ~src ~kernel:"bar").Gpusim.Lockstep.p_fused >= 2));
+    test_fused "hazard bail inside a fused region rolls back" `Quick
+      (fun () ->
+         (* both stores fuse into one region; the cross-lane clobber of
+            c[0] is detected at the hazard check, the whole warp-side
+            effect set is rolled back, and the scalar rerun lands the
+            sequential last-item-wins state with scalar counters *)
+         let src = {|
+__kernel void clob(__global int* out, __global int* c) {
+  int t = (int)get_global_id(0);
+  int v = t * 3 + 1;
+  out[t] = v;
+  c[0] = v;
+}
+|}
+         in
+         check "stores fused into one region" true
+           ((plan_of ~src ~kernel:"clob").Gpusim.Lockstep.p_fused = 1);
+         let run engine =
+           T.with_engine engine @@ fun () ->
+           T.with_domains 1 @@ fun () ->
+           T.with_attr @@ fun () ->
+           let prog =
+             Minic.Parser.program ~dialect:Minic.Parser.OpenCL src
+           in
+           let dev =
+             Gpusim.Device.create Gpusim.Device.titan
+               Gpusim.Device.opencl_on_nvidia
+           in
+           let host = Vm.Memory.create "host" in
+           let k = Option.get (Minic.Ast.find_function prog "clob") in
+           let out = T.gbuf dev (8 * 4) and c = T.gbuf dev 4 in
+           let stats =
+             Gpusim.Exec.launch ~dev ~prog ~globals:(Hashtbl.create 4)
+               ~host_arena:host ~kernel:k
+               ~cfg:
+                 { global_size = [| 8; 1; 1 |]; local_size = [| 8; 1; 1 |];
+                   dyn_shared = 0 }
+               ~args:[ T.iptr out; T.iptr c ] ()
+           in
+           ( T.read_ints dev out 8,
+             T.read_ints dev c 1,
+             stats.Gpusim.Exec.engine,
+             stats.Gpusim.Exec.counters )
+         in
+         let s_out, s_c, _, s_ctr = run Gpusim.Exec.Scalar in
+         let l_out, l_c, l_eng, l_ctr = run Gpusim.Exec.Lockstep in
+         (match l_eng with
+          | Gpusim.Exec.Engine_bailed _ -> ()
+          | o -> Alcotest.fail ("expected a bail, got " ^ T.engine_name o));
+         check_ints "out agrees" s_out l_out;
+         check_ints "last item wins" s_c l_c;
+         check_int "sequential winner" ((7 * 3) + 1) l_c.(0);
+         check "rerun counters are the scalar counters" true (s_ctr = l_ctr));
+    test_fused "translated (site-0) code charges exactly" `Quick
+      (fun () ->
+         (* ocl->cuda translation injects unannotated index plumbing;
+            the fused charge table must reproduce the scalar engine's
+            site-0/ambient attribution rows for it *)
+         let src = {|
+__kernel void tx(__global int* out) {
+  int t = (int)get_global_id(0);
+  int v = t * 7 + 3;
+  out[t] = v;
+}
+|}
+         in
+         let prog = Minic.Parser.program ~dialect:Minic.Parser.OpenCL src in
+         let result = Xlat.Ocl_to_cuda.translate prog in
+         let cuda_src =
+           Minic.Pretty.program_str Minic.Pretty.Cuda
+             result.Xlat.Ocl_to_cuda.cuda_prog
+         in
+         let out, eng =
+           T.both ~dialect:Minic.Parser.Cuda ~src:cuda_src ~kernel:"tx"
+             ~gws:[| 32; 1; 1 |] ~lws:[| 8; 1; 1 |] ~out_ints:32 ()
+         in
+         let expected = Array.init 32 (fun t -> (t * 7) + 3) in
+         check_ints "host model" expected (T.expect_ran out eng)) ]
+
+(* --- planted bugs: the net must catch them ------------------------------- *)
+
+let planted_tests =
+  [ test_fused "dropped mask check is caught" `Quick (fun () ->
+        (* [bug_drop_mask] makes fused regions run every live lane
+           instead of the divergence mask; a region under a branch then
+           clobbers the else-lanes.  The differential harness must see
+           the corruption — and the same kernel must pass clean. *)
+        let src = {|
+__kernel void pb(__global int* out) {
+  int t = (int)get_global_id(0);
+  int v = t;
+  if (t % 2 == 0) { v = v * 3; v = v + 1; }
+  out[t] = v;
+}
+|}
+        in
+        let run () =
+          T.launch ~engine:Gpusim.Exec.Lockstep ~src ~kernel:"pb"
+            ~gws:[| 32; 1; 1 |] ~lws:[| 8; 1; 1 |] ~out_ints:32 ()
+        in
+        let expected =
+          Array.init 32 (fun t -> if t mod 2 = 0 then (t * 3) + 1 else t)
+        in
+        let buggy, _, _ = with_bug Gpusim.Lockstep.bug_drop_mask run in
+        check "planted mask bug detected" true (buggy <> expected);
+        let clean, eng, _ = run () in
+        check_ints "clean run matches host model" expected
+          (T.expect_ran clean eng));
+    test_fused "skipped region charge is caught" `Quick (fun () ->
+        (* [bug_skip_charge] drops the batched counter/attr charges at
+           region entry; the counters comparison against the scalar
+           engine must flag the deficit *)
+        let src = {|
+__kernel void chg(__global int* out) {
+  int t = (int)get_global_id(0);
+  int v = t * 5 + 2;
+  v = v * 3 - t;
+  out[t] = v;
+}
+|}
+        in
+        let run engine =
+          let _, _, (ctr, attr) =
+            T.launch ~engine ~src ~kernel:"chg" ~gws:[| 32; 1; 1 |]
+              ~lws:[| 8; 1; 1 |] ~out_ints:32 ()
+          in
+          (ctr, attr)
+        in
+        let s_ctr, s_attr = run Gpusim.Exec.Scalar in
+        let b_ctr, b_attr =
+          with_bug Gpusim.Lockstep.bug_skip_charge (fun () ->
+              run Gpusim.Exec.Lockstep)
+        in
+        check "planted charge bug detected" true
+          ((b_ctr, b_attr) <> (s_ctr, s_attr));
+        let l_ctr, l_attr = run Gpusim.Exec.Lockstep in
+        check "clean counters agree" true (s_ctr = l_ctr);
+        check "clean attribution agrees" true (s_attr = l_attr)) ]
+
+(* --- the escape hatch and the census ------------------------------------- *)
+
+let toggle_tests =
+  [ Alcotest.test_case "fusion toggle gates region formation" `Quick
+      (fun () ->
+         let src = {|
+__kernel void straight(__global int* out) {
+  int t = (int)get_global_id(0);
+  int v = t * 2 + 1;
+  v = v * v - t;
+  out[t] = v;
+}
+|}
+         in
+         let fused =
+           T.with_fusion true (fun () -> plan_of ~src ~kernel:"straight")
+         in
+         let unfused =
+           T.with_fusion false (fun () -> plan_of ~src ~kernel:"straight")
+         in
+         check "fused plan formed regions" true
+           (fused.Gpusim.Lockstep.p_fused > 0);
+         check_int "unfused plan formed none" 0
+           unfused.Gpusim.Lockstep.p_fused);
+    Alcotest.test_case "unfused lockstep still matches scalar" `Quick
+      (fun () ->
+         (* OCLCU_LOCKSTEP_FUSION=0 routes here: the per-instruction
+            path must stay a correct, independently testable engine *)
+         let src = {|
+__kernel void nf(__global int* out) {
+  int t = (int)get_global_id(0);
+  int acc = 0;
+  for (int j = 0; j < 9; j++) acc += (t + j) * (j | 1);
+  out[t] = acc;
+}
+|}
+         in
+         T.with_fusion false @@ fun () ->
+         let out, eng =
+           T.both ~src ~kernel:"nf" ~gws:[| 64; 1; 1 |] ~lws:[| 16; 1; 1 |]
+             ~out_ints:64 ()
+         in
+         let expected =
+           Array.init 64 (fun t ->
+               let acc = ref 0 in
+               for j = 0 to 8 do
+                 acc := !acc + ((t + j) * (j lor 1))
+               done;
+               !acc)
+         in
+         check_ints "host model" expected (T.expect_ran out eng)) ]
+
+let suites =
+  [ ("fusion.boundaries", boundary_tests);
+    ("fusion.planted", planted_tests);
+    ("fusion.toggle", toggle_tests) ]
